@@ -1,0 +1,103 @@
+"""Extension A12 — energy per inference: the budget batteries actually pay.
+
+The paper optimises latency on "low-power edge MCUs"; a duty-cycled
+battery deployment pays energy = power × latency.  This harness runs the
+energy estimator (datasheet power × LUT latency + wake cost) over the
+board registry for a reference pair of cells and an architecture sample,
+and shows the headline consequence: *energy ranks devices differently
+than latency* — the 480 MHz H7 wins every latency contest but loses on
+energy to the 26 mW L4.
+
+Shapes that must hold: within one board, energy ranks architectures
+identically to latency (it is a monotone per-device transform); across
+boards the orderings differ (L4 best energy, H7 best latency); battery
+life at 0.1 Hz spans orders of magnitude across boards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import kendall_tau
+from repro.hardware.device import (
+    NUCLEO_F411RE,
+    NUCLEO_F746ZG,
+    NUCLEO_H743ZI,
+    NUCLEO_L432KC,
+    RP2040_PICO,
+)
+from repro.hardware.energy import EnergyEstimator
+from repro.hardware.latency import LatencyEstimator
+from repro.searchspace import NasBench201Space
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.utils import format_table
+
+DEVICES = (NUCLEO_H743ZI, NUCLEO_F746ZG, NUCLEO_F411RE, NUCLEO_L432KC,
+           RP2040_PICO)
+LIGHT_CELL = Genotype.from_arch_str(
+    "|nor_conv_1x1~0|+|skip_connect~0|nor_conv_1x1~1|"
+    "+|skip_connect~0|skip_connect~1|nor_conv_3x3~2|"
+)
+NUM_ARCHS = 12
+DUTY_CYCLE_HZ = 0.1  # one inference every 10 s: sensor-node regime
+
+
+def run_energy_study():
+    config = MacroConfig.full()
+    archs = NasBench201Space().sample(NUM_ARCHS, rng=515)
+    per_device = {}
+    for device in DEVICES:
+        estimator = EnergyEstimator(
+            device, estimator=LatencyEstimator(device, config=config)
+        )
+        latencies = np.array(
+            [estimator.estimator.estimate_ms(g) for g in archs]
+        )
+        energies = np.array(
+            [estimator.energy_per_inference_mj(g) for g in archs]
+        )
+        report = estimator.report(LIGHT_CELL, duty_cycle_hz=DUTY_CYCLE_HZ)
+        per_device[device.name] = (latencies, energies, report)
+    return per_device
+
+
+def test_energy(benchmark):
+    per_device = benchmark.pedantic(run_energy_study, rounds=1, iterations=1)
+    rows = []
+    for name, (latencies, energies, report) in per_device.items():
+        rows.append([
+            name,
+            f"{report.latency_ms:.0f}",
+            f"{report.energy_per_inference_mj:.1f}",
+            f"{report.average_power_mw:.2f}",
+            f"{report.battery_days:.0f}",
+        ])
+    print()
+    print(format_table(
+        rows,
+        headers=["device", "latency ms", "mJ/inference", "avg mW @ 0.1 Hz",
+                 "battery days"],
+        title="A12: energy economics of the light cell (CR123A-class cell)",
+    ))
+
+    # Shape 1: within one board, energy preserves the latency ranking.
+    for name, (latencies, energies, _) in per_device.items():
+        assert kendall_tau(latencies, energies) > 0.99, name
+
+    # Shape 2: across boards the two orderings disagree — fastest is the
+    # H7, most frugal is the L4.
+    fastest = min(per_device, key=lambda n: per_device[n][2].latency_ms)
+    frugalest = min(
+        per_device,
+        key=lambda n: per_device[n][2].energy_per_inference_mj,
+    )
+    assert fastest == NUCLEO_H743ZI.name
+    assert frugalest == NUCLEO_L432KC.name
+    assert fastest != frugalest
+
+    # Shape 3: the sensor-node battery story spans a wide range.
+    days = [report.battery_days for _, _, report in per_device.values()]
+    assert max(days) / min(days) > 5.0
+    assert all(d > 0 for d in days)

@@ -1,0 +1,64 @@
+"""Fig. 2a — Kendall-τ of condition numbers K_i vs accuracy.
+
+The paper plots Kendall-τ between NTK condition-number variants
+``K_i = λ_max / λ_(i-th smallest)`` (i = 1..16) and final accuracy on
+CIFAR-10 / CIFAR-100 / ImageNet16-120.  Shape: the strongest correlation
+sits at small i (the classic condition number K_1 region) and degrades as
+i moves toward the bulk of the spectrum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.benchconfig import correlation_proxy_config, num_correlation_archs
+from repro.benchdata import SurrogateModel
+from repro.eval import kendall_tau
+from repro.proxies.ntk import ntk_spectrum
+from repro.searchspace import NasBench201Space
+from repro.utils import format_table
+
+DATASETS = ("cifar10", "cifar100", "imagenet16-120")
+MAX_K_INDEX = 16
+
+
+def run_fig2a():
+    config = correlation_proxy_config()
+    surrogate = SurrogateModel()
+    space = NasBench201Space()
+    archs = space.sample(num_correlation_archs(), rng=2024)
+
+    spectra = [ntk_spectrum(g, config) for g in archs]
+    max_index = min(MAX_K_INDEX, config.ntk_batch_size)
+
+    taus = {}
+    for dataset in DATASETS:
+        accs = [surrogate.mean_accuracy(g, dataset) for g in archs]
+        series = []
+        for i in range(1, max_index + 1):
+            ks = np.array([s.k(i) for s in spectra])
+            ks[~np.isfinite(ks)] = 1e30
+            series.append(kendall_tau(-ks, accs))
+        taus[dataset] = series
+    return taus
+
+
+def test_fig2a_condition_number(benchmark):
+    taus = benchmark.pedantic(run_fig2a, rounds=1, iterations=1)
+    max_index = len(next(iter(taus.values())))
+    print()
+    print(format_table(
+        [[f"K_{i+1}"] + [f"{taus[d][i]:+.3f}" for d in DATASETS]
+         for i in range(max_index)],
+        headers=["K_i"] + list(DATASETS),
+        title="Fig. 2a: Kendall-tau of K_i vs accuracy",
+    ))
+    for dataset in DATASETS:
+        series = taus[dataset]
+        # Shape 1: the classic condition-number region correlates positively.
+        assert max(series[:4]) > 0.25, f"{dataset}: no usable NTK signal"
+        # Shape 2: small-i indices beat the bulk-spectrum indices.
+        assert max(series[:4]) >= max(series[-4:]) - 0.05, (
+            f"{dataset}: K_i should degrade toward the spectrum bulk"
+        )

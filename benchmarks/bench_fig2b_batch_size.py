@@ -1,0 +1,66 @@
+"""Fig. 2b — Kendall-τ vs NTK batch size.
+
+The paper sweeps the NTK mini-batch size on a log scale and finds an
+optimal region at batch 16-32: below it the kernel estimate is too noisy,
+above it the correlation stops improving while cost keeps growing.  Three
+trials plus their average are reported, as in the figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.benchconfig import bench_scale, correlation_proxy_config, num_correlation_archs
+from repro.benchdata import SurrogateModel
+from repro.eval import kendall_tau
+from repro.proxies.ntk import ntk_condition_number
+from repro.searchspace import NasBench201Space
+from repro.utils import format_table
+
+BATCH_SIZES = (4, 8, 16, 32, 64) if bench_scale() == "reduced" else (4, 8, 16, 32, 64, 128)
+NUM_TRIALS = 3
+
+
+def run_fig2b():
+    base_config = correlation_proxy_config()
+    surrogate = SurrogateModel()
+    space = NasBench201Space()
+    archs = space.sample(num_correlation_archs(), rng=555)
+    accs = [surrogate.mean_accuracy(g, "cifar10") for g in archs]
+
+    taus = np.zeros((NUM_TRIALS, len(BATCH_SIZES)))
+    for trial in range(NUM_TRIALS):
+        for b_idx, batch in enumerate(BATCH_SIZES):
+            config = base_config.with_batch_size(batch).with_seed(1000 + trial)
+            ks = np.array([ntk_condition_number(g, config) for g in archs])
+            ks[~np.isfinite(ks)] = 1e30
+            taus[trial, b_idx] = kendall_tau(-ks, accs)
+    return taus
+
+
+def test_fig2b_batch_size(benchmark):
+    taus = benchmark.pedantic(run_fig2b, rounds=1, iterations=1)
+    avg = taus.mean(axis=0)
+    print()
+    rows = [
+        [f"batch {b}"] + [f"{taus[t, i]:+.3f}" for t in range(NUM_TRIALS)]
+        + [f"{avg[i]:+.3f}"]
+        for i, b in enumerate(BATCH_SIZES)
+    ]
+    print(format_table(
+        rows,
+        headers=["Batch size"] + [f"trial {t+1}" for t in range(NUM_TRIALS)]
+        + ["avg tau"],
+        title="Fig. 2b: Kendall-tau vs NTK batch size",
+    ))
+    batch_list = list(BATCH_SIZES)
+    i16 = batch_list.index(16)
+    i4 = batch_list.index(4)
+    # Shape 1: batch 16+ beats the smallest batch (noise regime).
+    assert max(avg[i16:]) > avg[i4], "larger batches should denoise the NTK"
+    # Shape 2: the recommended 16-32 region is near-optimal — going beyond
+    # it buys little (within a small margin of the best tau overall).
+    assert max(avg[i16:i16 + 2]) >= avg.max() - 0.08
+    # Shape 3: the signal is usable at the paper's operating point.
+    assert max(avg[i16:i16 + 2]) > 0.25

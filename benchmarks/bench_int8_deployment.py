@@ -1,0 +1,92 @@
+"""Extension A8 — the int8 deployment story on the paper's board.
+
+The paper deploys on an STM32F746ZG (1 MB flash, 320 KB SRAM).  At
+float32, many NAS-Bench-201 networks cannot fit that flash; real MCU
+deployments quantize to int8.  This harness measures, over an
+architecture sample, what quantization buys on the paper's board:
+
+* latency speedup from int8 CMSIS-NN-style kernels (cheaper MACs,
+  quartered memory traffic, requantization epilogue),
+* the fraction of architectures whose *flash* footprint fits at int8 vs
+  float32,
+* planned-arena SRAM fit at both precisions.
+
+Shapes that must hold: every architecture speeds up (>1.2x mean), int8
+strictly increases the deployable fraction, and the weight SQNR stays
+above 25 dB (accuracy-safe weight quantization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.deploy import deployment_report
+from repro.hardware.device import NUCLEO_F746ZG
+from repro.hardware.latency import LatencyEstimator
+from repro.hardware.memory import MemoryEstimator
+from repro.searchspace import NasBench201Space
+from repro.searchspace.network import MacroConfig
+from repro.utils import format_table
+
+NUM_ARCHS = 12
+
+
+def run_int8_study():
+    config = MacroConfig.full()
+    archs = NasBench201Space().sample(NUM_ARCHS, rng=808)
+    f32_estimator = LatencyEstimator(NUCLEO_F746ZG, config=config)
+    i8_estimator = LatencyEstimator(NUCLEO_F746ZG, config=config,
+                                    precision="int8")
+    f32_memory = MemoryEstimator(config, element_bytes=4)
+    reports = []
+    f32_flash_fits = []
+    for genotype in archs:
+        reports.append(deployment_report(
+            genotype, NUCLEO_F746ZG, config=config,
+            float_estimator=f32_estimator, int8_estimator=i8_estimator,
+        ))
+        f32_flash = f32_memory.report(genotype).flash_bytes
+        f32_flash_fits.append(f32_flash <= NUCLEO_F746ZG.flash_bytes)
+    return archs, reports, f32_flash_fits
+
+
+def test_int8_deployment(benchmark):
+    archs, reports, f32_flash_fits = benchmark.pedantic(
+        run_int8_study, rounds=1, iterations=1
+    )
+    rows = []
+    for rep, f32_fit in zip(reports, f32_flash_fits):
+        rows.append([
+            rep.arch_str[:34] + "...",
+            f"{rep.latency_float32_ms:.0f}",
+            f"{rep.latency_int8_ms:.0f}",
+            f"{rep.int8_speedup:.2f}x",
+            f"{rep.flash_int8_bytes / 1024:.0f}",
+            "yes" if f32_fit else "NO",
+            "yes" if rep.deployable else "NO",
+            f"{rep.weight_sqnr_db:.0f}",
+        ])
+    print()
+    print(format_table(
+        rows,
+        headers=["architecture", "f32 ms", "int8 ms", "speedup",
+                 "int8 flash KB", "fits @f32", "fits @int8", "SQNR dB"],
+        title="A8: int8 deployment on nucleo-f746zg",
+    ))
+    speedups = [r.int8_speedup for r in reports]
+    int8_fits = [r.deployable for r in reports]
+    print(f"mean speedup {np.mean(speedups):.2f}x; deployable: "
+          f"{sum(f32_flash_fits)}/{len(archs)} at float32 flash, "
+          f"{sum(int8_fits)}/{len(archs)} fully at int8")
+
+    # Shape 1: quantization always pays on this board.
+    assert min(speedups) > 1.0
+    assert np.mean(speedups) > 1.2
+    # Shape 2: int8 strictly widens deployability (the motivating claim).
+    assert sum(int8_fits) > sum(f32_flash_fits)
+    # Shape 3: weight quantization is accuracy-safe.
+    assert all(r.weight_sqnr_db > 25.0 for r in reports)
+    # Shape 4: arena relation is exact.
+    assert all(r.arena_int8_bytes * 4 == r.arena_float32_bytes
+               for r in reports)

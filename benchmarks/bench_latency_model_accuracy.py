@@ -1,0 +1,75 @@
+"""Claim C4 — the LUT latency estimator is "accurate, reliable and simple".
+
+Validates LUT composition against full-network on-board measurements over
+a random architecture sample, on both supported MCUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.device import NUCLEO_F411RE, NUCLEO_F746ZG
+from repro.hardware.latency import LatencyEstimator
+from repro.searchspace import NasBench201Space
+from repro.searchspace.network import MacroConfig
+from repro.utils import format_table
+
+SAMPLE_SIZE = 24
+
+
+def run_validation(device):
+    estimator = LatencyEstimator(device, config=MacroConfig.full())
+    space = NasBench201Space()
+    rows = []
+    for genotype in space.sample(SAMPLE_SIZE, rng=99):
+        estimate = estimator.estimate_ms(genotype)
+        truth = estimator.ground_truth_ms(genotype)
+        rows.append({
+            "estimate_ms": estimate,
+            "truth_ms": truth,
+            "rel_error": abs(estimate - truth) / truth,
+        })
+    return rows
+
+
+@pytest.mark.parametrize("device", [NUCLEO_F746ZG, NUCLEO_F411RE],
+                         ids=lambda d: d.name)
+def test_latency_model_accuracy(benchmark, device):
+    rows = benchmark.pedantic(lambda: run_validation(device),
+                              rounds=1, iterations=1)
+    errors = np.array([r["rel_error"] for r in rows])
+    print()
+    print(format_table(
+        [
+            ["architectures", len(rows)],
+            ["mean abs rel error", f"{errors.mean() * 100:.2f}%"],
+            ["max abs rel error", f"{errors.max() * 100:.2f}%"],
+            ["latency range",
+             f"{min(r['truth_ms'] for r in rows):.0f}-"
+             f"{max(r['truth_ms'] for r in rows):.0f} ms"],
+        ],
+        title=f"Claim C4: LUT estimator accuracy on {device.name}",
+    ))
+    # Shape: the paper calls the model "accurate and reliable"; per-op LUT
+    # composition should sit within a few percent of whole-network runs.
+    assert errors.mean() < 0.05
+    assert errors.max() < 0.10
+
+
+def test_estimator_preserves_ranking(benchmark):
+    """Search only needs *relative* latency: ranking must be near-perfect."""
+    from repro.eval import kendall_tau
+
+    estimator = LatencyEstimator(NUCLEO_F746ZG, config=MacroConfig.full())
+    space = NasBench201Space()
+    archs = space.sample(SAMPLE_SIZE, rng=123)
+
+    def run():
+        estimates = [estimator.estimate_ms(g) for g in archs]
+        truths = [estimator.ground_truth_ms(g) for g in archs]
+        return kendall_tau(estimates, truths)
+
+    tau = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nlatency rank fidelity: Kendall-tau = {tau:.3f}")
+    assert tau > 0.9

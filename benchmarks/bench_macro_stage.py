@@ -1,0 +1,119 @@
+"""Extension A5 — the secondary (macro) stage of the MicroNAS workflow.
+
+The paper's latency estimator collects "the number of cells and
+input/output channels for each cell" (§II-B-2); this harness searches that
+secondary stage.  For the TE-NAS-like cell and the hardware-friendly cell
+it prints, per device, the largest skeleton (C, N) that fits the board's
+SRAM/flash at int8 plus a latency budget — the MCUNet-style
+largest-model-that-fits table — and the latency/capacity Pareto frontier
+on the paper's F746ZG board.
+
+Shapes that must hold:
+* a tighter latency budget never selects a higher-capacity skeleton,
+* the weaker F411RE board never fits a larger skeleton than the F746ZG,
+* every frontier point is undominated in (latency, capacity).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.device import NUCLEO_F411RE, NUCLEO_F746ZG
+from repro.search.macro import MacroSearchSpace, MacroStageSearch, device_constraints
+from repro.searchspace.genotype import Genotype
+from repro.utils import format_table
+
+TENAS_LIKE_CELL = (
+    "|nor_conv_3x3~0|+|nor_conv_3x3~0|nor_conv_3x3~1|"
+    "+|skip_connect~0|nor_conv_3x3~1|nor_conv_3x3~2|"
+)
+LIGHT_CELL = (
+    "|nor_conv_1x1~0|+|skip_connect~0|nor_conv_1x1~1|"
+    "+|skip_connect~0|skip_connect~1|nor_conv_3x3~2|"
+)
+
+SPACE = MacroSearchSpace(channel_choices=(4, 8, 12, 16, 24),
+                         cell_choices=(1, 2, 3, 5))
+LATENCY_BUDGETS_MS = (None, 300.0, 90.0)
+ELEMENT_BYTES = 1  # int8 deployment
+
+
+def run_macro_stage():
+    rows = []
+    plans = {}
+    for cell_name, arch in (("tenas-like", TENAS_LIKE_CELL),
+                            ("light", LIGHT_CELL)):
+        genotype = Genotype.from_arch_str(arch)
+        for device in (NUCLEO_F746ZG, NUCLEO_F411RE):
+            search = MacroStageSearch(
+                genotype, device=device, space=SPACE,
+                element_bytes=ELEMENT_BYTES,
+            )
+            for budget in LATENCY_BUDGETS_MS:
+                constraints = device_constraints(device, max_latency_ms=budget)
+                plan = search.select(constraints)
+                cand = plan.candidate
+                rows.append([
+                    cell_name,
+                    device.name,
+                    "-" if budget is None else f"{budget:.0f}",
+                    f"C={cand.config.init_channels} N={cand.config.cells_per_stage}",
+                    f"{cand.latency_ms:.1f}",
+                    f"{cand.params / 1e3:.0f}k",
+                    f"{cand.peak_sram_bytes / 1024:.0f}",
+                    f"{cand.flash_bytes / 1024:.0f}",
+                ])
+                plans[(cell_name, device.name, budget)] = plan
+    frontier = MacroStageSearch(
+        Genotype.from_arch_str(TENAS_LIKE_CELL),
+        device=NUCLEO_F746ZG, space=SPACE, element_bytes=ELEMENT_BYTES,
+    ).pareto_frontier()
+    return rows, plans, frontier
+
+
+def test_macro_stage(benchmark):
+    rows, plans, frontier = benchmark.pedantic(run_macro_stage, rounds=1,
+                                               iterations=1)
+    print()
+    print(format_table(
+        rows,
+        headers=["cell", "device", "budget ms", "skeleton", "lat ms",
+                 "params", "SRAM KB", "flash KB"],
+        title="A5: secondary-stage search (largest skeleton that fits, int8)",
+    ))
+    print(format_table(
+        [[f"C={c.config.init_channels} N={c.config.cells_per_stage}",
+          f"{c.latency_ms:.1f}", f"{c.capacity:.1f}"] for c in frontier],
+        headers=["skeleton", "latency ms", "capacity"],
+        title="A5: latency/capacity Pareto frontier (tenas-like cell, F746ZG)",
+    ))
+
+    # Shape 1: tighter latency budgets never increase capacity.
+    for cell_name in ("tenas-like", "light"):
+        for device in (NUCLEO_F746ZG, NUCLEO_F411RE):
+            caps = [
+                plans[(cell_name, device.name, b)].candidate.capacity
+                for b in LATENCY_BUDGETS_MS
+            ]
+            assert caps == sorted(caps, reverse=True)
+
+    # Shape 2: the weaker board never fits a larger skeleton.
+    for cell_name in ("tenas-like", "light"):
+        for budget in LATENCY_BUDGETS_MS:
+            big = plans[(cell_name, NUCLEO_F746ZG.name, budget)]
+            small = plans[(cell_name, NUCLEO_F411RE.name, budget)]
+            assert small.candidate.capacity <= big.candidate.capacity
+
+    # Shape 3: all selected plans respect the board memories.
+    for (cell_name, device_name, budget), plan in plans.items():
+        device = NUCLEO_F746ZG if device_name == NUCLEO_F746ZG.name else NUCLEO_F411RE
+        assert plan.candidate.peak_sram_bytes <= device.sram_bytes
+        assert plan.candidate.flash_bytes <= device.flash_bytes
+        if budget is not None:
+            assert plan.candidate.latency_ms <= budget
+
+    # Shape 4: the frontier is monotone (latency up, capacity up).
+    latencies = [c.latency_ms for c in frontier]
+    capacities = [c.capacity for c in frontier]
+    assert latencies == sorted(latencies)
+    assert capacities == sorted(capacities)

@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Scale knobs live in :mod:`repro.eval.benchconfig`; set
+``REPRO_BENCH_SCALE=paper`` for the paper's exact proxy operating point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.device import NUCLEO_F746ZG
+from repro.hardware.latency import LatencyEstimator
+from repro.searchspace.network import MacroConfig
+
+
+@pytest.fixture(scope="session")
+def deploy_config() -> MacroConfig:
+    """Deployment macro config (paper's full NAS-Bench-201 skeleton)."""
+    return MacroConfig.full()
+
+
+@pytest.fixture(scope="session")
+def latency_estimator(deploy_config) -> LatencyEstimator:
+    """One profiled STM32F746ZG latency estimator for the whole session."""
+    return LatencyEstimator(NUCLEO_F746ZG, config=deploy_config)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Latency-model portability: one cell, five boards (paper §IV).
+
+The paper argues its MCU latency estimation model "has potential
+applicability to other edge devices".  This example profiles every
+registered board, estimates the latency of two reference cells on each,
+and shows both the absolute spread (480 MHz M7 down to a soft-float M0+)
+and how well the F746ZG's latency *ranking* transfers — the reason
+hardware-aware search should re-profile rather than assume.
+
+Runtime: well under a minute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import kendall_tau
+from repro.hardware import LatencyEstimator, known_devices
+from repro.searchspace import NasBench201Space
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.utils import format_table
+
+HEAVY = (
+    "|nor_conv_3x3~0|+|nor_conv_3x3~0|nor_conv_3x3~1|"
+    "+|skip_connect~0|nor_conv_3x3~1|nor_conv_3x3~2|"
+)
+LIGHT = (
+    "|nor_conv_1x1~0|+|skip_connect~0|nor_conv_1x1~1|"
+    "+|skip_connect~0|skip_connect~1|nor_conv_3x3~2|"
+)
+NUM_RANKING_ARCHS = 15
+
+
+def main() -> None:
+    config = MacroConfig.full()
+    heavy = Genotype.from_arch_str(HEAVY)
+    light = Genotype.from_arch_str(LIGHT)
+    sample = NasBench201Space().sample(NUM_RANKING_ARCHS, rng=42)
+
+    estimators = {}
+    for name, device in sorted(known_devices().items()):
+        print(f"profiling {name} (simulated board)...")
+        estimators[name] = LatencyEstimator(device=device, config=config)
+
+    rows = []
+    rankings = {}
+    for name, estimator in estimators.items():
+        rankings[name] = np.array([estimator.estimate_ms(g) for g in sample])
+        rows.append([
+            name,
+            f"{estimator.estimate_ms(heavy):.0f} ms",
+            f"{estimator.estimate_ms(light):.0f} ms",
+            f"{estimator.estimate_ms(heavy) / estimator.estimate_ms(light):.2f}x",
+        ])
+    print()
+    print(format_table(
+        rows,
+        headers=["board", "heavy cell", "light cell", "ratio"],
+        title="Estimated inference latency per board (float32, C=16 N=5)",
+    ))
+
+    reference = rankings["nucleo-f746zg"]
+    tau_rows = [
+        [name, f"{kendall_tau(reference, lats):+.3f}"]
+        for name, lats in sorted(rankings.items())
+    ]
+    print()
+    print(format_table(
+        tau_rows,
+        headers=["board", "Kendall-tau vs F746ZG"],
+        title=f"Ranking transfer over {NUM_RANKING_ARCHS} sampled cells",
+    ))
+    print()
+    print("Sibling M7/M4 cores rank architectures almost identically; the")
+    print("soft-float M0+ disagrees more — per-device profiling matters.")
+
+
+if __name__ == "__main__":
+    main()

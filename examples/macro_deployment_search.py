@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Secondary-stage search: fit a discovered cell onto different boards.
+
+The MicroNAS workflow ends with a deployable model, not just a cell.  This
+example takes the hardware-friendly cell from the constrained search and
+runs the secondary (macro) stage on two boards: it finds the largest
+skeleton — cells per stage ``N`` and initial width ``C`` — whose int8
+deployment fits each board's SRAM and flash within a latency budget, and
+prints the latency/capacity Pareto frontier the budget cuts through.
+
+Runtime: under a minute (LUT-based latency, analytic memory).
+"""
+
+from __future__ import annotations
+
+from repro.hardware import NUCLEO_F411RE, NUCLEO_F746ZG
+from repro.search import MacroSearchSpace, MacroStageSearch, device_constraints
+from repro.searchspace.genotype import Genotype
+from repro.utils import format_table
+
+#: The kind of cell the latency-guided MicroNAS search discovers.
+CELL = (
+    "|nor_conv_1x1~0|+|skip_connect~0|nor_conv_1x1~1|"
+    "+|skip_connect~0|skip_connect~1|nor_conv_3x3~2|"
+)
+
+LATENCY_BUDGET_MS = 150.0
+
+
+def main() -> None:
+    genotype = Genotype.from_arch_str(CELL)
+    space = MacroSearchSpace(channel_choices=(4, 8, 12, 16, 24, 32),
+                             cell_choices=(1, 2, 3, 4, 5))
+
+    rows = []
+    for device in (NUCLEO_F746ZG, NUCLEO_F411RE):
+        print(f"profiling {device.name} (simulated board)...")
+        search = MacroStageSearch(genotype, device=device, space=space,
+                                  element_bytes=1)  # int8 deployment
+        constraints = device_constraints(
+            device, max_latency_ms=LATENCY_BUDGET_MS, memory_margin=0.9
+        )
+        plan = search.select(constraints)
+        cand = plan.candidate
+        rows.append([
+            device.name,
+            f"{device.clock_hz / 1e6:.0f} MHz {device.core}",
+            f"C={cand.config.init_channels} N={cand.config.cells_per_stage}",
+            f"{cand.latency_ms:.1f} ms",
+            f"{cand.params / 1e3:.0f} k",
+            f"{cand.peak_sram_bytes / 1024:.0f} / {device.sram_bytes // 1024} KB",
+            f"{cand.flash_bytes / 1024:.0f} / {device.flash_bytes // 1024} KB",
+        ])
+
+    print()
+    print(format_table(
+        rows,
+        headers=["board", "core", "skeleton", "latency", "params",
+                 "SRAM use", "flash use"],
+        title=f"Largest int8 skeleton within {LATENCY_BUDGET_MS:.0f} ms "
+              f"and 90 % of each board's memories",
+    ))
+
+    # The frontier the budget cuts through (on the paper's board).
+    frontier = MacroStageSearch(
+        genotype, device=NUCLEO_F746ZG, space=space, element_bytes=1
+    ).pareto_frontier()
+    print()
+    print(format_table(
+        [[f"C={c.config.init_channels} N={c.config.cells_per_stage}",
+          f"{c.latency_ms:.1f}", f"{c.params / 1e3:.0f} k",
+          f"{c.flops / 1e6:.1f} M"] for c in frontier],
+        headers=["skeleton", "latency ms", "params", "FLOPs"],
+        title="Latency/capacity Pareto frontier on nucleo-f746zg",
+    ))
+
+
+if __name__ == "__main__":
+    main()

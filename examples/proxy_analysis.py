@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Analyse the zero-cost indicators (the paper's Fig. 2 methodology).
+
+Samples architectures from NAS-Bench-201, evaluates the NTK condition
+number and the linear-region count for each, and reports how well each
+indicator — and the rank-combined hybrid — predicts surrogate accuracy
+across the three datasets.  Also demonstrates the batch-size effect the
+paper studies (Fig. 2b) on a small sweep.
+
+Runtime: a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchdata import SurrogateModel
+from repro.eval import kendall_tau
+from repro.proxies import ProxyConfig
+from repro.proxies.linear_regions import count_line_regions
+from repro.proxies.ntk import ntk_condition_number
+from repro.proxies.ranking import combine_ranks
+from repro.searchspace import NasBench201Space
+from repro.utils import format_table
+
+NUM_ARCHS = 24
+DATASETS = ("cifar10", "cifar100", "imagenet16-120")
+
+
+def main() -> None:
+    config = ProxyConfig(init_channels=6, cells_per_stage=1, input_size=8,
+                         ntk_batch_size=16, lr_num_samples=64, lr_input_size=4,
+                         lr_channels=3, seed=0)
+    surrogate = SurrogateModel()
+    archs = NasBench201Space().sample(NUM_ARCHS, rng=42)
+
+    print(f"evaluating proxies on {NUM_ARCHS} architectures...")
+    kappas = np.array([ntk_condition_number(g, config) for g in archs])
+    kappas[~np.isfinite(kappas)] = 1e30
+    regions = np.array([count_line_regions(g, config) for g in archs])
+    hybrid = combine_ranks(
+        {"ntk": kappas, "lr": regions},
+        {"ntk": False, "lr": True},
+    )
+
+    rows = []
+    for dataset in DATASETS:
+        accs = [surrogate.mean_accuracy(g, dataset) for g in archs]
+        rows.append([
+            dataset,
+            f"{kendall_tau(-kappas, accs):+.3f}",
+            f"{kendall_tau(regions, accs):+.3f}",
+            f"{kendall_tau(-hybrid, accs):+.3f}",
+        ])
+    print()
+    print(format_table(
+        rows,
+        headers=["dataset", "tau(NTK)", "tau(LR)", "tau(hybrid)"],
+        title="Indicator-vs-accuracy rank correlation (paper Fig. 2a context)",
+    ))
+
+    print()
+    print("batch-size effect on the NTK indicator (paper Fig. 2b):")
+    accs = [surrogate.mean_accuracy(g, "cifar10") for g in archs]
+    batch_rows = []
+    for batch in (4, 8, 16, 32):
+        cfg = config.with_batch_size(batch)
+        ks = np.array([ntk_condition_number(g, cfg) for g in archs])
+        ks[~np.isfinite(ks)] = 1e30
+        batch_rows.append([batch, f"{kendall_tau(-ks, accs):+.3f}"])
+    print(format_table(batch_rows, headers=["batch size", "tau(NTK)"]))
+    print()
+    print("expected shape: tau rises with batch size and saturates around "
+          "16-32 — the paper's recommended operating point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs PEP-660 wheels; offline images may lack `wheel`,
+in which case `python setup.py develop` installs the same editable package.
+"""
+from setuptools import setup
+
+setup()

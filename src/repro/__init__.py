@@ -1,0 +1,53 @@
+"""MicroNAS: zero-shot hardware-aware NAS for MCUs (DATE 2024 reproduction).
+
+Subpackages
+-----------
+autograd
+    Reverse-mode automatic differentiation over NumPy arrays.
+nn
+    Neural-network layers (conv, batch-norm, linear, pooling) on autograd.
+searchspace
+    The NAS-Bench-201 cell space: genotypes, cells, supernets, networks.
+proxies
+    Zero-cost indicators: NTK condition numbers, linear regions, FLOPs.
+hardware
+    MCU device registry, precision-aware cycle cost model (float32/int8),
+    latency LUT profiler/estimator plus alternative latency models,
+    peak-memory estimation, tensor-arena planning, deployment-graph
+    rewrites, int8 quantization and inference simulation, energy model,
+    end-to-end deployment reports.
+search
+    MicroNAS pruning search, constraints, and baselines (TE-NAS, random,
+    µNAS-style evolution); secondary-stage macro search and the
+    multi-objective Pareto variant.
+train
+    Final-training stage: SGD/Adam, LR schedules, augmentation, early
+    stopping, checkpoints.
+benchdata
+    Surrogate NAS-Bench-201 accuracy/cost tables and a query API.
+data
+    Synthetic image datasets shaped like CIFAR-10/100 and ImageNet16-120.
+eval
+    Rank correlations and benchmark-scale configuration.
+
+Typical entry points: :class:`repro.search.MicroNASSearch`,
+:class:`repro.search.HybridObjective`,
+:class:`repro.hardware.LatencyEstimator`,
+:class:`repro.benchdata.SurrogateBenchmarkAPI`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "searchspace",
+    "proxies",
+    "hardware",
+    "search",
+    "benchdata",
+    "data",
+    "eval",
+    "utils",
+    "errors",
+]

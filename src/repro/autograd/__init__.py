@@ -1,0 +1,69 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This subpackage is the numerical substrate for the zero-cost proxies: the
+NTK proxy needs exact per-sample parameter gradients, and the linear-region
+proxy needs ReLU pre-activations.  The engine is define-by-run: every
+operation on :class:`Tensor` records a backward closure, and
+:meth:`Tensor.backward` walks the tape in reverse topological order.
+
+Gradients are validated against central finite differences in
+``tests/autograd/test_gradcheck.py``.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.functional import (
+    add,
+    cross_entropy,
+    log_softmax,
+    max_reduce,
+    softmax,
+    avg_pool2d,
+    concatenate,
+    conv2d,
+    exp,
+    global_avg_pool2d,
+    log,
+    matmul,
+    maximum,
+    mean,
+    mul,
+    pad2d,
+    relu,
+    reshape,
+    sigmoid,
+    sum as tensor_sum,
+    tanh,
+    transpose,
+)
+from repro.autograd.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "gradcheck",
+    "add",
+    "cross_entropy",
+    "log_softmax",
+    "max_reduce",
+    "softmax",
+    "avg_pool2d",
+    "concatenate",
+    "conv2d",
+    "exp",
+    "global_avg_pool2d",
+    "log",
+    "matmul",
+    "maximum",
+    "mean",
+    "mul",
+    "pad2d",
+    "relu",
+    "reshape",
+    "sigmoid",
+    "tensor_sum",
+    "tanh",
+    "transpose",
+]

@@ -1,0 +1,439 @@
+"""Command-line interface: ``micronas <subcommand>``.
+
+Subcommands
+-----------
+search
+    Run a NAS algorithm (micronas / tenas / random) and print the result.
+pareto
+    Zero-shot quality/latency Pareto front over a sampled population.
+profile
+    Profile a device's latency LUT and print its entries.
+validate-latency
+    Compare the LUT estimator against on-board ground truth.
+query
+    Look up an architecture in the surrogate benchmark.
+proxies
+    Evaluate every registered zero-cost proxy for one architecture.
+devices
+    List the registered MCU boards.
+deploy
+    Full deployment assessment (latency, arena, flash, quantization).
+macro-search
+    Secondary stage: fit a cell onto a board (cells/channels grid).
+memplan
+    Plan the static tensor arena for one architecture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.benchdata import SurrogateBenchmarkAPI
+from repro.hardware.device import known_devices
+from repro.hardware.latency import LatencyEstimator
+from repro.proxies.base import ProxyConfig
+from repro.proxies.zerocost import PROXY_REGISTRY
+from repro.search import (
+    HybridObjective,
+    MicroNASSearch,
+    ObjectiveWeights,
+    TENASSearch,
+    ZeroShotRandomSearch,
+)
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.searchspace.space import NasBench201Space
+from repro.utils import format_table
+
+
+def _resolve_arch(text: str) -> Genotype:
+    """Accept either an integer index or an architecture string."""
+    try:
+        return Genotype.from_index(int(text))
+    except ValueError:
+        return Genotype.from_arch_str(text)
+
+
+def _proxy_config(args: argparse.Namespace) -> ProxyConfig:
+    if args.fast:
+        return ProxyConfig(init_channels=4, cells_per_stage=1, input_size=8,
+                           ntk_batch_size=16, lr_num_samples=64,
+                           lr_input_size=4, lr_channels=3, seed=args.seed)
+    return ProxyConfig(seed=args.seed)
+
+
+def _device(name: str):
+    devices = known_devices()
+    if name not in devices:
+        raise SystemExit(f"unknown device {name!r}; known: {sorted(devices)}")
+    return devices[name]
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_search(args: argparse.Namespace) -> int:
+    proxy_config = _proxy_config(args)
+    estimator = None
+    if args.algorithm != "tenas" and (args.latency_weight > 0 or args.flops_weight > 0):
+        estimator = LatencyEstimator(_device(args.device), config=MacroConfig.full())
+
+    if args.algorithm == "tenas":
+        result = TENASSearch(proxy_config=proxy_config, seed=args.seed).search()
+    else:
+        objective = HybridObjective(
+            proxy_config=proxy_config,
+            weights=ObjectiveWeights(latency=args.latency_weight,
+                                     flops=args.flops_weight),
+            latency_estimator=estimator,
+        )
+        if args.algorithm == "micronas":
+            result = MicroNASSearch(objective, seed=args.seed).search()
+        else:
+            result = ZeroShotRandomSearch(objective, num_samples=args.samples,
+                                          seed=args.seed).search()
+
+    api = SurrogateBenchmarkAPI(datasets=["cifar10"])
+    record = api.query(result.genotype)
+    rows = [
+        ["architecture", result.arch_str],
+        ["index", record.index],
+        ["surrogate CIFAR-10 acc", f"{record.accuracy('cifar10'):.2f} %"],
+        ["FLOPs", f"{record.flops / 1e6:.2f} M"],
+        ["params", f"{record.params / 1e6:.3f} M"],
+        ["proxy evaluations", result.num_evaluations],
+        ["search wall time", f"{result.wall_seconds:.1f} s"],
+    ]
+    if estimator is not None:
+        rows.insert(5, ["est. latency", f"{estimator.estimate_ms(result.genotype):.1f} ms"])
+    print(format_table(rows, title=f"{args.algorithm} search result"))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    estimator = LatencyEstimator(_device(args.device), config=MacroConfig.full())
+    entries = sorted(estimator.lut.entries.items(), key=lambda kv: -kv[1])
+    rows = [[str(key), f"{ms:.4f}"] for key, ms in entries[: args.top]]
+    rows.append(["network overhead", f"{estimator.lut.network_overhead_ms:.4f}"])
+    print(format_table(
+        rows,
+        headers=["layer (kind, cin, cout, h, w, k, s)", "latency (ms)"],
+        title=f"latency LUT for {args.device} ({len(entries)} entries)",
+    ))
+    return 0
+
+
+def cmd_validate_latency(args: argparse.Namespace) -> int:
+    estimator = LatencyEstimator(_device(args.device), config=MacroConfig.full())
+    archs = NasBench201Space().sample(args.samples, rng=args.seed)
+    errors = []
+    for genotype in archs:
+        estimate = estimator.estimate_ms(genotype)
+        truth = estimator.ground_truth_ms(genotype)
+        errors.append(abs(estimate - truth) / truth)
+    errors = np.array(errors)
+    print(format_table(
+        [
+            ["architectures", len(archs)],
+            ["mean abs rel error", f"{errors.mean() * 100:.2f} %"],
+            ["max abs rel error", f"{errors.max() * 100:.2f} %"],
+        ],
+        title=f"latency estimator validation on {args.device}",
+    ))
+    return 0 if errors.max() < 0.10 else 1
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.searchspace.render import render_cell
+
+    genotype = _resolve_arch(args.arch)
+    api = SurrogateBenchmarkAPI()
+    record = api.query(genotype)
+    rows = [["architecture", record.arch_str], ["index", record.index],
+            ["FLOPs", f"{record.flops / 1e6:.2f} M"],
+            ["params", f"{record.params / 1e6:.3f} M"],
+            ["training cost", f"{record.training_seconds / 3600:.2f} GPU-h"]]
+    for dataset, acc in record.accuracies.items():
+        rows.append([f"accuracy ({dataset})", f"{acc:.2f} %"])
+    print(format_table(rows, title="surrogate benchmark record"))
+    print()
+    print(render_cell(genotype))
+    return 0
+
+
+def cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.search.pareto import ParetoZeroShotSearch
+
+    estimator = LatencyEstimator(_device(args.device), config=MacroConfig.full())
+    objective = HybridObjective(
+        proxy_config=_proxy_config(args),
+        weights=ObjectiveWeights(latency=0.5),
+        latency_estimator=estimator,
+    )
+    search = ParetoZeroShotSearch(objective, num_samples=args.samples,
+                                  seed=args.seed)
+    result = search.search()
+    knee = result.knee_point()
+    print(format_table(
+        [[("knee -> " if p is knee else "") + p.genotype.to_arch_str()[:44],
+          f"{p.latency_ms:.0f}", f"{p.quality_rank:.1f}"]
+         for p in result.front],
+        headers=["architecture", "latency ms", "quality rank (low=good)"],
+        title=f"quality/latency Pareto front on {args.device} "
+              f"({len(result.front)} of {args.samples} sampled)",
+    ))
+    return 0
+
+
+def cmd_space_stats(args: argparse.Namespace) -> int:
+    from repro.searchspace.stats import space_statistics
+
+    stats = space_statistics()
+    print(format_table(
+        [
+            ["architecture strings", f"{stats.total_arch_strings:,}"],
+            ["functionally unique (canonical classes)",
+             f"{stats.canonical_classes:,}"],
+            ["redundancy", f"{stats.redundancy * 100:.1f} %"],
+            ["fully disconnected strings",
+             f"{stats.disconnected_arch_strings:,}"],
+            ["largest duplicate class", f"{stats.largest_class_size:,}"],
+            ["singleton classes", f"{stats.singleton_classes:,}"],
+        ],
+        title="NAS-Bench-201 functional-redundancy census",
+    ))
+    return 0
+
+
+def cmd_devices(args: argparse.Namespace) -> int:
+    rows = []
+    for name, d in sorted(known_devices().items()):
+        rows.append([
+            name, d.core, f"{d.clock_hz / 1e6:.0f} MHz",
+            f"{d.sram_bytes // 1024} KB", f"{d.flash_bytes // 1024} KB",
+            f"{d.cycles_per_mac:.2f}", f"{d.mac_cycles('int8'):.2f}",
+        ])
+    print(format_table(
+        rows,
+        headers=["device", "core", "clock", "SRAM", "flash",
+                 "cyc/MAC f32", "cyc/MAC int8"],
+        title="registered MCU boards",
+    ))
+    return 0
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.hardware.deploy import deployment_report
+
+    genotype = _resolve_arch(args.arch)
+    device = _device(args.device)
+    report = deployment_report(genotype, device, config=MacroConfig.full())
+    print(format_table(
+        [
+            ["architecture", report.arch_str],
+            ["device", report.device_name],
+            ["latency (float32)", f"{report.latency_float32_ms:.1f} ms"],
+            ["latency (int8)", f"{report.latency_int8_ms:.1f} ms"],
+            ["int8 speedup", f"{report.int8_speedup:.2f}x"],
+            ["arena (int8)", f"{report.arena_int8_bytes / 1024:.0f} KB "
+                             f"of {report.sram_bytes // 1024} KB SRAM"],
+            ["flash (int8)", f"{report.flash_int8_bytes / 1024:.0f} KB "
+                             f"of {report.flash_bytes // 1024} KB"],
+            ["weight SQNR", f"{report.weight_sqnr_db:.1f} dB"],
+            ["verdict", "DEPLOYABLE" if report.deployable else "DOES NOT FIT"],
+        ],
+        title="deployment assessment",
+    ))
+    return 0 if report.deployable else 1
+
+
+def cmd_macro_search(args: argparse.Namespace) -> int:
+    from repro.search.macro import (
+        MacroSearchSpace,
+        MacroStageSearch,
+        device_constraints,
+    )
+
+    genotype = _resolve_arch(args.arch)
+    device = _device(args.device)
+    search = MacroStageSearch(
+        genotype, device=device, space=MacroSearchSpace(),
+        element_bytes=1 if args.int8 else 4,
+    )
+    constraints = device_constraints(
+        device, max_latency_ms=args.max_latency_ms,
+        memory_margin=args.memory_margin,
+    )
+    try:
+        plan = search.select(constraints)
+    except Exception as exc:  # SearchError: nothing fits
+        print(f"macro search failed: {exc}")
+        return 1
+    cand = plan.candidate
+    print(format_table(
+        [
+            ["architecture", plan.genotype.to_arch_str()],
+            ["device", plan.device_name],
+            ["skeleton", f"C={cand.config.init_channels} "
+                         f"N={cand.config.cells_per_stage}"],
+            ["latency", f"{cand.latency_ms:.1f} ms"],
+            ["FLOPs", f"{cand.flops / 1e6:.2f} M"],
+            ["params", f"{cand.params / 1e3:.1f} k"],
+            ["peak SRAM", f"{cand.peak_sram_bytes / 1024:.0f} KB"],
+            ["flash", f"{cand.flash_bytes / 1024:.0f} KB"],
+            ["grid points", plan.alternatives_considered],
+        ],
+        title="secondary-stage (macro) search result",
+    ))
+    return 0
+
+
+def cmd_memplan(args: argparse.Namespace) -> int:
+    from repro.hardware.memplan import (
+        liveness_lower_bound,
+        plan_memory,
+        tensor_lifetimes,
+    )
+
+    genotype = _resolve_arch(args.arch)
+    lifetimes = tensor_lifetimes(
+        genotype, MacroConfig.full(), element_bytes=1 if args.int8 else 4
+    )
+    bound = liveness_lower_bound(lifetimes)
+    rows = []
+    for strategy in ("no_reuse", "first_fit", "greedy_by_size"):
+        plan = plan_memory(lifetimes, strategy)
+        rows.append([strategy, f"{plan.arena_bytes / 1024:.1f} KB",
+                     f"{plan.arena_bytes / max(bound, 1):.2f}x bound"])
+    print(format_table(
+        rows,
+        headers=["strategy", "arena", "vs liveness bound"],
+        title=f"tensor arena for {genotype.to_arch_str()} "
+              f"({len(lifetimes)} buffers, bound {bound / 1024:.1f} KB)",
+    ))
+    if args.layout:
+        plan = plan_memory(lifetimes, "greedy_by_size")
+        layout = sorted(lifetimes, key=lambda b: plan.offsets[b.name])[: args.top]
+        print()
+        print(format_table(
+            [[b.name, f"{plan.offsets[b.name]}", f"{b.size_bytes}",
+              f"[{b.start}, {b.end}]"] for b in layout],
+            headers=["buffer", "offset", "bytes", "live steps"],
+            title=f"greedy layout (first {args.top} buffers by offset)",
+        ))
+    return 0
+
+
+def cmd_proxies(args: argparse.Namespace) -> int:
+    genotype = _resolve_arch(args.arch)
+    config = _proxy_config(args)
+    rows = []
+    for name, spec in PROXY_REGISTRY.items():
+        value = spec.fn(genotype, config)
+        direction = "higher" if spec.higher_is_better else "lower"
+        rows.append([name, f"{value:.4g}", f"{direction} is better"])
+    print(format_table(rows, headers=["proxy", "value", "direction"],
+                       title=f"zero-cost proxies for {genotype.to_arch_str()}"))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="micronas",
+        description="MicroNAS: zero-shot hardware-aware NAS for MCUs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_search = sub.add_parser("search", help="run an architecture search")
+    p_search.add_argument("--algorithm", choices=("micronas", "tenas", "random"),
+                          default="micronas")
+    p_search.add_argument("--latency-weight", type=float, default=0.5)
+    p_search.add_argument("--flops-weight", type=float, default=0.0)
+    p_search.add_argument("--device", default="nucleo-f746zg")
+    p_search.add_argument("--samples", type=int, default=64,
+                          help="sample count for random search")
+    p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--fast", action="store_true",
+                          help="reduced proxy scale (quick demo)")
+    p_search.set_defaults(fn=cmd_search)
+
+    p_profile = sub.add_parser("profile", help="build and print a latency LUT")
+    p_profile.add_argument("--device", default="nucleo-f746zg")
+    p_profile.add_argument("--top", type=int, default=10)
+    p_profile.set_defaults(fn=cmd_profile)
+
+    p_val = sub.add_parser("validate-latency",
+                           help="check the LUT estimator vs ground truth")
+    p_val.add_argument("--device", default="nucleo-f746zg")
+    p_val.add_argument("--samples", type=int, default=10)
+    p_val.add_argument("--seed", type=int, default=0)
+    p_val.set_defaults(fn=cmd_validate_latency)
+
+    p_query = sub.add_parser("query", help="look up an architecture")
+    p_query.add_argument("arch", help="architecture string or integer index")
+    p_query.set_defaults(fn=cmd_query)
+
+    p_prox = sub.add_parser("proxies", help="evaluate all zero-cost proxies")
+    p_prox.add_argument("arch", help="architecture string or integer index")
+    p_prox.add_argument("--seed", type=int, default=0)
+    p_prox.add_argument("--fast", action="store_true")
+    p_prox.set_defaults(fn=cmd_proxies)
+
+    p_pareto = sub.add_parser("pareto",
+                              help="zero-shot quality/latency Pareto front")
+    p_pareto.add_argument("--device", default="nucleo-f746zg")
+    p_pareto.add_argument("--samples", type=int, default=32)
+    p_pareto.add_argument("--seed", type=int, default=0)
+    p_pareto.add_argument("--fast", action="store_true")
+    p_pareto.set_defaults(fn=cmd_pareto)
+
+    p_stats = sub.add_parser("space-stats",
+                             help="functional-redundancy census of the space")
+    p_stats.set_defaults(fn=cmd_space_stats)
+
+    p_dev = sub.add_parser("devices", help="list registered MCU boards")
+    p_dev.set_defaults(fn=cmd_devices)
+
+    p_deploy = sub.add_parser("deploy",
+                              help="full deployment assessment for one arch")
+    p_deploy.add_argument("arch", help="architecture string or integer index")
+    p_deploy.add_argument("--device", default="nucleo-f746zg")
+    p_deploy.set_defaults(fn=cmd_deploy)
+
+    p_macro = sub.add_parser("macro-search",
+                             help="secondary stage: fit a cell onto a board")
+    p_macro.add_argument("arch", help="architecture string or integer index")
+    p_macro.add_argument("--device", default="nucleo-f746zg")
+    p_macro.add_argument("--max-latency-ms", type=float, default=None)
+    p_macro.add_argument("--memory-margin", type=float, default=1.0)
+    p_macro.add_argument("--int8", action="store_true",
+                         help="plan an int8 deployment (default float32)")
+    p_macro.set_defaults(fn=cmd_macro_search)
+
+    p_plan = sub.add_parser("memplan", help="plan the static tensor arena")
+    p_plan.add_argument("arch", help="architecture string or integer index")
+    p_plan.add_argument("--int8", action="store_true")
+    p_plan.add_argument("--layout", action="store_true",
+                        help="also print the buffer layout")
+    p_plan.add_argument("--top", type=int, default=12)
+    p_plan.set_defaults(fn=cmd_memplan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

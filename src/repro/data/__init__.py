@@ -1,0 +1,12 @@
+"""Synthetic datasets standing in for CIFAR-10 / CIFAR-100 / ImageNet16-120.
+
+Zero-cost proxies only consume *input batches* (NTK additionally uses batch
+composition, not labels), so a seeded class-conditional generator with the
+right shapes and statistics exercises the same code paths as the real data.
+Dataset identity (difficulty, class count) enters the reproduction through
+the surrogate accuracy tables in :mod:`repro.benchdata`.
+"""
+
+from repro.data.synthetic import DatasetSpec, SyntheticImageDataset, get_dataset
+
+__all__ = ["DatasetSpec", "SyntheticImageDataset", "get_dataset"]

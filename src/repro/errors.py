@@ -1,0 +1,47 @@
+"""Exception hierarchy for the MicroNAS reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class.  Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AutogradError(ReproError):
+    """Raised for invalid automatic-differentiation operations."""
+
+
+class ShapeError(AutogradError):
+    """Raised when tensor shapes are incompatible for an operation."""
+
+
+class GenotypeError(ReproError):
+    """Raised for malformed architecture strings or invalid genotypes."""
+
+
+class SearchSpaceError(ReproError):
+    """Raised for invalid search-space configurations or indices."""
+
+
+class ProxyError(ReproError):
+    """Raised when a zero-cost proxy cannot be evaluated."""
+
+
+class HardwareModelError(ReproError):
+    """Raised for invalid hardware model configurations or LUT misses."""
+
+
+class ConstraintError(ReproError):
+    """Raised when a search constraint is infeasible or violated."""
+
+
+class SearchError(ReproError):
+    """Raised when a search algorithm reaches an invalid state."""
+
+
+class BenchmarkDataError(ReproError):
+    """Raised for invalid surrogate-benchmark queries."""

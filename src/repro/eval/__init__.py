@@ -1,0 +1,27 @@
+"""Evaluation utilities: rank correlations and experiment reporting."""
+
+from repro.eval.correlation import kendall_tau, pearson, spearman_rho
+from repro.eval.hypervolume import (
+    front_hypervolume,
+    hypervolume_2d,
+    hypervolume_ratio,
+)
+from repro.eval.report import (
+    ExperimentRecord,
+    agreement_summary,
+    render_markdown,
+    within_factor,
+)
+
+__all__ = [
+    "kendall_tau",
+    "pearson",
+    "spearman_rho",
+    "front_hypervolume",
+    "hypervolume_2d",
+    "hypervolume_ratio",
+    "ExperimentRecord",
+    "agreement_summary",
+    "render_markdown",
+    "within_factor",
+]

@@ -1,0 +1,42 @@
+"""Benchmark-scale configuration shared by the harnesses in ``benchmarks/``.
+
+Benchmarks regenerate every table/figure of the paper.  Because the proxy
+substrate is pure NumPy on CPU, they default to a *reduced* proxy scale
+that preserves all qualitative shapes; set the environment variable
+``REPRO_BENCH_SCALE=paper`` to run at the paper's exact operating point
+(NTK batch 32, wider proxy networks — several times slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.proxies.base import ProxyConfig
+
+
+def bench_scale() -> str:
+    """Current scale: ``"reduced"`` (default) or ``"paper"``."""
+    return os.environ.get("REPRO_BENCH_SCALE", "reduced")
+
+
+def search_proxy_config() -> ProxyConfig:
+    """Proxy configuration used inside search benchmarks."""
+    if bench_scale() == "paper":
+        return ProxyConfig()  # batch 32, 8 channels, 16x16 input
+    return ProxyConfig(init_channels=4, cells_per_stage=1, input_size=8,
+                       ntk_batch_size=16, lr_num_samples=64, lr_input_size=4,
+                       lr_channels=3, seed=0)
+
+
+def correlation_proxy_config() -> ProxyConfig:
+    """Proxy configuration for the Fig. 2 correlation studies."""
+    if bench_scale() == "paper":
+        return ProxyConfig()
+    return ProxyConfig(init_channels=6, cells_per_stage=1, input_size=8,
+                       ntk_batch_size=16, lr_num_samples=64, lr_input_size=4,
+                       lr_channels=3, seed=0)
+
+
+def num_correlation_archs() -> int:
+    """Architectures sampled for correlation studies (Fig. 2a/2b)."""
+    return 60 if bench_scale() == "paper" else 28

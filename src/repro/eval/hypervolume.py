@@ -1,0 +1,88 @@
+"""Exact 2-D hypervolume indicator for minimisation fronts.
+
+The standard scalar quality measure for a Pareto front: the area of
+objective space dominated by the front, bounded by a reference point that
+every front point must dominate.  Used to compare multi-objective search
+outcomes (e.g. the A11 zero-shot front across seeds or sample sizes) with
+one number instead of eyeballing curves.
+
+Only the two-objective case is implemented — exact, O(n log n) — because
+that is what the quality/latency front needs; a general N-D hypervolume
+is exponential and out of scope.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def hypervolume_2d(
+    points: Sequence[Tuple[float, float]],
+    reference: Tuple[float, float],
+) -> float:
+    """Dominated area between a minimisation front and ``reference``.
+
+    Points at or beyond the reference in any coordinate contribute
+    nothing.  Dominated (non-front) points are handled correctly — the
+    area is computed from the non-dominated subset.
+    """
+    ref_x, ref_y = reference
+    kept = [
+        (float(x), float(y))
+        for x, y in points
+        if x < ref_x and y < ref_y
+    ]
+    if not kept:
+        return 0.0
+    # Sort by x ascending; walk keeping the running best (lowest) y.
+    kept.sort()
+    area = 0.0
+    best_y = ref_y
+    for x, y in kept:
+        if y >= best_y:
+            continue  # dominated by an earlier (smaller-x) point
+        area += (ref_x - x) * (best_y - y)
+        best_y = y
+    return area
+
+
+def hypervolume_ratio(
+    points: Sequence[Tuple[float, float]],
+    reference: Tuple[float, float],
+    ideal: Tuple[float, float],
+) -> float:
+    """Hypervolume normalised by the ``ideal``-to-``reference`` box.
+
+    1.0 means the front collapses onto the ideal corner; 0.0 means
+    nothing dominates the reference.
+    """
+    ref_x, ref_y = reference
+    ideal_x, ideal_y = ideal
+    if not (ideal_x < ref_x and ideal_y < ref_y):
+        raise ReproError("ideal must strictly dominate the reference")
+    box = (ref_x - ideal_x) * (ref_y - ideal_y)
+    return hypervolume_2d(points, reference) / box
+
+
+def front_hypervolume(
+    latencies_ms: Sequence[float],
+    quality_ranks: Sequence[float],
+    reference: Tuple[float, float] = None,
+) -> float:
+    """Convenience wrapper for the A11 front's (latency, quality) axes.
+
+    The default reference is 10 % beyond the front's worst corner, the
+    usual convention when no external reference exists.
+    """
+    latencies = np.asarray(latencies_ms, dtype=float)
+    qualities = np.asarray(quality_ranks, dtype=float)
+    if latencies.shape != qualities.shape or latencies.size == 0:
+        raise ReproError("need equal-length, non-empty objective arrays")
+    if reference is None:
+        reference = (float(latencies.max() * 1.1),
+                     float(qualities.max() * 1.1 + 1e-9))
+    return hypervolume_2d(list(zip(latencies, qualities)), reference)

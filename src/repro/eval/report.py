@@ -1,0 +1,99 @@
+"""Structured paper-vs-measured experiment records and markdown rendering.
+
+EXPERIMENTS.md tracks, for every table and figure, what the paper reports
+and what this reproduction measures.  Benchmarks can emit
+:class:`ExperimentRecord` rows and render them with :func:`render_markdown`
+so the document never drifts from the measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+def within_factor(measured: float, expected: float, factor: float) -> bool:
+    """Whether two positive quantities agree within a multiplicative band.
+
+    ``within_factor(a, b, 2)`` is true when ``b/2 <= a <= 2b`` — the right
+    notion of agreement for quantities (latencies, speedups, search costs)
+    whose absolute scale depends on the substrate.
+    """
+    if factor < 1.0:
+        raise ValueError("factor must be >= 1")
+    if measured <= 0 or expected <= 0:
+        raise ValueError("within_factor compares positive quantities")
+    ratio = measured / expected
+    return 1.0 / factor <= ratio <= factor
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One paper-vs-measured comparison line.
+
+    ``paper_value`` is ``None`` for artifacts the paper reports only
+    qualitatively (e.g. "latency-guided beats FLOPs-guided").
+    """
+
+    experiment_id: str
+    artifact: str
+    metric: str
+    measured: float
+    paper: Optional[float] = None
+    unit: str = ""
+    agrees: Optional[bool] = None
+    note: str = ""
+
+    def verdict(self) -> str:
+        if self.agrees is None:
+            return "n/a"
+        return "yes" if self.agrees else "NO"
+
+    def _format(self, value: Optional[float]) -> str:
+        if value is None:
+            return "—"
+        if value == int(value) and abs(value) < 1e6:
+            return f"{int(value)}{(' ' + self.unit) if self.unit else ''}"
+        return f"{value:.3g}{(' ' + self.unit) if self.unit else ''}"
+
+    def markdown_row(self) -> str:
+        cells = (
+            self.experiment_id,
+            self.artifact,
+            self.metric,
+            self._format(self.paper),
+            self._format(self.measured),
+            self.verdict(),
+            self.note,
+        )
+        return "| " + " | ".join(str(c) for c in cells) + " |"
+
+
+_HEADER = (
+    "| id | artifact | metric | paper | measured | shape holds | note |\n"
+    "|---|---|---|---|---|---|---|"
+)
+
+
+def render_markdown(records: Sequence[ExperimentRecord],
+                    title: str = "") -> str:
+    """A complete markdown section for a list of records."""
+    lines: List[str] = []
+    if title:
+        lines.append(f"## {title}")
+        lines.append("")
+    lines.append(_HEADER)
+    lines.extend(record.markdown_row() for record in records)
+    return "\n".join(lines)
+
+
+def agreement_summary(records: Iterable[ExperimentRecord]) -> str:
+    """One line: how many checked shapes hold."""
+    all_records = list(records)
+    checked = [r for r in all_records if r.agrees is not None]
+    if not checked:
+        return "no checked shapes"
+    holding = sum(r.agrees for r in checked)
+    qualitative = len(all_records) - len(checked)
+    return (f"{holding}/{len(checked)} checked shapes hold "
+            f"({qualitative} qualitative rows)")

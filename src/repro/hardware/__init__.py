@@ -1,0 +1,123 @@
+"""MCU hardware modelling (Section II-B-2 of the paper).
+
+The paper profiles every candidate operation on an STM32 NUCLEO-F746ZG,
+stores the measurements in a lookup table, and estimates a network's
+latency as the sum of its layers' LUT entries plus a constant overhead.
+We reproduce that pipeline end-to-end:
+
+* :mod:`repro.hardware.device` — MCU descriptors (clock, SRAM, SIMD),
+* :mod:`repro.hardware.costmodel` — a cycle-level Cortex-M cost model that
+  plays the role of the physical board,
+* :mod:`repro.hardware.layers` — symbolic layer enumeration of a genotype's
+  deployment network,
+* :mod:`repro.hardware.profiler` — the simulated on-device profiler that
+  builds the latency LUT (with measurement jitter, median-of-N),
+* :mod:`repro.hardware.latency` — the LUT-composition estimator and the
+  whole-network ground truth it is validated against,
+* :mod:`repro.hardware.memory` — peak-SRAM / flash estimation (the paper's
+  §IV future-work extension),
+* :mod:`repro.hardware.memplan` — static tensor-arena planning (buffer
+  liveness + offset assignment, TFLite-Micro style),
+* :mod:`repro.hardware.quantize` — int8 post-training quantization.
+"""
+
+from repro.hardware.device import (
+    MCUDevice,
+    NUCLEO_F411RE,
+    NUCLEO_F746ZG,
+    NUCLEO_H743ZI,
+    NUCLEO_L432KC,
+    RP2040_PICO,
+    get_device,
+    known_devices,
+    register_device,
+)
+from repro.hardware.costmodel import CycleCostModel
+from repro.hardware.layers import LayerOp, network_layers
+from repro.hardware.profiler import LatencyLUT, OnDeviceProfiler
+from repro.hardware.latency import LatencyEstimator, measure_ground_truth_ms
+from repro.hardware.latency_models import (
+    FlopsProportionalModel,
+    LinearFeatureModel,
+    LUTModel,
+    ModelAccuracy,
+    compare_models,
+)
+from repro.hardware.deploy import DeploymentReport, deployment_report
+from repro.hardware.energy import (
+    EnergyEstimator,
+    EnergyReport,
+    PowerProfile,
+    power_profile,
+)
+from repro.hardware.graphopt import (
+    OptimizationStats,
+    optimization_stats,
+    optimized_network_layers,
+)
+from repro.hardware.int8_infer import (
+    ActivationObserver,
+    Int8InferenceReport,
+    StaticQuantizedModel,
+    calibrate,
+    int8_inference_report,
+    simulate_int8_inference,
+)
+from repro.hardware.memory import MemoryEstimator, MemoryReport
+from repro.hardware.memplan import (
+    ArenaReport,
+    BufferLifetime,
+    MemoryPlan,
+    arena_report,
+    liveness_lower_bound,
+    plan_memory,
+    tensor_lifetimes,
+)
+
+__all__ = [
+    "MCUDevice",
+    "NUCLEO_F746ZG",
+    "NUCLEO_F411RE",
+    "NUCLEO_H743ZI",
+    "NUCLEO_L432KC",
+    "RP2040_PICO",
+    "get_device",
+    "known_devices",
+    "register_device",
+    "CycleCostModel",
+    "LayerOp",
+    "network_layers",
+    "LatencyLUT",
+    "OnDeviceProfiler",
+    "LatencyEstimator",
+    "measure_ground_truth_ms",
+    "FlopsProportionalModel",
+    "LinearFeatureModel",
+    "LUTModel",
+    "ModelAccuracy",
+    "compare_models",
+    "MemoryEstimator",
+    "MemoryReport",
+    "DeploymentReport",
+    "deployment_report",
+    "EnergyEstimator",
+    "EnergyReport",
+    "PowerProfile",
+    "power_profile",
+    "OptimizationStats",
+    "optimization_stats",
+    "optimized_network_layers",
+    "ActivationObserver",
+    "Int8InferenceReport",
+    "StaticQuantizedModel",
+    "calibrate",
+    "int8_inference_report",
+    "simulate_int8_inference",
+    "ArenaReport",
+    "BufferLifetime",
+    "MemoryPlan",
+    "arena_report",
+    "liveness_lower_bound",
+    "plan_memory",
+    "tensor_lifetimes",
+]

@@ -1,0 +1,160 @@
+"""Cycle-level cost model of CNN kernels on Cortex-M MCUs.
+
+This model plays the role of the physical board in the reproduction: the
+simulated profiler "measures" it per-op to build the LUT, and whole-network
+runs of it provide the ground truth the LUT estimator is validated against.
+
+The structure follows CMSIS-NN-style float kernels:
+
+* convolutions run an im2col copy followed by a MAC inner loop whose
+  throughput depends on SIMD-lane utilisation (channel counts that are not
+  multiples of the device's ``simd_width`` waste lanes);
+* 1×1 convolutions skip im2col entirely — one source of the paper's
+  "MCU-specific bias" that makes latency-guided search differ from
+  FLOPs-guided search;
+* pooling and elementwise kernels are memory-bound (cycles per element);
+* layers whose working set exceeds the device's fast memory (DTCM/cache)
+  pay a spill penalty on their memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hardware.device import MCUDevice
+from repro.hardware.layers import LayerOp
+
+#: Bytes per activation/weight element (float32 deployment).
+ELEMENT_BYTES = 4
+
+
+#: Supported kernel precisions.
+PRECISIONS = ("float32", "int8")
+
+_PRECISION_BYTES = {"float32": 4, "int8": 1}
+
+
+@dataclass(frozen=True)
+class CycleCostModel:
+    """Deterministic kernel-cycle estimates for one device.
+
+    ``precision`` selects the kernel family: ``"float32"`` (the default,
+    matching the paper's deployments) or ``"int8"`` (CMSIS-NN quantized
+    kernels — cheaper MACs and quartered memory traffic, but each conv
+    output pays a requantization epilogue).
+    """
+
+    device: MCUDevice
+    precision: str = "float32"
+    im2col_cycles_per_element: float = 1.6
+    pool_cycles_per_element: float = 2.4
+    add_cycles_per_element: float = 1.0
+    copy_cycles_per_element: float = 0.75
+    relu_cycles_per_element: float = 0.5
+    gap_cycles_per_element: float = 1.2
+    requant_cycles_per_element: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.precision not in PRECISIONS:
+            raise HardwareModelError(
+                f"unknown precision {self.precision!r}; choose from {PRECISIONS}"
+            )
+
+    @property
+    def element_bytes(self) -> int:
+        """Bytes per activation/weight element at this precision."""
+        return _PRECISION_BYTES[self.precision]
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _simd_utilisation(self, channels: int) -> float:
+        """Fraction of MAC lanes doing useful work for this channel count."""
+        width = self.device.simd_width
+        if width <= 1:
+            return 1.0
+        full_groups, remainder = divmod(channels, width)
+        used = full_groups * width + remainder
+        allocated = (full_groups + (1 if remainder else 0)) * width
+        return used / allocated if allocated else 1.0
+
+    def _spill_factor(self, working_set_bytes: int) -> float:
+        """Multiplier on memory-bound work when the layer spills fast memory."""
+        if working_set_bytes <= self.device.fast_memory_bytes:
+            return 1.0
+        return 1.0 + self.device.spill_penalty
+
+    # ------------------------------------------------------------------
+    # Kernel costs
+    # ------------------------------------------------------------------
+    def layer_cycles(self, layer: LayerOp) -> float:
+        """Cycles for one kernel invocation (including layer overhead)."""
+        if layer.kind == "conv":
+            return self._conv_cycles(layer)
+        if layer.kind == "pool":
+            return self._elementwise(layer, self.pool_cycles_per_element * layer.kernel**2)
+        if layer.kind == "add":
+            return self._elementwise(layer, self.add_cycles_per_element)
+        if layer.kind == "copy":
+            return self._elementwise(layer, self.copy_cycles_per_element)
+        if layer.kind == "gap":
+            return self._elementwise(layer, self.gap_cycles_per_element)
+        if layer.kind == "linear":
+            macs = layer.macs
+            cycles = macs * self.device.mac_cycles(self.precision)
+            cycles += layer.out_elements * self._epilogue_cycles_per_element()
+            return cycles + self.device.layer_overhead_cycles
+        raise HardwareModelError(f"unknown layer kind {layer.kind!r}")
+
+    def _epilogue_cycles_per_element(self) -> float:
+        """Fused output-loop cost: ReLU/bias, plus requantization at int8."""
+        if self.precision == "int8":
+            return self.relu_cycles_per_element + self.requant_cycles_per_element
+        return self.relu_cycles_per_element
+
+    def _conv_cycles(self, layer: LayerOp) -> float:
+        macs = layer.macs
+        utilisation = self._simd_utilisation(layer.c_in)
+        mac_cycles = macs * self.device.mac_cycles(self.precision) / utilisation
+        # im2col patch assembly: only k>1 convolutions materialise patches.
+        if layer.kernel > 1:
+            patch_elements = layer.c_in * layer.kernel**2 * layer.height * layer.width
+            im2col = patch_elements * self.im2col_cycles_per_element
+        else:
+            im2col = 0.0
+        epilogue = layer.out_elements * self._epilogue_cycles_per_element()
+        in_elements = layer.c_in * (layer.height * layer.stride) * (layer.width * layer.stride)
+        weight_bytes = layer.c_in * layer.c_out * layer.kernel**2 * self.element_bytes
+        working_set = (in_elements + layer.out_elements) * self.element_bytes + weight_bytes
+        spill = self._spill_factor(working_set)
+        return (mac_cycles + im2col * spill + epilogue
+                + self.device.layer_overhead_cycles)
+
+    def _elementwise(self, layer: LayerOp, cycles_per_element: float) -> float:
+        elements = layer.out_elements
+        working_set = 2 * elements * self.element_bytes
+        spill = self._spill_factor(working_set)
+        return (elements * cycles_per_element * spill
+                + self.device.layer_overhead_cycles)
+
+    # ------------------------------------------------------------------
+    # Whole-network ground truth
+    # ------------------------------------------------------------------
+    def network_cycles(self, layers, include_transition_stalls: bool = True) -> float:
+        """Total cycles for a layer sequence.
+
+        ``include_transition_stalls`` adds the inter-layer cache-refill cost
+        (~2 % of each layer) that isolated per-op profiling cannot observe —
+        this is the structural error source of the LUT estimator.
+        """
+        total = 0.0
+        for layer in layers:
+            cycles = self.layer_cycles(layer)
+            if include_transition_stalls:
+                cycles *= 1.02
+            total += cycles
+        return total + self.device.network_overhead_cycles
+
+    def layer_ms(self, layer: LayerOp) -> float:
+        return self.device.cycles_to_ms(self.layer_cycles(layer))

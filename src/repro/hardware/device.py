@@ -1,0 +1,180 @@
+"""MCU device descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class MCUDevice:
+    """Static description of a microcontroller inference target.
+
+    The timing-relevant fields parameterise :class:`CycleCostModel`:
+
+    * ``cycles_per_mac`` — effective cycles per multiply-accumulate for a
+      well-utilised convolution inner loop (CMSIS-NN-style kernels),
+    * ``simd_width`` — MAC lanes per instruction; channel counts that are
+      not multiples of this waste lanes,
+    * ``layer_overhead_cycles`` — per-layer invocation cost (tensor
+      bookkeeping, function call, kernel dispatch),
+    * ``fast_memory_bytes`` — DTCM/cache working-set size; layers whose
+      working set spills beyond it pay ``spill_penalty`` extra cycles per
+      access-heavy operation.
+    """
+
+    name: str
+    core: str
+    clock_hz: float
+    sram_bytes: int
+    flash_bytes: int
+    cycles_per_mac: float = 1.2
+    simd_width: int = 2
+    layer_overhead_cycles: int = 6_000
+    network_overhead_cycles: int = 150_000
+    fast_memory_bytes: int = 64 * 1024
+    spill_penalty: float = 0.35
+    #: Effective cycles per MAC for int8 CMSIS-NN-style kernels (packed
+    #: SMLAD on DSP-extension cores; plain single-cycle integer multiply
+    #: on the M0+).  ``None`` falls back to half the float cost.
+    int8_cycles_per_mac: Optional[float] = None
+
+    def mac_cycles(self, precision: str = "float32") -> float:
+        """Cycles per multiply-accumulate at a given precision."""
+        if precision == "float32":
+            return self.cycles_per_mac
+        if precision == "int8":
+            if self.int8_cycles_per_mac is not None:
+                return self.int8_cycles_per_mac
+            return self.cycles_per_mac / 2.0
+        raise ValueError(f"unknown precision {precision!r}")
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count into milliseconds on this device."""
+        return 1e3 * cycles / self.clock_hz
+
+    def ms_to_cycles(self, ms: float) -> float:
+        return ms * self.clock_hz / 1e3
+
+
+#: The paper's evaluation board: STM32 NUCLEO-F746ZG (Cortex-M7 @ 216 MHz,
+#: 320 KB SRAM, 1 MB flash, 64 KB DTCM, dual-issue MAC).
+NUCLEO_F746ZG = MCUDevice(
+    name="nucleo-f746zg",
+    core="cortex-m7",
+    clock_hz=216e6,
+    sram_bytes=320 * 1024,
+    flash_bytes=1024 * 1024,
+    cycles_per_mac=1.2,
+    simd_width=2,
+    layer_overhead_cycles=6_000,
+    network_overhead_cycles=150_000,
+    fast_memory_bytes=64 * 1024,
+    spill_penalty=0.35,
+    int8_cycles_per_mac=0.6,
+)
+
+#: A weaker Cortex-M4 target used to exercise "other edge devices"
+#: (paper §IV): slower clock, no dual-issue MAC, smaller memories.
+NUCLEO_F411RE = MCUDevice(
+    name="nucleo-f411re",
+    core="cortex-m4",
+    clock_hz=100e6,
+    sram_bytes=128 * 1024,
+    flash_bytes=512 * 1024,
+    cycles_per_mac=1.9,
+    simd_width=1,
+    layer_overhead_cycles=8_000,
+    network_overhead_cycles=180_000,
+    fast_memory_bytes=16 * 1024,
+    spill_penalty=0.55,
+    int8_cycles_per_mac=1.0,
+)
+
+#: A high-end Cortex-M7: the F746ZG's bigger sibling (STM32H743 class).
+#: Twice the clock, large tightly-coupled memories, generous flash.
+NUCLEO_H743ZI = MCUDevice(
+    name="nucleo-h743zi",
+    core="cortex-m7",
+    clock_hz=480e6,
+    sram_bytes=1024 * 1024,
+    flash_bytes=2 * 1024 * 1024,
+    cycles_per_mac=1.1,
+    simd_width=2,
+    layer_overhead_cycles=5_000,
+    network_overhead_cycles=120_000,
+    fast_memory_bytes=128 * 1024,
+    spill_penalty=0.25,
+    int8_cycles_per_mac=0.55,
+)
+
+#: A low-power Cortex-M4 (STM32L432KC class): tiny memories, slow clock —
+#: the regime where the secondary-stage search has to shrink hard.
+NUCLEO_L432KC = MCUDevice(
+    name="nucleo-l432kc",
+    core="cortex-m4",
+    clock_hz=80e6,
+    sram_bytes=64 * 1024,
+    flash_bytes=256 * 1024,
+    cycles_per_mac=1.9,
+    simd_width=1,
+    layer_overhead_cycles=9_000,
+    network_overhead_cycles=200_000,
+    fast_memory_bytes=16 * 1024,
+    spill_penalty=0.55,
+    int8_cycles_per_mac=1.0,
+)
+
+#: A Cortex-M0+ (RP2040 class): no FPU, so float MACs run in software —
+#: an order of magnitude more cycles per MAC.  The extreme point of the
+#: paper's "other edge devices" generalisation.
+RP2040_PICO = MCUDevice(
+    name="rp2040-pico",
+    core="cortex-m0plus",
+    clock_hz=133e6,
+    sram_bytes=264 * 1024,
+    flash_bytes=2 * 1024 * 1024,
+    cycles_per_mac=16.0,
+    simd_width=1,
+    layer_overhead_cycles=12_000,
+    network_overhead_cycles=250_000,
+    fast_memory_bytes=264 * 1024,  # single flat SRAM: nothing spills
+    spill_penalty=0.0,
+    int8_cycles_per_mac=4.0,
+)
+
+_DEVICES: Dict[str, MCUDevice] = {
+    NUCLEO_F746ZG.name: NUCLEO_F746ZG,
+    NUCLEO_F411RE.name: NUCLEO_F411RE,
+    NUCLEO_H743ZI.name: NUCLEO_H743ZI,
+    NUCLEO_L432KC.name: NUCLEO_L432KC,
+    RP2040_PICO.name: RP2040_PICO,
+}
+
+
+def known_devices() -> Dict[str, MCUDevice]:
+    """Registry of built-in device descriptors (copy; safe to mutate)."""
+    return dict(_DEVICES)
+
+
+def get_device(name: str) -> MCUDevice:
+    """Look up a registered device by name."""
+    try:
+        return _DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; registered: {sorted(_DEVICES)}"
+        ) from None
+
+
+def register_device(device: MCUDevice, replace: bool = False) -> None:
+    """Add a user-defined board to the registry.
+
+    Refuses to overwrite an existing entry unless ``replace=True`` — the
+    registry is global state shared by CLI and benchmarks.
+    """
+    if device.name in _DEVICES and not replace:
+        raise ValueError(
+            f"device {device.name!r} already registered; pass replace=True"
+        )
+    _DEVICES[device.name] = device

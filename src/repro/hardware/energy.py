@@ -1,0 +1,150 @@
+"""Per-inference energy and battery-life estimation.
+
+The paper targets "low-power edge microcontroller units"; latency is its
+headline hardware indicator, but the quantity a battery-powered deployment
+ultimately pays is energy.  For MCUs the standard first-order model is
+
+    E_inference = P_active · t_inference + E_wake
+
+with the device otherwise asleep at ``P_sleep``.  Active power comes from
+the board's datasheet (core + SRAM at the modelled clock); latency comes
+from the package's LUT estimator, so the energy indicator inherits its
+accuracy and can guide search exactly like latency does (it is a
+monotone transform of latency per device, but *ranks differently across
+devices* — a faster core at higher power can lose on energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import HardwareModelError
+from repro.hardware.device import MCUDevice
+from repro.hardware.latency import LatencyEstimator
+from repro.searchspace.genotype import Genotype
+
+#: Datasheet-style active/sleep power figures (milliwatts) for the
+#: built-in boards at their modelled clocks.  Sources: STM32 and RP2040
+#: datasheet typical run-mode currents at 3.3 V (rounded).
+BOARD_POWER_MW: Dict[str, Dict[str, float]] = {
+    "nucleo-f746zg": {"active": 366.0, "sleep": 0.010, "wake_uj": 15.0},
+    "nucleo-f411re": {"active": 120.0, "sleep": 0.006, "wake_uj": 8.0},
+    "nucleo-h743zi": {"active": 710.0, "sleep": 0.012, "wake_uj": 20.0},
+    "nucleo-l432kc": {"active": 26.0, "sleep": 0.003, "wake_uj": 4.0},
+    "rp2040-pico": {"active": 90.0, "sleep": 0.005, "wake_uj": 6.0},
+}
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Electrical characteristics of one board."""
+
+    active_mw: float
+    sleep_mw: float
+    wake_uj: float  # energy to leave and re-enter sleep, microjoules
+
+    def __post_init__(self) -> None:
+        if self.active_mw <= 0 or self.sleep_mw < 0 or self.wake_uj < 0:
+            raise HardwareModelError("power figures must be non-negative "
+                                     "(active strictly positive)")
+
+
+def power_profile(device: MCUDevice) -> PowerProfile:
+    """The built-in power profile for a registered board."""
+    try:
+        figures = BOARD_POWER_MW[device.name]
+    except KeyError:
+        raise HardwareModelError(
+            f"no power profile for {device.name!r}; pass an explicit "
+            f"PowerProfile"
+        ) from None
+    return PowerProfile(active_mw=figures["active"],
+                        sleep_mw=figures["sleep"],
+                        wake_uj=figures["wake_uj"])
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy economics of one architecture on one board."""
+
+    arch_str: str
+    device_name: str
+    latency_ms: float
+    energy_per_inference_mj: float
+    duty_cycle_hz: float
+    average_power_mw: float
+    battery_days: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.arch_str[:40]} on {self.device_name}: "
+            f"{self.energy_per_inference_mj:.2f} mJ/inference, "
+            f"{self.average_power_mw:.2f} mW avg @ "
+            f"{self.duty_cycle_hz:g} Hz, "
+            f"~{self.battery_days:.0f} days on the reference cell"
+        )
+
+
+class EnergyEstimator:
+    """Energy-per-inference and duty-cycled battery life for one board.
+
+    ``battery_mwh`` defaults to a CR123A-class primary cell (~4500 mWh).
+    """
+
+    def __init__(
+        self,
+        device: MCUDevice,
+        estimator: Optional[LatencyEstimator] = None,
+        profile: Optional[PowerProfile] = None,
+        battery_mwh: float = 4500.0,
+    ) -> None:
+        if battery_mwh <= 0:
+            raise HardwareModelError("battery capacity must be positive")
+        self.device = device
+        self.estimator = estimator or LatencyEstimator(device)
+        self.profile = profile or power_profile(device)
+        self.battery_mwh = battery_mwh
+
+    # ------------------------------------------------------------------
+    def energy_per_inference_mj(self, genotype: Genotype) -> float:
+        """First-order active-energy cost of one inference."""
+        latency_s = self.estimator.estimate_ms(genotype) / 1e3
+        active_mj = self.profile.active_mw * latency_s
+        return active_mj + self.profile.wake_uj / 1e3
+
+    def average_power_mw(self, genotype: Genotype,
+                         duty_cycle_hz: float) -> float:
+        """Mean power when inferring ``duty_cycle_hz`` times per second."""
+        if duty_cycle_hz <= 0:
+            raise HardwareModelError("duty cycle must be positive")
+        latency_s = self.estimator.estimate_ms(genotype) / 1e3
+        period_s = 1.0 / duty_cycle_hz
+        if latency_s > period_s:
+            raise HardwareModelError(
+                f"inference ({latency_s * 1e3:.0f} ms) cannot sustain "
+                f"{duty_cycle_hz:g} Hz"
+            )
+        energy_mj = self.energy_per_inference_mj(genotype)
+        sleep_mj = self.profile.sleep_mw * (period_s - latency_s)
+        return (energy_mj + sleep_mj) / period_s
+
+    def battery_days(self, genotype: Genotype,
+                     duty_cycle_hz: float) -> float:
+        """Runtime on the configured battery at a fixed inference rate."""
+        power_mw = self.average_power_mw(genotype, duty_cycle_hz)
+        hours = self.battery_mwh / power_mw
+        return hours / 24.0
+
+    def report(self, genotype: Genotype,
+               duty_cycle_hz: float = 1.0) -> EnergyReport:
+        """Everything at once for one (architecture, duty cycle)."""
+        return EnergyReport(
+            arch_str=genotype.to_arch_str(),
+            device_name=self.device.name,
+            latency_ms=self.estimator.estimate_ms(genotype),
+            energy_per_inference_mj=self.energy_per_inference_mj(genotype),
+            duty_cycle_hz=duty_cycle_hz,
+            average_power_mw=self.average_power_mw(genotype, duty_cycle_hz),
+            battery_days=self.battery_days(genotype, duty_cycle_hz),
+        )

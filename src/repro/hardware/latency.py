@@ -1,0 +1,77 @@
+"""The paper's LUT-composition latency estimator (indicator ``L``).
+
+``estimate = Σ LUT[layer] + constant overhead`` over the deployment
+network's kernel sequence.  Validated against full-network "on-board"
+measurements in ``benchmarks/bench_latency_model_accuracy.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hardware.costmodel import CycleCostModel
+from repro.hardware.device import MCUDevice, NUCLEO_F746ZG
+from repro.hardware.layers import network_layers
+from repro.hardware.profiler import LatencyLUT, OnDeviceProfiler
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+
+
+class LatencyEstimator:
+    """Estimates MCU inference latency of any genotype from a profiled LUT.
+
+    Construction profiles the device once (building the LUT for the given
+    deployment macro config); estimates are then pure table composition and
+    are cached per genotype.
+    """
+
+    def __init__(
+        self,
+        device: MCUDevice = NUCLEO_F746ZG,
+        config: Optional[MacroConfig] = None,
+        profiler: Optional[OnDeviceProfiler] = None,
+        lut: Optional[LatencyLUT] = None,
+        precision: str = "float32",
+    ) -> None:
+        self.device = device
+        self.config = config or MacroConfig.full()
+        self.profiler = profiler or OnDeviceProfiler(device, precision=precision)
+        self.lut = lut if lut is not None else self.profiler.build_lut(self.config)
+        self._cache: Dict[int, float] = {}
+
+    @property
+    def precision(self) -> str:
+        """Kernel precision this estimator was profiled at."""
+        return self.profiler.precision
+
+    def estimate_ms(self, genotype: Genotype) -> float:
+        """Estimated single-image inference latency in milliseconds."""
+        index = genotype.to_index()
+        if index not in self._cache:
+            layers = network_layers(genotype, self.config)
+            total = sum(self.lut.lookup(layer) for layer in layers)
+            self._cache[index] = total + self.lut.network_overhead_ms
+        return self._cache[index]
+
+    def ground_truth_ms(self, genotype: Genotype) -> float:
+        """Full on-board measurement (validation reference, not cached)."""
+        return self.profiler.profile_network_ms(genotype, self.config)
+
+    def relative_error(self, genotype: Genotype) -> float:
+        """|estimate − measured| / measured for one architecture."""
+        truth = self.ground_truth_ms(genotype)
+        return abs(self.estimate_ms(genotype) - truth) / truth
+
+
+def measure_ground_truth_ms(
+    genotype: Genotype,
+    device: MCUDevice = NUCLEO_F746ZG,
+    config: Optional[MacroConfig] = None,
+    cost_model: Optional[CycleCostModel] = None,
+    precision: str = "float32",
+) -> float:
+    """Noise-free exact latency from the cycle model (analysis helper)."""
+    model = cost_model or CycleCostModel(device, precision=precision)
+    layers = network_layers(genotype, config or MacroConfig.full())
+    cycles = model.network_cycles(layers, include_transition_stalls=True)
+    return device.cycles_to_ms(cycles)

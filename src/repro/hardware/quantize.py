@@ -1,0 +1,130 @@
+"""Post-training int8 quantization (MCU deployment stage).
+
+NAS-Bench-201 cells at float32 cannot fit the F746ZG's 1 MB flash (see
+:mod:`repro.hardware.memory`); real MCU deployments quantize to int8.
+This module implements standard symmetric per-tensor post-training
+quantization:
+
+* :func:`quantize_array` / :func:`dequantize_array` — the affine codec,
+* :class:`QuantizedModule` — fake-quantized inference: weights are passed
+  through the int8 codec (so the arithmetic error is exactly the
+  deployment error) while activations stay float, matching per-layer
+  requantisation with generous activation scales,
+* :func:`quantization_report` — accuracy-style error metrics plus the
+  flash footprint the :class:`~repro.hardware.memory.MemoryEstimator`
+  assumes for ``element_bytes=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.errors import HardwareModelError
+from repro.nn.module import Module
+
+INT8_LEVELS = 127  # symmetric: [-127, 127]
+
+
+def quantization_scale(array: np.ndarray) -> float:
+    """Symmetric per-tensor scale mapping max |x| to 127."""
+    peak = float(np.abs(array).max())
+    if peak == 0.0:
+        return 1.0
+    return peak / INT8_LEVELS
+
+
+def quantize_array(array: np.ndarray, scale: float = None) -> Tuple[np.ndarray, float]:
+    """Quantize to int8 codes; returns (codes, scale)."""
+    if scale is None:
+        scale = quantization_scale(array)
+    if scale <= 0:
+        raise HardwareModelError("quantization scale must be positive")
+    codes = np.clip(np.round(array / scale), -INT8_LEVELS, INT8_LEVELS)
+    return codes.astype(np.int8), scale
+
+
+def dequantize_array(codes: np.ndarray, scale: float) -> np.ndarray:
+    """Reconstruct floats from int8 codes."""
+    return codes.astype(np.float64) * scale
+
+
+@dataclass
+class QuantizationReport:
+    """Weight-quantization error and deployment footprint."""
+
+    num_tensors: int
+    total_params: int
+    flash_bytes_int8: int
+    flash_bytes_float32: int
+    max_weight_error: float
+    mean_sqnr_db: float
+
+    @property
+    def compression(self) -> float:
+        return self.flash_bytes_float32 / self.flash_bytes_int8
+
+
+class QuantizedModule(Module):
+    """Wraps a float module with fake-quantized (int8) weights.
+
+    Every parameter is round-tripped through the int8 codec at
+    construction, so forward passes produce exactly the numerics an
+    int8-weight deployment would (activations in float — the common
+    weight-only quantization used by MCU toolchains for memory, with
+    activation scales wide enough not to clip).
+    """
+
+    def __init__(self, model: Module) -> None:
+        super().__init__()
+        self.model = model
+        self.scales: Dict[int, float] = {}
+        for p in model.parameters():
+            codes, scale = quantize_array(p.data)
+            p.data = dequantize_array(codes, scale)
+            self.scales[id(p)] = scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.model(x)
+
+
+def quantization_report(model: Module) -> QuantizationReport:
+    """Quantize a copy of every weight tensor and measure the damage."""
+    params = model.parameters()
+    if not params:
+        raise HardwareModelError("model has no parameters to quantize")
+    errors: List[float] = []
+    sqnrs: List[float] = []
+    total = 0
+    for p in params:
+        total += p.size
+        codes, scale = quantize_array(p.data)
+        recon = dequantize_array(codes, scale)
+        err = np.abs(recon - p.data)
+        errors.append(float(err.max()))
+        signal = float((p.data**2).mean())
+        noise = float(((recon - p.data) ** 2).mean())
+        if noise > 0 and signal > 0:
+            sqnrs.append(10.0 * np.log10(signal / noise))
+    return QuantizationReport(
+        num_tensors=len(params),
+        total_params=total,
+        flash_bytes_int8=total,
+        flash_bytes_float32=total * 4,
+        max_weight_error=max(errors),
+        mean_sqnr_db=float(np.mean(sqnrs)) if sqnrs else float("inf"),
+    )
+
+
+def quantized_logit_error(model: Module, quantized: Module,
+                          images: np.ndarray) -> float:
+    """Mean |logit difference| between float and int8-weight inference."""
+    model.train(False)
+    quantized.train(False)
+    with no_grad():
+        ref = model(Tensor(images)).data
+        quant = quantized(Tensor(images)).data
+    return float(np.abs(ref - quant).mean())

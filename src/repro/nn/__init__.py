@@ -1,0 +1,33 @@
+"""A small neural-network layer library built on :mod:`repro.autograd`.
+
+Provides the layers needed to realise NAS-Bench-201 architectures:
+convolutions, batch normalisation, ReLU, pooling, linear classifier heads
+and containers, with Kaiming/Xavier initialisers.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.container import Sequential, ModuleList
+from repro.nn.layers.activation import ReLU, Sigmoid, Tanh
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.pool import AvgPool2d, GlobalAvgPool2d
+from repro.nn.layers.shape import Flatten
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "init",
+]

@@ -1,0 +1,58 @@
+"""Weight initialisers.
+
+NTK-based proxies are evaluated at initialisation, so the initialisation
+scheme is part of the proxy definition: we follow TE-NAS and use Kaiming
+normal (fan-in, ReLU gain) for convolutions and linear layers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:  # Linear: (out, in)
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:  # Conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...], rng: SeedLike = None, gain: float = math.sqrt(2.0)
+) -> np.ndarray:
+    """He-normal initialisation (fan-in mode, ReLU gain by default)."""
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / math.sqrt(fan_in)
+    return new_rng(rng).normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...], rng: SeedLike = None, gain: float = math.sqrt(2.0)
+) -> np.ndarray:
+    """He-uniform initialisation (fan-in mode)."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return new_rng(rng).uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+    """Glorot-normal initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return new_rng(rng).normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

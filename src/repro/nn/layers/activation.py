@@ -1,0 +1,34 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor, functional as F
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit.
+
+    Optionally records the binary activation pattern of its last forward
+    pass; the linear-region proxy uses this to enumerate activation regions.
+    """
+
+    def __init__(self, record_pattern: bool = False) -> None:
+        super().__init__()
+        self.record_pattern = record_pattern
+        self.last_pattern = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.record_pattern:
+            self.last_pattern = x.data > 0.0
+        return F.relu(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)

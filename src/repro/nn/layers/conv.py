@@ -1,0 +1,53 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd import Tensor, functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike
+
+
+class Conv2d(Module):
+    """Square-kernel 2-D convolution over NCHW tensors.
+
+    The NAS-Bench-201 operator set only needs square kernels with symmetric
+    padding, so that is all this layer supports (enforced at construction).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = False,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng=rng), name="conv.weight")
+        self.bias: Optional[Parameter] = (
+            Parameter(init.zeros((out_channels,)), name="conv.bias") if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}"
+        )

@@ -1,0 +1,39 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor, functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` over the last axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_normal((out_features, in_features), rng=rng, gain=1.0),
+            name="linear.weight",
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="linear.bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.matmul(x, F.transpose(self.weight))
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return f"{self.in_features}, {self.out_features}"

@@ -1,0 +1,59 @@
+"""Batch normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over NCHW tensors.
+
+    In training mode normalisation uses batch statistics (and updates the
+    running estimates); in eval mode it uses the running estimates.  Zero-cost
+    proxies evaluate networks at initialisation in training mode, matching
+    the reference TE-NAS/NAS-Bench-201 setup.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1,
+                 affine: bool = True) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(num_features), name="bn.weight")
+            self.bias = Parameter(np.zeros(num_features), name="bn.bias")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+            inv_std = (var + self.eps) ** -0.5
+            normalised = centered * inv_std
+            batch_mean = mean.data.reshape(-1)
+            batch_var = var.data.reshape(-1)
+            self.running_mean += self.momentum * (batch_mean - self.running_mean)
+            self.running_var += self.momentum * (batch_var - self.running_var)
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+            normalised = (x - mean) * ((var + self.eps) ** -0.5)
+        if not self.affine:
+            return normalised
+        scale = F.reshape(self.weight, (1, self.num_features, 1, 1))
+        shift = F.reshape(self.bias, (1, self.num_features, 1, 1))
+        return normalised * scale + shift
+
+    def extra_repr(self) -> str:
+        return f"{self.num_features}, eps={self.eps}, affine={self.affine}"

@@ -1,0 +1,31 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd import Tensor, functional as F
+from repro.nn.module import Module
+
+
+class AvgPool2d(Module):
+    """Average pooling with square window."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial global average pooling: NCHW -> NC."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)

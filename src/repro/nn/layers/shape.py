@@ -1,0 +1,17 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor, functional as F
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch = x.shape[0]
+        features = 1
+        for dim in x.shape[1:]:
+            features *= dim
+        return F.reshape(x, (batch, features))

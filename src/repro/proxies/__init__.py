@@ -1,0 +1,40 @@
+"""Zero-cost performance indicators (Section II of the paper).
+
+* :mod:`repro.proxies.ntk` — neural tangent kernel spectrum / condition
+  numbers ``K_i`` (trainability),
+* :mod:`repro.proxies.linear_regions` — ReLU linear-region count
+  (expressivity),
+* :mod:`repro.proxies.flops` — analytic FLOPs and parameter counts
+  (hardware indicator ``F``),
+* :mod:`repro.proxies.ranking` — rank aggregation used to combine
+  indicators into the hybrid objective.
+"""
+
+from repro.proxies.base import ProxyConfig
+from repro.proxies.ntk import NtkResult, compute_ntk_gram, condition_numbers, ntk_condition_number
+from repro.proxies.linear_regions import count_linear_regions
+from repro.proxies.flops import count_flops, count_params
+from repro.proxies.ranking import rank_array, combine_ranks
+from repro.proxies.analysis import (
+    BatchSizeSweep,
+    ConditionNumberSweep,
+    batch_size_sweep,
+    condition_number_sweep,
+)
+
+__all__ = [
+    "ProxyConfig",
+    "BatchSizeSweep",
+    "ConditionNumberSweep",
+    "batch_size_sweep",
+    "condition_number_sweep",
+    "NtkResult",
+    "compute_ntk_gram",
+    "condition_numbers",
+    "ntk_condition_number",
+    "count_linear_regions",
+    "count_flops",
+    "count_params",
+    "rank_array",
+    "combine_ranks",
+]

@@ -1,0 +1,158 @@
+"""The paper's Fig. 2 analyses as a reusable library API.
+
+Figure 2 of the paper justifies two design choices empirically:
+
+* **Fig. 2a** — which NTK condition-number definition ``K_i = λ_1/λ_i``
+  correlates best with accuracy (per dataset),
+* **Fig. 2b** — which NTK batch size to pay for (Kendall-τ rises to a
+  knee at 16–32, then flattens while cost keeps growing).
+
+The benchmarks regenerate the figures; this module exposes the same
+sweeps programmatically so downstream users can re-run them on their own
+architecture samples, datasets or proxy scales, and query the
+recommendations (best eigen-index, smallest near-optimal batch size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.benchdata.surrogate import SurrogateModel
+from repro.errors import ProxyError
+from repro.eval.correlation import kendall_tau
+from repro.proxies.base import ProxyConfig
+from repro.proxies.ntk import ntk_spectrum
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.space import NasBench201Space
+
+
+def _sample_spectra(
+    genotypes: Sequence[Genotype],
+    config: ProxyConfig,
+) -> np.ndarray:
+    """NTK eigenvalue matrix: one descending spectrum row per genotype."""
+    spectra = []
+    for genotype in genotypes:
+        result = ntk_spectrum(genotype, config)
+        spectra.append(result.eigenvalues)
+    return np.array(spectra)
+
+
+@dataclass(frozen=True)
+class ConditionNumberSweep:
+    """Fig. 2a data: Kendall-τ of ``K_i`` vs accuracy, per dataset."""
+
+    indices: Tuple[int, ...]
+    taus: Dict[str, Tuple[float, ...]] = field(default_factory=dict)
+
+    def best_index(self, dataset: str) -> int:
+        """The eigen-index whose condition number ranks accuracy best."""
+        values = self.taus[dataset]
+        return self.indices[int(np.argmax(values))]
+
+    def tau(self, dataset: str, index: int) -> float:
+        return self.taus[dataset][self.indices.index(index)]
+
+
+def condition_number_sweep(
+    config: ProxyConfig,
+    num_archs: int = 24,
+    datasets: Sequence[str] = ("cifar10", "cifar100", "imagenet16-120"),
+    max_index: Optional[int] = None,
+    seed: int = 0,
+    space: Optional[NasBench201Space] = None,
+) -> ConditionNumberSweep:
+    """Regenerate Fig. 2a on a fresh architecture sample.
+
+    ``K_i = λ_1 / λ_i`` is computed from each architecture's NTK spectrum
+    (one spectrum per arch, shared across datasets — the NTK input batch
+    is label-free); accuracy comes from the surrogate benchmark per
+    dataset.  Lower κ means more trainable, so τ is computed against
+    ``-K_i``.
+    """
+    if num_archs < 3:
+        raise ProxyError("need at least three architectures for a sweep")
+    surrogate = SurrogateModel()
+    genotypes = (space or NasBench201Space()).sample(num_archs, rng=seed)
+    spectra = _sample_spectra(genotypes, config)
+    limit = max_index or spectra.shape[1]
+    limit = min(limit, spectra.shape[1])
+    indices = tuple(range(1, limit + 1))
+    taus: Dict[str, Tuple[float, ...]] = {}
+    for dataset in datasets:
+        accuracies = np.array(
+            [surrogate.mean_accuracy(g, dataset) for g in genotypes]
+        )
+        row = []
+        for i in indices:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                k_i = spectra[:, 0] / spectra[:, i - 1]
+            k_i[~np.isfinite(k_i)] = 1e30
+            row.append(kendall_tau(-k_i, accuracies))
+        taus[dataset] = tuple(row)
+    return ConditionNumberSweep(indices=indices, taus=taus)
+
+
+@dataclass(frozen=True)
+class BatchSizeSweep:
+    """Fig. 2b data: Kendall-τ of κ vs accuracy per NTK batch size."""
+
+    batch_sizes: Tuple[int, ...]
+    taus_per_trial: Tuple[Tuple[float, ...], ...]  # [trial][batch index]
+
+    @property
+    def average(self) -> Tuple[float, ...]:
+        return tuple(np.mean(self.taus_per_trial, axis=0))
+
+    def recommended_batch_size(self, tolerance: float = 0.05) -> int:
+        """Smallest batch whose average τ is within ``tolerance`` of the best.
+
+        This is the paper's cost argument: beyond the knee, bigger batches
+        "significantly escalate search costs" without buying correlation.
+        """
+        avg = np.array(self.average)
+        best = avg.max()
+        for batch, tau in zip(self.batch_sizes, avg):
+            if tau >= best - tolerance:
+                return batch
+        return self.batch_sizes[-1]
+
+
+def batch_size_sweep(
+    config: ProxyConfig,
+    batch_sizes: Sequence[int] = (4, 8, 16, 32, 64),
+    num_archs: int = 24,
+    num_trials: int = 3,
+    dataset: str = "cifar10",
+    seed: int = 0,
+    space: Optional[NasBench201Space] = None,
+) -> BatchSizeSweep:
+    """Regenerate Fig. 2b: τ vs batch size over ``num_trials`` seeds."""
+    if not batch_sizes:
+        raise ProxyError("need at least one batch size")
+    if num_trials < 1:
+        raise ProxyError("need at least one trial")
+    surrogate = SurrogateModel()
+    genotypes = (space or NasBench201Space()).sample(num_archs, rng=seed)
+    accuracies = np.array(
+        [surrogate.mean_accuracy(g, dataset) for g in genotypes]
+    )
+    trials: List[Tuple[float, ...]] = []
+    for trial in range(num_trials):
+        row = []
+        for batch in batch_sizes:
+            trial_config = config.with_batch_size(batch).with_seed(
+                config.seed + 1000 * trial)
+            kappas = []
+            for genotype in genotypes:
+                spectrum = ntk_spectrum(genotype, trial_config).eigenvalues
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    kappa = spectrum[0] / spectrum[-1]
+                kappas.append(kappa if np.isfinite(kappa) else 1e30)
+            row.append(kendall_tau(-np.array(kappas), accuracies))
+        trials.append(tuple(row))
+    return BatchSizeSweep(batch_sizes=tuple(batch_sizes),
+                          taus_per_trial=tuple(trials))

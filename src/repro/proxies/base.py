@@ -1,0 +1,61 @@
+"""Shared configuration for proxy evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.searchspace.network import MacroConfig
+
+
+@dataclass(frozen=True)
+class ProxyConfig:
+    """How zero-cost indicators are measured.
+
+    The paper (following TE-NAS) evaluates indicators on a *reduced* network:
+    fewer cells per stage and narrower channels than the deployment network,
+    with a small input resolution.  ``ntk_batch_size=32`` is the paper's
+    recommended operating point (Fig. 2b).
+    """
+
+    init_channels: int = 8
+    cells_per_stage: int = 1
+    input_size: int = 16
+    num_classes: int = 10
+    ntk_batch_size: int = 32
+    lr_num_samples: int = 96
+    lr_input_size: int = 6
+    lr_channels: int = 4
+    lr_num_cells: int = 1
+    repeats: int = 1
+    seed: int = 0
+
+    def macro_config(self, num_classes: int = None) -> MacroConfig:
+        """The reduced macro skeleton proxies are measured on."""
+        return MacroConfig(
+            init_channels=self.init_channels,
+            cells_per_stage=self.cells_per_stage,
+            num_classes=num_classes if num_classes is not None else self.num_classes,
+            input_channels=3,
+            image_size=self.input_size,
+        )
+
+    def with_batch_size(self, batch_size: int) -> "ProxyConfig":
+        return replace(self, ntk_batch_size=batch_size)
+
+    def with_seed(self, seed: int) -> "ProxyConfig":
+        return replace(self, seed=seed)
+
+
+def resize_batch(images: np.ndarray, target_size: int) -> np.ndarray:
+    """Nearest-neighbour resize of an NCHW batch to ``target_size``.
+
+    Proxy networks use small inputs; dataset batches may come at the native
+    resolution (e.g. 32×32 CIFAR), so we subsample/replicate as needed.
+    """
+    size = images.shape[-1]
+    if size == target_size:
+        return images
+    idx = (np.arange(target_size) * size) // target_size
+    return images[:, :, idx][:, :, :, idx]

@@ -1,0 +1,236 @@
+"""Neural tangent kernel spectrum proxy (Section II-A-1).
+
+The empirical NTK of a network ``f`` with parameters ``θ`` over a batch
+``x_1..x_B`` is the Gram matrix::
+
+    Θ[i, j] = < ∂ f(x_i)/∂θ , ∂ f(x_j)/∂θ >
+
+where ``f(x_i)`` is the summed logit of sample ``i`` (TE-NAS convention).
+The paper's trainability indicator is the condition number of Θ, and
+Fig. 2a studies the family ``K_i = λ_max / λ_(i-th smallest)``; ``K_1`` is
+the classic condition number.  Lower is better (more trainable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.errors import ProxyError
+from repro.nn.module import Module
+from repro.proxies.base import ProxyConfig, resize_batch
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import build_network
+from repro.utils.rng import SeedLike, new_rng, stable_seed
+
+#: Eigenvalues below this threshold are treated as numerically zero.
+_EIG_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class NtkResult:
+    """Spectrum of one empirical NTK evaluation."""
+
+    eigenvalues: np.ndarray  # descending order
+    batch_size: int
+
+    @property
+    def condition_number(self) -> float:
+        """Classic κ = λ_max / λ_min (``K_1``); ∞ for singular kernels."""
+        return self.k(1)
+
+    def k(self, index: int) -> float:
+        """``K_i = λ_max / λ_(i-th smallest)`` for ``index`` in 1..B."""
+        if not 1 <= index <= self.eigenvalues.size:
+            raise ProxyError(
+                f"K index {index} outside [1, {self.eigenvalues.size}]"
+            )
+        lam_max = float(self.eigenvalues[0])
+        lam_i = float(self.eigenvalues[-index])
+        if lam_max <= _EIG_EPS:
+            return float("inf")
+        if lam_i <= _EIG_EPS:
+            return float("inf")
+        return lam_max / lam_i
+
+
+def _freeze_batch_stats(network: Module, images: np.ndarray) -> None:
+    """Set every BatchNorm's running statistics to this batch's statistics.
+
+    One forward pass with momentum temporarily forced to 1.0 makes the
+    running estimates equal the batch estimates; the network is then put in
+    eval mode so subsequent per-sample passes normalise consistently.
+    """
+    from repro.autograd import no_grad
+    from repro.nn.layers.norm import BatchNorm2d
+
+    bns = [m for m in network.modules() if isinstance(m, BatchNorm2d)]
+    saved = [bn.momentum for bn in bns]
+    for bn in bns:
+        bn.momentum = 1.0
+    network.train(True)
+    with no_grad():
+        network(Tensor(images))
+    for bn, momentum in zip(bns, saved):
+        bn.momentum = momentum
+    network.train(False)
+
+
+def _collect_param_grads(params) -> np.ndarray:
+    return np.concatenate(
+        [
+            (p.grad if p.grad is not None else np.zeros_like(p.data)).reshape(-1)
+            for p in params
+        ]
+    )
+
+
+def compute_ntk_gram(
+    network: Module, images: np.ndarray, coupled: bool = False
+) -> np.ndarray:
+    """Compute the empirical NTK Gram matrix over an NCHW batch.
+
+    Two modes:
+
+    * ``coupled=False`` (default, fast): BatchNorm statistics are frozen to
+      this batch's statistics, then each sample gets its own batch-size-1
+      forward/backward pass.  This treats the normalisation constants as
+      fixed w.r.t. the other samples — the standard frozen-BN NTK.
+    * ``coupled=True`` (exact TE-NAS semantics): one batched forward in
+      training mode, then one backward per sample with a one-hot output
+      seed, so gradients include the cross-sample BatchNorm coupling.
+      ~B× slower; kept for validation.
+
+    Both modes return the (B, B) Gram of per-sample summed-logit gradients.
+    """
+    batch_size = images.shape[0]
+    params = network.parameters()
+    if not params:
+        raise ProxyError("network has no parameters; NTK undefined")
+
+    if coupled:
+        network.train(True)
+        output = network(Tensor(images))
+        if output.ndim != 2:
+            raise ProxyError(f"expected (batch, classes) logits, got {output.shape}")
+        jacobian = np.empty((batch_size, sum(p.size for p in params)))
+        seed = np.zeros_like(output.data)
+        for i in range(batch_size):
+            output.clear_tape_grads()
+            seed[...] = 0.0
+            seed[i, :] = 1.0
+            output.backward(seed)
+            jacobian[i] = _collect_param_grads(params)
+        output.clear_tape_grads()
+        return jacobian @ jacobian.T
+
+    _freeze_batch_stats(network, images)
+    jacobian = np.empty((batch_size, sum(p.size for p in params)))
+    for i in range(batch_size):
+        for p in params:
+            p.zero_grad()
+        output = network(Tensor(images[i : i + 1]))
+        if output.ndim != 2:
+            raise ProxyError(f"expected (batch, classes) logits, got {output.shape}")
+        output.backward(np.ones_like(output.data))
+        jacobian[i] = _collect_param_grads(params)
+        output.clear_tape_grads()
+    return jacobian @ jacobian.T
+
+
+def ntk_spectrum(
+    genotype: Genotype,
+    config: Optional[ProxyConfig] = None,
+    images: Optional[np.ndarray] = None,
+    rng: SeedLike = None,
+) -> NtkResult:
+    """Build the reduced proxy network for ``genotype`` and measure its NTK.
+
+    ``images`` may be supplied (e.g. from a dataset); otherwise a standard
+    normal batch is drawn.  Network initialisation is seeded from the
+    config seed and the genotype so results are deterministic.
+    """
+    config = config or ProxyConfig()
+    generator = new_rng(
+        rng if rng is not None else stable_seed("ntk", config.seed, genotype.to_index())
+    )
+    if images is None:
+        images = generator.normal(
+            size=(config.ntk_batch_size, 3, config.input_size, config.input_size)
+        )
+    else:
+        images = resize_batch(images, config.input_size)
+    network = build_network(genotype, config.macro_config(), rng=generator)
+    gram = compute_ntk_gram(network, images)
+    eigenvalues = np.linalg.eigvalsh(gram)[::-1].copy()
+    return NtkResult(eigenvalues=eigenvalues, batch_size=images.shape[0])
+
+
+def ntk_condition_number(
+    genotype: Genotype,
+    config: Optional[ProxyConfig] = None,
+    images: Optional[np.ndarray] = None,
+    rng: SeedLike = None,
+    k_index: int = 1,
+) -> float:
+    """Condition number ``K_{k_index}`` of the genotype's proxy NTK.
+
+    Averages over ``config.repeats`` independent initialisations when
+    ``repeats > 1`` (infinite values propagate: an untrainable repeat marks
+    the architecture untrainable).
+    """
+    config = config or ProxyConfig()
+    values = []
+    for repeat in range(config.repeats):
+        rep_rng = new_rng(
+            stable_seed("ntk", config.seed, repeat, genotype.to_index())
+            if rng is None
+            else rng
+        )
+        result = ntk_spectrum(genotype, config, images=images, rng=rep_rng)
+        values.append(result.k(k_index))
+    return float(np.mean(values))
+
+
+def condition_numbers(gram: np.ndarray, max_index: int) -> np.ndarray:
+    """``K_1..K_max_index`` from a Gram matrix (see :meth:`NtkResult.k`)."""
+    eigenvalues = np.linalg.eigvalsh(gram)[::-1]
+    result = NtkResult(eigenvalues=eigenvalues, batch_size=gram.shape[0])
+    return np.array([result.k(i) for i in range(1, max_index + 1)])
+
+
+def supernet_ntk_condition_number(
+    edge_specs,
+    config: Optional[ProxyConfig] = None,
+    rng: SeedLike = None,
+    k_index: int = 1,
+) -> float:
+    """NTK condition number of a pruning-supernet state.
+
+    Builds the reduced supernet for the given alive-op sets and measures
+    ``K_{k_index}`` exactly as for concrete genotypes.
+    """
+    from repro.searchspace.network import build_supernet
+
+    config = config or ProxyConfig()
+    values = []
+    for repeat in range(config.repeats):
+        # Seed from the config only (NOT the alive-op sets): every candidate
+        # pruning evaluated under one seed shares supernet weights and the
+        # input batch, so score differences isolate the removed op.
+        generator = new_rng(
+            stable_seed("ntk-super", config.seed, repeat)
+            if rng is None
+            else rng
+        )
+        images = generator.normal(
+            size=(config.ntk_batch_size, 3, config.input_size, config.input_size)
+        )
+        network = build_supernet(edge_specs, config.macro_config(), rng=generator)
+        gram = compute_ntk_gram(network, images)
+        eigenvalues = np.linalg.eigvalsh(gram)[::-1].copy()
+        values.append(NtkResult(eigenvalues, images.shape[0]).k(k_index))
+    return float(np.mean(values))

@@ -1,0 +1,65 @@
+"""Rank aggregation for combining heterogeneous indicators.
+
+The hybrid objective compares candidates by *relative rank* per indicator
+(as in TE-NAS), which sidesteps scale differences between condition
+numbers, region counts, FLOPs and milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ProxyError
+
+
+def rank_array(values: Sequence[float], higher_is_better: bool) -> np.ndarray:
+    """Dense competition ranks (0 = best).
+
+    Infinities are legal and rank worst/best as appropriate; NaNs are
+    rejected.  Ties share a rank (mean rank of the tied block).
+    """
+    arr = np.asarray(values, dtype=float)
+    if np.isnan(arr).any():
+        raise ProxyError("cannot rank NaN values")
+    signed = -arr if higher_is_better else arr
+    order = np.argsort(signed, kind="stable")
+    ranks = np.empty(arr.size, dtype=float)
+    ranks[order] = np.arange(arr.size, dtype=float)
+    # Average ranks within tied groups for stability.
+    sorted_vals = signed[order]
+    start = 0
+    for end in range(1, arr.size + 1):
+        if end == arr.size or sorted_vals[end] != sorted_vals[start]:
+            mean_rank = (start + end - 1) / 2.0
+            ranks[order[start:end]] = mean_rank
+            start = end
+    return ranks
+
+
+def combine_ranks(
+    indicator_values: Dict[str, Sequence[float]],
+    directions: Dict[str, bool],
+    weights: Dict[str, float] = None,
+) -> np.ndarray:
+    """Weighted sum of per-indicator ranks (lower combined rank = better).
+
+    ``directions[name]`` is True when larger raw values are better.
+    Missing weights default to 1.0.
+    """
+    if not indicator_values:
+        raise ProxyError("no indicators to combine")
+    weights = weights or {}
+    lengths = {len(v) for v in indicator_values.values()}
+    if len(lengths) != 1:
+        raise ProxyError(f"indicator lengths differ: {lengths}")
+    combined = np.zeros(lengths.pop(), dtype=float)
+    for name, values in indicator_values.items():
+        if name not in directions:
+            raise ProxyError(f"missing direction for indicator {name!r}")
+        weight = float(weights.get(name, 1.0))
+        if weight == 0.0:
+            continue
+        combined += weight * rank_array(values, higher_is_better=directions[name])
+    return combined

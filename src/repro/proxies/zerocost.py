@@ -1,0 +1,220 @@
+"""Additional zero-cost proxies from the literature.
+
+MicroNAS's hybrid objective uses the NTK condition number and the
+linear-region count.  The zero-shot NAS literature the paper builds on
+(TE-NAS, Zen-NAS, NASWOT, zero-cost-proxies) offers several alternatives;
+we implement the standard suite so the objective ablation can compare
+against them:
+
+* :func:`grad_norm_score` — L2 norm of the loss gradient (Abdelfattah et
+  al., 2021),
+* :func:`snip_score` — connection sensitivity Σ|w · ∂L/∂w| (Lee et al.,
+  2019),
+* :func:`synflow_score` — synaptic flow Σ w · ∂R/∂w with all-positive
+  weights and an all-ones input (Tanaka et al., 2020),
+* :func:`fisher_score` — empirical Fisher information Σ(∂L/∂w)²,
+* :func:`jacob_cov_score` — per-sample input-Jacobian correlation score
+  (Mellor et al., 2021 variant),
+* :func:`naswot_score` — log-determinant of the ReLU activation-pattern
+  Hamming kernel (NASWOT).
+
+All are **higher-is-better** except where noted in :data:`PROXY_REGISTRY`.
+Each proxy builds the same reduced network the NTK proxy uses, so scores
+are directly comparable in ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, NamedTuple, Optional
+
+import numpy as np
+
+from repro.autograd import Tensor, cross_entropy, no_grad
+from repro.errors import ProxyError
+from repro.nn.layers.activation import ReLU
+from repro.nn.module import Module
+from repro.proxies.base import ProxyConfig
+from repro.proxies.linear_regions import count_line_regions
+from repro.proxies.ntk import ntk_condition_number
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import build_network
+from repro.utils.rng import SeedLike, new_rng, stable_seed
+
+
+def _build(genotype: Genotype, config: ProxyConfig, seed_tag: str,
+           rng: SeedLike = None, record_patterns: bool = False):
+    generator = new_rng(
+        rng if rng is not None
+        else stable_seed(seed_tag, config.seed, genotype.to_index())
+    )
+    network = build_network(genotype, config.macro_config(), rng=generator,
+                            record_patterns=record_patterns)
+    images = generator.normal(
+        size=(config.ntk_batch_size, 3, config.input_size, config.input_size)
+    )
+    labels = np.arange(config.ntk_batch_size) % config.num_classes
+    return network, images, labels
+
+
+def _loss_gradients(network: Module, images: np.ndarray,
+                    labels: np.ndarray) -> None:
+    """Populate parameter gradients of the cross-entropy loss."""
+    network.train(True)
+    network.zero_grad()
+    logits = network(Tensor(images))
+    loss = cross_entropy(logits, labels)
+    loss.backward()
+
+
+def grad_norm_score(genotype: Genotype, config: Optional[ProxyConfig] = None,
+                    rng: SeedLike = None) -> float:
+    """L2 norm of the loss gradient at initialisation (higher = better)."""
+    config = config or ProxyConfig()
+    network, images, labels = _build(genotype, config, "gradnorm", rng)
+    _loss_gradients(network, images, labels)
+    total = 0.0
+    for p in network.parameters():
+        if p.grad is not None:
+            total += float((p.grad**2).sum())
+    return total**0.5
+
+
+def snip_score(genotype: Genotype, config: Optional[ProxyConfig] = None,
+               rng: SeedLike = None) -> float:
+    """Connection sensitivity Σ|w · ∂L/∂w| (higher = better)."""
+    config = config or ProxyConfig()
+    network, images, labels = _build(genotype, config, "snip", rng)
+    _loss_gradients(network, images, labels)
+    total = 0.0
+    for p in network.parameters():
+        if p.grad is not None:
+            total += float(np.abs(p.data * p.grad).sum())
+    return total
+
+
+def fisher_score(genotype: Genotype, config: Optional[ProxyConfig] = None,
+                 rng: SeedLike = None) -> float:
+    """Diagonal empirical Fisher information Σ(∂L/∂w)² (higher = better)."""
+    config = config or ProxyConfig()
+    network, images, labels = _build(genotype, config, "fisher", rng)
+    _loss_gradients(network, images, labels)
+    total = 0.0
+    for p in network.parameters():
+        if p.grad is not None:
+            total += float((p.grad**2).sum())
+    return total
+
+
+def synflow_score(genotype: Genotype, config: Optional[ProxyConfig] = None,
+                  rng: SeedLike = None) -> float:
+    """Synaptic flow: Σ w · ∂R/∂w with |w| weights and an all-ones input.
+
+    BatchNorm is put in eval mode with unit statistics so the network is a
+    positive linear map, as the SynFlow construction requires.
+    """
+    config = config or ProxyConfig()
+    network, _, _ = _build(genotype, config, "synflow", rng)
+    # Linearise: absolute weights, neutral BatchNorm.
+    from repro.nn.layers.norm import BatchNorm2d
+
+    saved = []
+    for p in network.parameters():
+        saved.append(p.data.copy())
+        p.data = np.abs(p.data)
+    for m in network.modules():
+        if isinstance(m, BatchNorm2d):
+            m.running_mean[...] = 0.0
+            m.running_var[...] = 1.0
+    network.train(False)
+    network.zero_grad()
+    ones = np.ones((1, 3, config.input_size, config.input_size))
+    output = network(Tensor(ones))
+    output.sum().backward()
+    total = 0.0
+    for p, original in zip(network.parameters(), saved):
+        if p.grad is not None:
+            total += float(np.abs(p.data * p.grad).sum())
+        p.data = original
+    return total
+
+
+def jacob_cov_score(genotype: Genotype, config: Optional[ProxyConfig] = None,
+                    rng: SeedLike = None) -> float:
+    """Input-Jacobian correlation score (higher = better).
+
+    Per-sample gradients of the summed logits w.r.t. the *input* are
+    correlated across the batch; diverse responses (correlation matrix
+    close to identity) indicate expressive networks.
+    """
+    config = config or ProxyConfig()
+    network, images, _ = _build(genotype, config, "jacobcov", rng)
+    network.train(True)
+    x = Tensor(images, requires_grad=True)
+    output = network(x)
+    output.sum().backward()
+    if x.grad is None:
+        raise ProxyError("input gradient missing")
+    jac = x.grad.reshape(images.shape[0], -1)
+    stds = jac.std(axis=1)
+    if np.any(stds < 1e-12):
+        return -1e9  # degenerate (disconnected) network
+    corr = np.corrcoef(jac)
+    eigenvalues = np.linalg.eigvalsh(corr)
+    k = 1e-5
+    return float(-np.sum(np.log(eigenvalues + k) + 1.0 / (eigenvalues + k)))
+
+
+def naswot_score(genotype: Genotype, config: Optional[ProxyConfig] = None,
+                 rng: SeedLike = None) -> float:
+    """NASWOT: log|K_H| of the ReLU-pattern Hamming kernel (higher = better)."""
+    config = config or ProxyConfig()
+    network, images, _ = _build(genotype, config, "naswot", rng,
+                                record_patterns=True)
+    relus = [m for m in network.modules() if isinstance(m, ReLU)]
+    for relu in relus:
+        relu.record_pattern = True
+        relu.last_pattern = None
+    network.train(True)
+    with no_grad():
+        network(Tensor(images))
+    batch = images.shape[0]
+    parts = [r.last_pattern.reshape(batch, -1) for r in relus
+             if r.last_pattern is not None]
+    if not parts:
+        raise ProxyError("network has no ReLU units")
+    patterns = np.concatenate(parts, axis=1).astype(np.float64)
+    num_units = patterns.shape[1]
+    agreement = patterns @ patterns.T + (1 - patterns) @ (1 - patterns).T
+    sign, logdet = np.linalg.slogdet(agreement / num_units + 1e-6 * np.eye(batch))
+    return float(logdet) if sign > 0 else -1e9
+
+
+class ProxySpec(NamedTuple):
+    """A registered proxy: callable + rank direction."""
+
+    fn: Callable[..., float]
+    higher_is_better: bool
+
+
+#: Registry of every zero-cost proxy, including the paper's two.
+PROXY_REGISTRY: Dict[str, ProxySpec] = {
+    "ntk": ProxySpec(ntk_condition_number, higher_is_better=False),
+    "linear_regions": ProxySpec(count_line_regions, higher_is_better=True),
+    "grad_norm": ProxySpec(grad_norm_score, higher_is_better=True),
+    "snip": ProxySpec(snip_score, higher_is_better=True),
+    "fisher": ProxySpec(fisher_score, higher_is_better=True),
+    "synflow": ProxySpec(synflow_score, higher_is_better=True),
+    "jacob_cov": ProxySpec(jacob_cov_score, higher_is_better=True),
+    "naswot": ProxySpec(naswot_score, higher_is_better=True),
+}
+
+
+def evaluate_proxy(name: str, genotype: Genotype,
+                   config: Optional[ProxyConfig] = None,
+                   rng: SeedLike = None) -> float:
+    """Evaluate a registered proxy by name."""
+    if name not in PROXY_REGISTRY:
+        raise ProxyError(
+            f"unknown proxy {name!r}; registered: {sorted(PROXY_REGISTRY)}"
+        )
+    return PROXY_REGISTRY[name].fn(genotype, config, rng=rng)

@@ -1,0 +1,63 @@
+"""Search algorithms (Section II of the paper).
+
+* :class:`MicroNASSearch` — the paper's hardware-aware pruning-based
+  search over the supernet, driven by the hybrid objective (NTK + linear
+  regions + FLOPs/latency indicators with tunable weights), with outer-loop
+  weight adaptation under hard constraints,
+* :class:`TENASSearch` — the TE-NAS baseline (same pruning, no hardware
+  indicators),
+* :class:`ZeroShotRandomSearch` — sample-and-rank baseline under the same
+  proxy budget,
+* :class:`ConstrainedEvolutionarySearch` — the µNAS-style train-based
+  baseline (aging evolution; every candidate pays simulated training time),
+* :class:`MacroStageSearch` — the secondary stage: fit the discovered cell
+  onto a device by searching cells-per-stage and channel width.
+"""
+
+from repro.search.objective import HybridObjective, ObjectiveWeights
+from repro.search.constraints import HardwareConstraints
+from repro.search.result import SearchResult
+from repro.search.pruning import MicroNASSearch
+from repro.search.tenas import TENASSearch
+from repro.search.random_search import ZeroShotRandomSearch
+from repro.search.evolutionary import ConstrainedEvolutionarySearch, EvolutionConfig
+from repro.search.pareto import (
+    ParetoPoint,
+    ParetoResult,
+    ParetoZeroShotSearch,
+    crowding_distance,
+    dominates,
+    non_dominated_sort,
+)
+from repro.search.macro import (
+    DeploymentPlan,
+    MacroCandidate,
+    MacroSearchSpace,
+    MacroStageSearch,
+    device_constraints,
+    plan_deployment,
+)
+
+__all__ = [
+    "HybridObjective",
+    "ObjectiveWeights",
+    "HardwareConstraints",
+    "SearchResult",
+    "MicroNASSearch",
+    "TENASSearch",
+    "ZeroShotRandomSearch",
+    "ConstrainedEvolutionarySearch",
+    "EvolutionConfig",
+    "DeploymentPlan",
+    "MacroCandidate",
+    "MacroSearchSpace",
+    "MacroStageSearch",
+    "device_constraints",
+    "plan_deployment",
+    "ParetoPoint",
+    "ParetoResult",
+    "ParetoZeroShotSearch",
+    "crowding_distance",
+    "dominates",
+    "non_dominated_sort",
+]

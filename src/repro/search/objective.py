@@ -1,0 +1,219 @@
+"""The hybrid objective function (paper contribution #2).
+
+Combines the two trainless indicators with the two hardware indicators by
+*relative ranking*: every candidate in a comparison batch is ranked per
+indicator, and ranks are summed with tunable weights::
+
+    score = rank(κ_NTK; ↓) + rank(LR; ↑) + w_F · rank(F; ↓) + w_L · rank(L; ↓)
+
+Lower combined score is better.  ``w_F``/``w_L`` are the paper's "tunable
+weight factors for precise control over the contributions of F and L".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.latency import LatencyEstimator
+from repro.hardware.layers import op_layer
+from repro.proxies.base import ProxyConfig
+from repro.proxies.flops import count_flops
+from repro.proxies.linear_regions import count_line_regions, supernet_line_regions
+from repro.proxies.ntk import ntk_condition_number, supernet_ntk_condition_number
+from repro.proxies.ranking import combine_ranks
+from repro.searchspace.cell import EdgeSpec
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.searchspace.ops import EDGES, NUM_NODES, op_flops
+from repro.utils.timing import CostLedger, Timer
+
+#: A large-but-finite stand-in for infinite condition numbers so ranking
+#: never sees NaN/inf arithmetic surprises.
+_INF_SENTINEL = 1e30
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """Relative importance of each indicator in the combined rank."""
+
+    ntk: float = 1.0
+    linear_regions: float = 1.0
+    flops: float = 0.0
+    latency: float = 0.0
+
+    def scaled_hardware(self, factor: float) -> "ObjectiveWeights":
+        """Multiply both hardware weights (constraint adaptation step)."""
+        return replace(self, flops=self.flops * factor,
+                       latency=self.latency * factor)
+
+    @property
+    def uses_flops(self) -> bool:
+        return self.flops > 0.0
+
+    @property
+    def uses_latency(self) -> bool:
+        return self.latency > 0.0
+
+
+#: Rank directions: True = higher raw value is better.
+_DIRECTIONS = {
+    "ntk": False,
+    "linear_regions": True,
+    "flops": False,
+    "latency": False,
+}
+
+
+class HybridObjective:
+    """Evaluates and rank-combines indicators for genotypes and supernets."""
+
+    def __init__(
+        self,
+        proxy_config: Optional[ProxyConfig] = None,
+        weights: Optional[ObjectiveWeights] = None,
+        macro_config: Optional[MacroConfig] = None,
+        latency_estimator: Optional[LatencyEstimator] = None,
+        ledger: Optional[CostLedger] = None,
+    ) -> None:
+        self.proxy_config = proxy_config or ProxyConfig()
+        self.weights = weights or ObjectiveWeights()
+        self.macro_config = macro_config or MacroConfig.full()
+        self._latency_estimator = latency_estimator
+        self.ledger = ledger if ledger is not None else CostLedger()
+
+    # ------------------------------------------------------------------
+    @property
+    def latency_estimator(self) -> LatencyEstimator:
+        """Lazily profiled latency estimator (built on first use)."""
+        if self._latency_estimator is None:
+            self._latency_estimator = LatencyEstimator(config=self.macro_config)
+        return self._latency_estimator
+
+    def with_weights(self, weights: ObjectiveWeights) -> "HybridObjective":
+        """Same estimators and ledger, different indicator weights."""
+        clone = HybridObjective(
+            proxy_config=self.proxy_config,
+            weights=weights,
+            macro_config=self.macro_config,
+            latency_estimator=self._latency_estimator,
+            ledger=self.ledger,
+        )
+        return clone
+
+    # ------------------------------------------------------------------
+    # Genotype-level indicators
+    # ------------------------------------------------------------------
+    def genotype_indicators(self, genotype: Genotype) -> Dict[str, float]:
+        """All four raw indicator values for a concrete architecture."""
+        out: Dict[str, float] = {}
+        with Timer() as t_ntk:
+            out["ntk"] = ntk_condition_number(genotype, self.proxy_config)
+        self.ledger.add("ntk_eval", t_ntk.elapsed)
+        with Timer() as t_lr:
+            out["linear_regions"] = count_line_regions(genotype, self.proxy_config)
+        self.ledger.add("lr_eval", t_lr.elapsed)
+        out["flops"] = float(count_flops(genotype, self.macro_config))
+        if self.weights.uses_latency:
+            with Timer() as t_lat:
+                out["latency"] = self.latency_estimator.estimate_ms(genotype)
+            self.ledger.add("latency_eval", t_lat.elapsed)
+        else:
+            out["latency"] = 0.0
+        return out
+
+    # ------------------------------------------------------------------
+    # Supernet-level indicators (for the pruning search)
+    # ------------------------------------------------------------------
+    def supernet_indicators(self, edge_specs: Sequence[EdgeSpec]) -> Dict[str, float]:
+        """Indicator values for a supernet state (alive-op sets)."""
+        out: Dict[str, float] = {}
+        with Timer() as t_ntk:
+            out["ntk"] = supernet_ntk_condition_number(edge_specs, self.proxy_config)
+        self.ledger.add("ntk_eval", t_ntk.elapsed)
+        edge_op_sets = [spec.alive_ops for spec in edge_specs]
+        with Timer() as t_lr:
+            out["linear_regions"] = supernet_line_regions(edge_op_sets, self.proxy_config)
+        self.ledger.add("lr_eval", t_lr.elapsed)
+        out["flops"] = self.expected_flops(edge_specs)
+        if self.weights.uses_latency:
+            out["latency"] = self.expected_latency_ms(edge_specs)
+        else:
+            out["latency"] = 0.0
+        return out
+
+    def expected_flops(self, edge_specs: Sequence[EdgeSpec]) -> float:
+        """Expected deployment FLOPs under a uniform op choice per edge."""
+        config = self.macro_config
+        total = float(count_flops(Genotype(("none",) * 6), config))  # fixed parts
+        for c, s in zip(config.stage_channels, config.stage_sizes):
+            per_cell = 0.0
+            for spec in edge_specs:
+                if not spec.alive_ops:
+                    continue
+                per_cell += np.mean([op_flops(op, c, s, s) for op in spec.alive_ops])
+            total += config.cells_per_stage * per_cell
+        return total
+
+    def expected_latency_ms(self, edge_specs: Sequence[EdgeSpec]) -> float:
+        """Expected deployment latency under a uniform op choice per edge.
+
+        Fixed parts (stem, reductions, head, constant overhead) come from
+        the empty-cell network; per-edge terms average the LUT latency of
+        each alive op; node-add kernels are included in expectation via the
+        probability that each edge is active (non-``none``).
+        """
+        estimator = self.latency_estimator
+        config = self.macro_config
+        total = estimator.estimate_ms(Genotype(("none",) * 6))
+        lut = estimator.lut
+        for c, s in zip(config.stage_channels, config.stage_sizes):
+            per_cell = 0.0
+            active_prob = [0.0] * len(EDGES)
+            for spec in edge_specs:
+                if not spec.alive_ops:
+                    continue
+                entries = []
+                for op in spec.alive_ops:
+                    layer = op_layer(op, c, s)
+                    entries.append(0.0 if layer is None else lut.lookup(layer))
+                per_cell += float(np.mean(entries))
+                active_prob[spec.edge_index] = np.mean(
+                    [op != "none" for op in spec.alive_ops]
+                )
+            add_ms = lut.entries.get(("add", c, c, s, s, 1, 1), 0.0)
+            for node in range(1, NUM_NODES):
+                expected_in = sum(
+                    active_prob[idx] for idx, (_, dst) in enumerate(EDGES) if dst == node
+                )
+                per_cell += max(0.0, expected_in - 1.0) * add_ms
+            total += config.cells_per_stage * per_cell
+        return total
+
+    # ------------------------------------------------------------------
+    # Rank combination
+    # ------------------------------------------------------------------
+    def combined_ranks(self, indicator_rows: List[Dict[str, float]]) -> np.ndarray:
+        """Weighted rank sum across a comparison batch (lower = better)."""
+        names = ["ntk", "linear_regions"]
+        weights = {"ntk": self.weights.ntk,
+                   "linear_regions": self.weights.linear_regions}
+        if self.weights.uses_flops:
+            names.append("flops")
+            weights["flops"] = self.weights.flops
+        if self.weights.uses_latency:
+            names.append("latency")
+            weights["latency"] = self.weights.latency
+        columns = {}
+        for name in names:
+            raw = np.array([row[name] for row in indicator_rows], dtype=float)
+            raw[~np.isfinite(raw)] = _INF_SENTINEL
+            columns[name] = raw
+        return combine_ranks(columns, _DIRECTIONS, weights)
+
+    def score_genotypes(self, genotypes: Sequence[Genotype]) -> np.ndarray:
+        """Combined rank score for a batch of architectures."""
+        rows = [self.genotype_indicators(g) for g in genotypes]
+        return self.combined_ranks(rows)

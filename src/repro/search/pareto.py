@@ -1,0 +1,222 @@
+"""Multi-objective zero-shot search: the accuracy/latency Pareto front.
+
+MicroNAS scalarises its objectives with tunable weights (``w_F``,
+``w_L``); picking those weights *is* picking a point on the quality/
+latency trade-off curve.  This module exposes the whole curve instead:
+rank a zero-shot architecture sample by non-dominated sorting (NSGA-II's
+fronts + crowding distance, without the genetic loop — the proxies are
+cheap enough to score a sample directly) over
+
+* **trainless quality** — the rank-combined NTK + linear-region score
+  (lower is better, exactly the hybrid objective's trainless part),
+* **estimated MCU latency** (lower is better),
+* optionally **FLOPs**.
+
+The deliverable is the first front plus a knee point, which a user can
+hand to the secondary stage (:mod:`repro.search.macro`) per deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.search.objective import HybridObjective, ObjectiveWeights
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.space import NasBench201Space
+from repro.utils.timing import Timer
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Pareto dominance for minimisation: a <= b everywhere, < somewhere."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise SearchError("objective vectors must have equal length")
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def non_dominated_sort(points: np.ndarray) -> List[List[int]]:
+    """NSGA-II fast non-dominated sort (minimisation).
+
+    Returns fronts as lists of row indices; front 0 is the Pareto set.
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = np.zeros(n, dtype=int)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(points[i], points[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(points[j], points[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    fronts: List[List[int]] = []
+    current = [i for i in range(n) if domination_count[i] == 0]
+    while current:
+        fronts.append(current)
+        nxt: List[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        current = nxt
+    return fronts
+
+
+def crowding_distance(points: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance within one front (larger = lonelier)."""
+    points = np.asarray(points, dtype=float)
+    n, m = points.shape
+    distance = np.zeros(n)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for k in range(m):
+        order = np.argsort(points[:, k])
+        spread = points[order[-1], k] - points[order[0], k]
+        distance[order[0]] = distance[order[-1]] = np.inf
+        if spread == 0:
+            continue
+        for pos in range(1, n - 1):
+            gap = points[order[pos + 1], k] - points[order[pos - 1], k]
+            distance[order[pos]] += gap / spread
+    return distance
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One architecture with its objective vector."""
+
+    genotype: Genotype
+    quality_rank: float      # trainless combined rank (lower = better)
+    latency_ms: float
+    flops: float
+    crowding: float = field(default=0.0, compare=False)
+
+    def objectives(self, use_flops: bool) -> Tuple[float, ...]:
+        if use_flops:
+            return (self.quality_rank, self.latency_ms, self.flops)
+        return (self.quality_rank, self.latency_ms)
+
+
+@dataclass
+class ParetoResult:
+    """The discovered front plus bookkeeping."""
+
+    front: List[ParetoPoint]
+    population_size: int
+    wall_seconds: float
+    num_fronts: int
+
+    def knee_point(self) -> ParetoPoint:
+        """The balanced pick: minimal normalised distance to the ideal.
+
+        Both objectives are min-max normalised over the front; the knee is
+        the point closest (L2) to the utopian corner (0, 0).
+        """
+        if not self.front:
+            raise SearchError("empty Pareto front")
+        quality = np.array([p.quality_rank for p in self.front])
+        latency = np.array([p.latency_ms for p in self.front])
+
+        def normalise(values: np.ndarray) -> np.ndarray:
+            spread = values.max() - values.min()
+            if spread == 0:
+                return np.zeros_like(values)
+            return (values - values.min()) / spread
+
+        distance = np.hypot(normalise(quality), normalise(latency))
+        return self.front[int(np.argmin(distance))]
+
+    def fastest(self) -> ParetoPoint:
+        return min(self.front, key=lambda p: p.latency_ms)
+
+    def best_quality(self) -> ParetoPoint:
+        return min(self.front, key=lambda p: p.quality_rank)
+
+
+class ParetoZeroShotSearch:
+    """Score a sample with the trainless proxies; return the Pareto front.
+
+    ``include_flops=True`` adds FLOPs as a third objective (useful when
+    the deployment board is undecided and latency is board-specific).
+    """
+
+    algorithm_name = "pareto-zeroshot"
+
+    def __init__(
+        self,
+        objective: HybridObjective,
+        num_samples: int = 64,
+        seed: int = 0,
+        include_flops: bool = False,
+        space: Optional[NasBench201Space] = None,
+    ) -> None:
+        if num_samples < 2:
+            raise SearchError("need at least two samples")
+        self.objective = objective
+        self.num_samples = num_samples
+        self.seed = seed
+        self.include_flops = include_flops
+        self.space = space or NasBench201Space()
+
+    # ------------------------------------------------------------------
+    def _score_population(
+        self, genotypes: Sequence[Genotype]
+    ) -> List[ParetoPoint]:
+        rows: List[Dict[str, float]] = []
+        for genotype in genotypes:
+            indicators = self.objective.genotype_indicators(genotype)
+            rows.append(indicators)
+        # Quality is the *trainless* part only (NTK + linear regions);
+        # hardware enters as its own objective axis, not via the weights.
+        trainless = self.objective.with_weights(ObjectiveWeights())
+        quality = trainless.combined_ranks(rows)
+        points = []
+        estimator = self.objective.latency_estimator
+        for genotype, row, q in zip(genotypes, rows, quality):
+            latency = row["latency"]
+            if latency == 0.0:  # objective was built without a latency term
+                latency = estimator.estimate_ms(genotype)
+            points.append(ParetoPoint(
+                genotype=genotype,
+                quality_rank=float(q),
+                latency_ms=float(latency),
+                flops=float(row["flops"]),
+            ))
+        return points
+
+    def search(self) -> ParetoResult:
+        """Sample, score, sort; return the first front (crowding-annotated)."""
+        genotypes = self.space.sample(self.num_samples, rng=self.seed)
+        with Timer() as timer:
+            points = self._score_population(genotypes)
+            vectors = np.array(
+                [p.objectives(self.include_flops) for p in points]
+            )
+            fronts = non_dominated_sort(vectors)
+            first = fronts[0]
+            crowd = crowding_distance(vectors[first])
+            front = [
+                ParetoPoint(
+                    genotype=points[idx].genotype,
+                    quality_rank=points[idx].quality_rank,
+                    latency_ms=points[idx].latency_ms,
+                    flops=points[idx].flops,
+                    crowding=float(c),
+                )
+                for idx, c in zip(first, crowd)
+            ]
+        front.sort(key=lambda p: p.latency_ms)
+        return ParetoResult(
+            front=front,
+            population_size=self.num_samples,
+            wall_seconds=timer.elapsed,
+            num_fronts=len(fronts),
+        )

@@ -1,0 +1,55 @@
+"""The NAS-Bench-201 cell search space.
+
+A cell is a directed acyclic graph with 4 nodes; each of the 6 edges carries
+one of 5 candidate operations.  An architecture is one operation assignment
+per edge (5^6 = 15,625 architectures).  Cells are stacked into the standard
+NAS-Bench-201 macro skeleton: stem -> N cells -> reduction -> N cells ->
+reduction -> N cells -> global pool -> classifier.
+"""
+
+from repro.searchspace.ops import (
+    CANDIDATE_OPS,
+    NUM_EDGES,
+    NUM_NODES,
+    OP_INDEX,
+    build_op,
+    op_is_parametric,
+)
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.cell import Cell, EdgeSpec, SuperCell
+from repro.searchspace.network import MacroConfig, NasBench201Network, build_network
+from repro.searchspace.features import TopologyFeatures, extract_features
+from repro.searchspace.space import NasBench201Space
+from repro.searchspace.stats import (
+    SpaceStatistics,
+    canonical_census,
+    class_of,
+    op_histogram,
+    space_statistics,
+    unique_sample,
+)
+
+__all__ = [
+    "CANDIDATE_OPS",
+    "NUM_EDGES",
+    "NUM_NODES",
+    "OP_INDEX",
+    "build_op",
+    "op_is_parametric",
+    "Genotype",
+    "Cell",
+    "EdgeSpec",
+    "SuperCell",
+    "MacroConfig",
+    "NasBench201Network",
+    "build_network",
+    "TopologyFeatures",
+    "extract_features",
+    "NasBench201Space",
+    "SpaceStatistics",
+    "canonical_census",
+    "class_of",
+    "op_histogram",
+    "space_statistics",
+    "unique_sample",
+]

@@ -1,0 +1,58 @@
+"""Functional canonicalisation of genotypes.
+
+Many NAS-Bench-201 genotypes realise the *same function*: an operation on
+an edge that cannot reach the cell output (or cannot be reached from the
+input) never executes meaningfully.  The canonical form replaces every
+such dead edge with ``none``, which
+
+* deduplicates functionally-equivalent architectures in search traces,
+* matches what an optimising deployment runtime would actually compile
+  (the latency layer walker already skips ``none`` edges, but a dead
+  *conv* edge would otherwise be billed).
+
+The surrogate accuracy model is path-based, so canonically-equal genotypes
+receive identical quality scores — a property the tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+import networkx as nx
+
+from repro.searchspace.features import cell_graph
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.ops import EDGES
+
+
+def live_edges(genotype: Genotype) -> Set[int]:
+    """Indices of edges on some input→output path of non-``none`` ops."""
+    graph = cell_graph(genotype)
+    reaches_from_input = set(nx.descendants(graph, 0)) | {0}
+    reaches_output = set(nx.ancestors(graph, 3)) | {3}
+    alive: Set[int] = set()
+    for edge_idx, (src, dst) in enumerate(EDGES):
+        if genotype.ops[edge_idx] == "none":
+            continue
+        if src in reaches_from_input and dst in reaches_output:
+            alive.add(edge_idx)
+    return alive
+
+
+def canonicalize(genotype: Genotype) -> Genotype:
+    """Replace every dead edge's operation with ``none``."""
+    alive = live_edges(genotype)
+    ops = tuple(
+        op if idx in alive else "none" for idx, op in enumerate(genotype.ops)
+    )
+    return Genotype(ops)
+
+
+def is_canonical(genotype: Genotype) -> bool:
+    """Whether the genotype equals its canonical form."""
+    return canonicalize(genotype) == genotype
+
+
+def functionally_equal(a: Genotype, b: Genotype) -> bool:
+    """Whether two genotypes realise the same cell function structurally."""
+    return canonicalize(a) == canonicalize(b)

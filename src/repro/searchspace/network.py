@@ -1,0 +1,170 @@
+"""The NAS-Bench-201 macro skeleton and network builders.
+
+Layout (for ``MacroConfig(init_channels=C, cells_per_stage=N)``)::
+
+    stem: 3x3 conv (3 -> C) + BN
+    stage 1: N cells @ C
+    reduction residual block (stride 2, C -> 2C)
+    stage 2: N cells @ 2C
+    reduction residual block (stride 2, 2C -> 4C)
+    stage 3: N cells @ 4C
+    BN-ReLU -> global average pool -> linear classifier
+
+The proxies run on a *reduced* configuration (fewer cells, narrower, small
+input) exactly as TE-NAS does; the hardware indicators are computed on the
+full deployment configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.autograd import Tensor
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ModuleList,
+    ReLU,
+    Sequential,
+)
+from repro.searchspace.cell import Cell, EdgeSpec, SuperCell
+from repro.searchspace.genotype import Genotype
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class MacroConfig:
+    """Macro-skeleton hyper-parameters.
+
+    ``full()`` matches the NAS-Bench-201 training configuration; ``proxy()``
+    is the reduced network the zero-cost indicators are measured on.
+    """
+
+    init_channels: int = 16
+    cells_per_stage: int = 5
+    num_classes: int = 10
+    input_channels: int = 3
+    image_size: int = 32
+
+    @classmethod
+    def full(cls, num_classes: int = 10, image_size: int = 32) -> "MacroConfig":
+        return cls(16, 5, num_classes, 3, image_size)
+
+    @classmethod
+    def proxy(cls, num_classes: int = 10) -> "MacroConfig":
+        return cls(init_channels=8, cells_per_stage=1, num_classes=num_classes,
+                   input_channels=3, image_size=16)
+
+    @property
+    def stage_channels(self) -> Tuple[int, int, int]:
+        c = self.init_channels
+        return (c, 2 * c, 4 * c)
+
+    @property
+    def stage_sizes(self) -> Tuple[int, int, int]:
+        s = self.image_size
+        return (s, s // 2, s // 4)
+
+
+class ReductionBlock(Module):
+    """NAS-Bench-201 inter-stage residual block (stride 2, doubles width)."""
+
+    def __init__(self, in_channels: int, out_channels: int, rng: SeedLike = None) -> None:
+        super().__init__()
+        generator = new_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.main = Sequential(
+            ReLU(),
+            Conv2d(in_channels, out_channels, 3, stride=2, padding=1, rng=generator),
+            BatchNorm2d(out_channels),
+            ReLU(),
+            Conv2d(out_channels, out_channels, 3, stride=1, padding=1, rng=generator),
+            BatchNorm2d(out_channels),
+        )
+        self.shortcut = Sequential(
+            AvgPool2d(2, stride=2),
+            Conv2d(in_channels, out_channels, 1, stride=1, padding=0, rng=generator),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.main(x) + self.shortcut(x)
+
+
+class NasBench201Network(Module):
+    """A complete network realising one genotype (or a supernet state)."""
+
+    def __init__(
+        self,
+        config: MacroConfig,
+        cell_factory: Callable[[int], Module],
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        generator = new_rng(rng)
+        c1, c2, c3 = config.stage_channels
+        self.stem = Sequential(
+            Conv2d(config.input_channels, c1, 3, stride=1, padding=1, rng=generator),
+            BatchNorm2d(c1),
+        )
+        body: List[Module] = []
+        for stage_idx, channels in enumerate((c1, c2, c3)):
+            if stage_idx > 0:
+                body.append(ReductionBlock(channels // 2, channels, rng=generator))
+            for _ in range(config.cells_per_stage):
+                body.append(cell_factory(channels))
+        self.body = ModuleList(body)
+        self.lastact = Sequential(BatchNorm2d(c3), ReLU())
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(c3, config.num_classes, rng=generator)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        for block in self.body:
+            out = block(out)
+        out = self.lastact(out)
+        out = self.pool(out)
+        return self.classifier(out)
+
+    def cells(self) -> List[Module]:
+        """The cell modules in network order (excludes reduction blocks)."""
+        return [m for m in self.body if isinstance(m, (Cell, SuperCell))]
+
+
+def build_network(
+    genotype: Genotype,
+    config: Optional[MacroConfig] = None,
+    rng: SeedLike = None,
+    record_patterns: bool = False,
+) -> NasBench201Network:
+    """Build a full network for a concrete architecture."""
+    config = config or MacroConfig.full()
+    generator = new_rng(rng)
+
+    def factory(channels: int) -> Module:
+        return Cell(genotype, channels, rng=generator, record_patterns=record_patterns)
+
+    return NasBench201Network(config, factory, rng=generator)
+
+
+def build_supernet(
+    edge_specs: Sequence[EdgeSpec],
+    config: Optional[MacroConfig] = None,
+    rng: SeedLike = None,
+    record_patterns: bool = False,
+) -> NasBench201Network:
+    """Build a network whose cells carry the given alive-op sets."""
+    config = config or MacroConfig.proxy()
+    generator = new_rng(rng)
+
+    def factory(channels: int) -> Module:
+        return SuperCell(edge_specs, channels, rng=generator,
+                         record_patterns=record_patterns)
+
+    return NasBench201Network(config, factory, rng=generator)

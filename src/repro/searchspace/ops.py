@@ -1,0 +1,107 @@
+"""Candidate operations of the NAS-Bench-201 cell.
+
+The operator set is fixed by the benchmark definition:
+
+* ``none``          — zeroise (edge absent),
+* ``skip_connect``  — identity,
+* ``nor_conv_1x1``  — ReLU → 1×1 conv → BatchNorm,
+* ``nor_conv_3x3``  — ReLU → 3×3 conv (pad 1) → BatchNorm,
+* ``avg_pool_3x3``  — 3×3 average pooling (stride 1, pad 1).
+
+All cell-internal operations are stride 1 and channel preserving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.autograd import Tensor
+from repro.errors import SearchSpaceError
+from repro.nn import AvgPool2d, BatchNorm2d, Conv2d, Module, ReLU, Sequential
+from repro.utils.rng import SeedLike
+
+NUM_NODES = 4
+NUM_EDGES = 6
+
+#: Edge list of the cell DAG as (source node, destination node), in the
+#: canonical NAS-Bench-201 order used by architecture strings.
+EDGES: Tuple[Tuple[int, int], ...] = ((0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3))
+
+CANDIDATE_OPS: Tuple[str, ...] = (
+    "none",
+    "skip_connect",
+    "nor_conv_1x1",
+    "nor_conv_3x3",
+    "avg_pool_3x3",
+)
+
+OP_INDEX: Dict[str, int] = {name: idx for idx, name in enumerate(CANDIDATE_OPS)}
+
+#: Kernel size used by each convolutional candidate.
+CONV_KERNEL: Dict[str, int] = {"nor_conv_1x1": 1, "nor_conv_3x3": 3}
+
+
+class Zero(Module):
+    """The ``none`` operation: output zeros of the input shape."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x * 0.0
+
+
+class Identity(Module):
+    """The ``skip_connect`` operation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+def op_is_parametric(op_name: str) -> bool:
+    """Whether an operation has learnable weights (affects params/FLOPs)."""
+    return op_name in CONV_KERNEL
+
+
+def build_op(op_name: str, channels: int, rng: SeedLike = None,
+             record_patterns: bool = False) -> Module:
+    """Instantiate a candidate operation at the given channel width.
+
+    ``record_patterns`` turns on ReLU activation-pattern recording, which the
+    linear-region proxy consumes.
+    """
+    if op_name == "none":
+        return Zero()
+    if op_name == "skip_connect":
+        return Identity()
+    if op_name == "avg_pool_3x3":
+        return AvgPool2d(3, stride=1, padding=1)
+    if op_name in CONV_KERNEL:
+        kernel = CONV_KERNEL[op_name]
+        return Sequential(
+            ReLU(record_pattern=record_patterns),
+            Conv2d(channels, channels, kernel, stride=1,
+                   padding=kernel // 2, bias=False, rng=rng),
+            BatchNorm2d(channels),
+        )
+    raise SearchSpaceError(f"unknown operation {op_name!r}")
+
+
+def op_flops(op_name: str, channels: int, height: int, width: int) -> int:
+    """FLOPs of one op at a given feature shape.
+
+    Convention: 1 multiply-add = 1 FLOP, matching the NAS-Bench-201 API's
+    reported numbers (and hence the paper's Table I scale); pooling counts
+    ``k*k`` adds per output element; ``none``/``skip_connect`` are free.
+    """
+    if op_name in CONV_KERNEL:
+        kernel = CONV_KERNEL[op_name]
+        return channels * channels * kernel * kernel * height * width
+    if op_name == "avg_pool_3x3":
+        return 9 * channels * height * width
+    return 0
+
+
+def op_params(op_name: str, channels: int) -> int:
+    """Learnable parameter count of one op (conv weights + BN affine)."""
+    if op_name in CONV_KERNEL:
+        kernel = CONV_KERNEL[op_name]
+        return channels * channels * kernel * kernel + 2 * channels
+    return 0

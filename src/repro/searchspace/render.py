@@ -1,0 +1,37 @@
+"""ASCII rendering of cell architectures (used by the CLI and examples)."""
+
+from __future__ import annotations
+
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.ops import EDGES
+
+_SHORT = {
+    "none": "·",
+    "skip_connect": "skip",
+    "nor_conv_1x1": "1x1",
+    "nor_conv_3x3": "3x3",
+    "avg_pool_3x3": "pool",
+}
+
+
+def render_cell(genotype: Genotype) -> str:
+    """Multi-line ASCII diagram of the cell DAG.
+
+    One line per node, listing its incoming edges::
+
+        node 0 (input)
+        node 1 <- 3x3(0)
+        node 2 <- 3x3(0), 3x3(1)
+        node 3 (output) <- skip(0), 3x3(1), 3x3(2)
+    """
+    lines = ["node 0 (input)"]
+    for node in (1, 2, 3):
+        incoming = []
+        for edge_idx, (src, dst) in enumerate(EDGES):
+            if dst != node:
+                continue
+            op = genotype.ops[edge_idx]
+            incoming.append(f"{_SHORT[op]}({src})")
+        label = f"node {node} (output)" if node == 3 else f"node {node}"
+        lines.append(f"{label} <- " + ", ".join(incoming))
+    return "\n".join(lines)

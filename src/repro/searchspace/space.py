@@ -1,0 +1,62 @@
+"""Search-space level utilities: enumeration, sampling, neighbourhoods."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.errors import SearchSpaceError
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.ops import CANDIDATE_OPS, NUM_EDGES
+from repro.utils.rng import SeedLike, new_rng
+
+
+class NasBench201Space:
+    """The full NAS-Bench-201 architecture space (15,625 genotypes)."""
+
+    def __init__(self, ops: Sequence[str] = CANDIDATE_OPS) -> None:
+        for op in ops:
+            if op not in CANDIDATE_OPS:
+                raise SearchSpaceError(f"unknown operation {op!r}")
+        self.ops = tuple(ops)
+
+    def __len__(self) -> int:
+        return len(self.ops) ** NUM_EDGES
+
+    def __iter__(self) -> Iterator[Genotype]:
+        return Genotype.all_genotypes()
+
+    def __contains__(self, genotype: Genotype) -> bool:
+        return all(op in self.ops for op in genotype.ops)
+
+    def get(self, index: int) -> Genotype:
+        return Genotype.from_index(index)
+
+    def sample(self, count: int, rng: SeedLike = None,
+               unique: bool = True) -> List[Genotype]:
+        """Uniformly sample architectures (without replacement by default)."""
+        generator = new_rng(rng)
+        if unique:
+            if count > len(self):
+                raise SearchSpaceError(
+                    f"cannot sample {count} unique architectures from {len(self)}"
+                )
+            indices = generator.choice(len(self), size=count, replace=False)
+            return [Genotype.from_index(int(i)) for i in indices]
+        return [Genotype.random(generator, self.ops) for _ in range(count)]
+
+    def neighbours(self, genotype: Genotype) -> List[Genotype]:
+        """All genotypes at Hamming distance 1 (one edge-op mutation)."""
+        result: List[Genotype] = []
+        for edge in range(NUM_EDGES):
+            for op in self.ops:
+                if op != genotype.ops[edge]:
+                    result.append(genotype.with_op(edge, op))
+        return result
+
+    def mutate(self, genotype: Genotype, rng: SeedLike = None) -> Genotype:
+        """Random single-edge mutation (used by the evolutionary baseline)."""
+        generator = new_rng(rng)
+        edge = int(generator.integers(NUM_EDGES))
+        alternatives = [op for op in self.ops if op != genotype.ops[edge]]
+        op = alternatives[int(generator.integers(len(alternatives)))]
+        return genotype.with_op(edge, op)

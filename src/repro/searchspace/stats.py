@@ -1,0 +1,131 @@
+"""Search-space analytics: functional redundancy of NAS-Bench-201.
+
+Many of the 15,625 architecture strings are *functionally identical*:
+edges that never reach the output can carry any operator without changing
+the computed function (``searchspace.canonical`` maps them all to one
+canonical form).  These statistics matter for search and evaluation:
+
+* a random sample over arch strings over-weights big canonical classes,
+* proxy evaluations on two members of one class are wasted work,
+* the headline "15,625 architectures" overstates the space's diversity.
+
+:func:`space_statistics` quantifies the redundancy once per space;
+:func:`unique_sample` draws samples that are distinct *as functions*.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SearchSpaceError
+from repro.searchspace.canonical import canonicalize, live_edges
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.space import NasBench201Space
+from repro.utils.rng import SeedLike, new_rng
+
+
+def op_histogram(genotypes) -> Dict[str, int]:
+    """Operator usage counts over a collection of genotypes."""
+    counts: Counter = Counter()
+    for genotype in genotypes:
+        counts.update(genotype.ops)
+    return dict(counts)
+
+
+@dataclass(frozen=True)
+class SpaceStatistics:
+    """Functional-redundancy census of a cell search space."""
+
+    total_arch_strings: int
+    canonical_classes: int
+    disconnected_arch_strings: int
+    largest_class_size: int
+    singleton_classes: int
+
+    @property
+    def redundancy(self) -> float:
+        """Fraction of arch strings that are duplicates of another string."""
+        return 1.0 - self.canonical_classes / self.total_arch_strings
+
+
+def canonical_census(space: Optional[NasBench201Space] = None) -> Dict[int, int]:
+    """Members per canonical class, keyed by the canonical form's index.
+
+    Enumerates the whole space once (15,625 canonicalisations — cheap).
+    """
+    space = space or NasBench201Space()
+    class_sizes: Counter = Counter()
+    for genotype in space:
+        class_sizes[canonicalize(genotype).to_index()] += 1
+    return dict(class_sizes)
+
+
+def space_statistics(space: Optional[NasBench201Space] = None) -> SpaceStatistics:
+    """Enumerate the space and group arch strings by canonical form."""
+    space = space or NasBench201Space()
+    class_sizes = canonical_census(space)
+    disconnected = sum(
+        1 for genotype in space if not live_edges(genotype)
+    )
+    sizes = list(class_sizes.values())
+    return SpaceStatistics(
+        total_arch_strings=len(space),
+        canonical_classes=len(class_sizes),
+        disconnected_arch_strings=disconnected,
+        largest_class_size=max(sizes),
+        singleton_classes=sum(size == 1 for size in sizes),
+    )
+
+
+def unique_sample(
+    count: int,
+    rng: SeedLike = None,
+    space: Optional[NasBench201Space] = None,
+    max_attempts_factor: int = 50,
+) -> List[Genotype]:
+    """Sample genotypes pairwise-distinct *as functions*.
+
+    Draws until ``count`` architectures with distinct canonical forms are
+    collected; returned genotypes are the canonical representatives, so
+    downstream proxy/hardware evaluations never repeat work.
+    """
+    if count < 1:
+        raise SearchSpaceError("count must be positive")
+    space = space or NasBench201Space()
+    generator = new_rng(rng)
+    seen = set()
+    out: List[Genotype] = []
+    attempts = 0
+    limit = count * max_attempts_factor
+    while len(out) < count:
+        attempts += 1
+        if attempts > limit:
+            raise SearchSpaceError(
+                f"could not find {count} functionally unique architectures "
+                f"in {limit} draws"
+            )
+        index = int(generator.integers(0, len(space)))
+        canon = canonicalize(space.get(index))
+        key = canon.to_index()
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(canon)
+    return out
+
+
+def class_of(
+    genotype: Genotype,
+    census: Optional[Dict[int, int]] = None,
+) -> Tuple[Genotype, int]:
+    """The canonical representative and the size of a genotype's class.
+
+    Pass a precomputed :func:`canonical_census` when querying many
+    genotypes; otherwise one is computed on the fly.
+    """
+    if census is None:
+        census = canonical_census()
+    canon = canonicalize(genotype)
+    return canon, census[canon.to_index()]

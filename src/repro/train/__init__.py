@@ -1,0 +1,39 @@
+"""Training facilities for discovered architectures.
+
+MicroNAS itself is zero-shot — no candidate is ever trained — but the
+paper's workflow (Fig. 1) ends by training the *discovered* architecture
+for deployment.  This package provides that final stage: SGD with momentum
+and weight decay, cosine/step learning-rate schedules, cross-entropy
+training loops and evaluation metrics, all on the NumPy autograd substrate.
+
+Training here is CPU-NumPy and therefore only practical for the reduced
+configurations used in examples and tests; the accuracy oracle for
+experiments remains :mod:`repro.benchdata`.
+"""
+
+from repro.train.augment import Augmenter, cutout, random_crop, random_flip
+from repro.train.callbacks import BestCheckpoint, EarlyStopping
+from repro.train.optim import SGD, Adam, Optimizer
+from repro.train.schedules import ConstantLR, CosineLR, StepLR
+from repro.train.metrics import accuracy_score, confusion_matrix
+from repro.train.trainer import EpochStats, Trainer, TrainerConfig
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "Augmenter",
+    "random_crop",
+    "random_flip",
+    "cutout",
+    "BestCheckpoint",
+    "EarlyStopping",
+    "ConstantLR",
+    "CosineLR",
+    "StepLR",
+    "accuracy_score",
+    "confusion_matrix",
+    "EpochStats",
+    "Trainer",
+    "TrainerConfig",
+]

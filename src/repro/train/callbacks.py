@@ -1,0 +1,67 @@
+"""Training callbacks: early stopping and best-weights checkpointing."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.module import Module
+
+
+class EarlyStopping:
+    """Stop when a monitored metric fails to improve for ``patience`` evals.
+
+    The metric is maximised (accuracy-style).  ``update`` returns True
+    when training should stop.
+    """
+
+    def __init__(self, patience: int = 3, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ReproError("patience must be >= 1")
+        if min_delta < 0:
+            raise ReproError("min_delta must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.stalled = 0
+        self.stopped = False
+
+    def update(self, value: float) -> bool:
+        if self.best is None or value > self.best + self.min_delta:
+            self.best = value
+            self.stalled = 0
+        else:
+            self.stalled += 1
+        self.stopped = self.stalled >= self.patience
+        return self.stopped
+
+
+class BestCheckpoint:
+    """Keeps a copy of the weights that scored best on the eval metric."""
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+        self.best: Optional[float] = None
+        self.best_epoch: Optional[int] = None
+        self._state: Optional[Dict[str, np.ndarray]] = None
+
+    def update(self, value: float, epoch: int) -> bool:
+        """Record the weights if ``value`` improves; returns improvement."""
+        if self.best is None or value > self.best:
+            self.best = value
+            self.best_epoch = epoch
+            self._state = self.model.state_dict()
+            return True
+        return False
+
+    @property
+    def has_checkpoint(self) -> bool:
+        return self._state is not None
+
+    def restore(self) -> None:
+        """Load the best weights back into the model."""
+        if self._state is None:
+            raise ReproError("no checkpoint recorded yet")
+        self.model.load_state_dict(self._state)

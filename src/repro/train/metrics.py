@@ -1,0 +1,29 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def accuracy_score(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of (N, C) logits (or probabilities) vs int labels."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ReproError(
+            f"incompatible shapes: logits {logits.shape}, labels {labels.shape}"
+        )
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def confusion_matrix(logits: np.ndarray, labels: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """(num_classes, num_classes) count matrix: rows = true, cols = predicted."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    preds = logits.argmax(axis=1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, preds), 1)
+    return matrix

@@ -1,0 +1,117 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: List[Parameter]) -> None:
+        if not params:
+            raise ReproError("optimizer needs at least one parameter")
+        self.params = list(params)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with Nesterov-free momentum and decoupled-free weight decay.
+
+    Matches the classic schedule NAS-Bench-201 trains with (momentum 0.9,
+    weight decay 5e-4); weight decay is added to the gradient (coupled),
+    as in standard SGD.
+    """
+
+    def __init__(
+        self,
+        params: List[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 5e-4,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ReproError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ReproError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update; parameters without gradients are skipped."""
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                vel = self._velocity.get(id(p))
+                vel = self.momentum * vel + grad if vel is not None else grad
+                self._velocity[id(p)] = vel
+                grad = vel
+            p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with coupled weight decay.
+
+    Useful when training reduced networks from poor initialisations in the
+    examples; the paper-matching deployment schedule remains SGD+cosine.
+    """
+
+    def __init__(
+        self,
+        params: List[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ReproError("learning rate must be positive")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ReproError("betas must be in [0, 1)")
+        if eps <= 0:
+            raise ReproError("eps must be positive")
+        self.lr = lr
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one bias-corrected update."""
+        self._t += 1
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m = self._m.get(id(p), np.zeros_like(p.data))
+            v = self._v.get(id(p), np.zeros_like(p.data))
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad**2
+            self._m[id(p)], self._v[id(p)] = m, v
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,61 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+from repro.train.optim import SGD
+
+
+class LRSchedule:
+    """Base schedule: maps epoch index to a learning rate."""
+
+    def __init__(self, base_lr: float) -> None:
+        if base_lr <= 0:
+            raise ReproError("base_lr must be positive")
+        self.base_lr = base_lr
+
+    def lr_at(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply(self, optimizer: SGD, epoch: int) -> float:
+        lr = self.lr_at(epoch)
+        optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRSchedule):
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing to ``min_lr`` over ``total_epochs`` (NB201 default)."""
+
+    def __init__(self, base_lr: float, total_epochs: int, min_lr: float = 0.0) -> None:
+        super().__init__(base_lr)
+        if total_epochs <= 0:
+            raise ReproError("total_epochs must be positive")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        t = min(max(epoch, 0), self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * t)
+        )
+
+
+class StepLR(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, base_lr: float, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(base_lr)
+        if step_size <= 0:
+            raise ReproError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (max(epoch, 0) // self.step_size)

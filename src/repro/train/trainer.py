@@ -1,0 +1,163 @@
+"""Mini-batch training loop for discovered architectures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd import Tensor, cross_entropy, no_grad
+from repro.data.synthetic import SyntheticImageDataset
+from repro.errors import ReproError
+from repro.nn.module import Module
+from repro.train.augment import Augmenter
+from repro.train.callbacks import BestCheckpoint, EarlyStopping
+from repro.train.metrics import accuracy_score
+from repro.train.optim import SGD
+from repro.train.schedules import CosineLR, LRSchedule
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Final-training hyper-parameters (scaled-down NB201 schedule)."""
+
+    epochs: int = 10
+    batch_size: int = 32
+    batches_per_epoch: int = 20
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    grad_clip: Optional[float] = 5.0
+    seed: int = 0
+
+
+@dataclass
+class EpochStats:
+    """Loss/accuracy of one epoch."""
+
+    epoch: int
+    lr: float
+    train_loss: float
+    train_accuracy: float
+    eval_accuracy: Optional[float] = None
+
+
+class Trainer:
+    """Trains a network on a synthetic dataset with SGD + cosine annealing.
+
+    The paper's search is zero-shot; this is the post-search deployment
+    training step (Fig. 1's final stage), usable at reduced scale on CPU.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        dataset: SyntheticImageDataset,
+        config: Optional[TrainerConfig] = None,
+        schedule: Optional[LRSchedule] = None,
+        augmenter: Optional[Augmenter] = None,
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.config = config or TrainerConfig()
+        self.augmenter = augmenter
+        if self.config.epochs <= 0 or self.config.batches_per_epoch <= 0:
+            raise ReproError("epochs and batches_per_epoch must be positive")
+        self.optimizer = SGD(
+            model.parameters(),
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        self.schedule = schedule or CosineLR(self.config.lr, self.config.epochs)
+        self.history: List[EpochStats] = []
+
+    # ------------------------------------------------------------------
+    def _clip_gradients(self) -> None:
+        limit = self.config.grad_clip
+        if limit is None:
+            return
+        total = 0.0
+        for p in self.optimizer.params:
+            if p.grad is not None:
+                total += float((p.grad**2).sum())
+        norm = total**0.5
+        if norm > limit:
+            scale = limit / (norm + 1e-12)
+            for p in self.optimizer.params:
+                if p.grad is not None:
+                    p.grad *= scale
+
+    def train_epoch(self, epoch: int, rng) -> EpochStats:
+        """One pass of ``batches_per_epoch`` optimisation steps."""
+        lr = self.schedule.apply(self.optimizer, epoch)
+        self.model.train(True)
+        losses, accuracies = [], []
+        for _ in range(self.config.batches_per_epoch):
+            images, labels = self.dataset.batch(self.config.batch_size, rng=rng,
+                                                balanced=False)
+            if self.augmenter is not None:
+                images = self.augmenter(images)
+            self.optimizer.zero_grad()
+            logits = self.model(Tensor(images))
+            loss = cross_entropy(logits, labels)
+            loss.backward()
+            self._clip_gradients()
+            self.optimizer.step()
+            loss.clear_tape_grads()
+            losses.append(loss.item())
+            accuracies.append(accuracy_score(logits.data, labels))
+        return EpochStats(
+            epoch=epoch,
+            lr=lr,
+            train_loss=float(np.mean(losses)),
+            train_accuracy=float(np.mean(accuracies)),
+        )
+
+    def evaluate(self, num_batches: int = 5, rng: SeedLike = None) -> float:
+        """Top-1 accuracy over held-out synthetic batches (eval mode)."""
+        generator = new_rng(rng if rng is not None else self.config.seed + 10_000)
+        self.model.train(False)
+        accuracies = []
+        with no_grad():
+            for _ in range(num_batches):
+                images, labels = self.dataset.batch(self.config.batch_size,
+                                                    rng=generator, balanced=False)
+                logits = self.model(Tensor(images))
+                accuracies.append(accuracy_score(logits.data, labels))
+        return float(np.mean(accuracies))
+
+    def fit(
+        self,
+        evaluate_every: int = 0,
+        early_stopping: Optional[EarlyStopping] = None,
+        checkpoint: Optional[BestCheckpoint] = None,
+    ) -> List[EpochStats]:
+        """Run the full schedule; returns per-epoch statistics.
+
+        With ``evaluate_every`` set, each evaluation feeds the optional
+        callbacks: ``early_stopping`` can cut the schedule short and
+        ``checkpoint`` keeps (and finally restores) the best weights.
+        """
+        if (early_stopping or checkpoint) and not evaluate_every:
+            raise ReproError(
+                "callbacks need evaluate_every > 0 to receive metrics"
+            )
+        rng = new_rng(self.config.seed)
+        for epoch in range(self.config.epochs):
+            stats = self.train_epoch(epoch, rng)
+            stop = False
+            if evaluate_every and (epoch + 1) % evaluate_every == 0:
+                stats.eval_accuracy = self.evaluate()
+                if checkpoint is not None:
+                    checkpoint.update(stats.eval_accuracy, epoch)
+                if early_stopping is not None:
+                    stop = early_stopping.update(stats.eval_accuracy)
+            self.history.append(stats)
+            if stop:
+                break
+        if checkpoint is not None and checkpoint.has_checkpoint:
+            checkpoint.restore()
+        return self.history

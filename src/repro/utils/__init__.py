@@ -1,0 +1,7 @@
+"""Shared utilities: seeded RNG handling, timing, and table formatting."""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rng
+from repro.utils.timing import Timer
+from repro.utils.tabulate import format_table
+
+__all__ = ["RngMixin", "new_rng", "spawn_rng", "Timer", "format_table"]

@@ -1,0 +1,49 @@
+"""Minimal dependency-free table formatting for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _render_cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Sequence[object]],
+    headers: Optional[Sequence[str]] = None,
+    floatfmt: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Format rows into an aligned ASCII table.
+
+    Floats are rendered with ``floatfmt``; everything else with ``str``.
+    Used by every benchmark harness so the paper tables print uniformly.
+    """
+    rendered: List[List[str]] = [
+        [_render_cell(cell, floatfmt) for cell in row] for row in rows
+    ]
+    header_row = [str(h) for h in headers] if headers else None
+    all_rows = ([header_row] if header_row else []) + rendered
+    if not all_rows:
+        return title or ""
+    n_cols = max(len(row) for row in all_rows)
+    widths = [0] * n_cols
+    for row in all_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        cells = [cell.ljust(widths[idx]) for idx, cell in enumerate(row)]
+        return "| " + " | ".join(cells) + " |"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if header_row:
+        lines.append(fmt_row(header_row))
+        lines.append("|-" + "-|-".join("-" * w for w in widths) + "-|")
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Forward-value checks for every differentiable op."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.errors import ShapeError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestElementwise:
+    def test_add_broadcasting(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)))
+        b = Tensor(rng.normal(size=(3,)))
+        assert np.allclose(F.add(a, b).data, a.data + b.data)
+
+    def test_mul(self, rng):
+        a = Tensor(rng.normal(size=(4,)))
+        b = Tensor(rng.normal(size=(4,)))
+        assert np.allclose(F.mul(a, b).data, a.data * b.data)
+
+    def test_div(self, rng):
+        a = Tensor(rng.normal(size=(4,)) + 5.0)
+        b = Tensor(rng.normal(size=(4,)) + 5.0)
+        assert np.allclose(F.div(a, b).data, a.data / b.data)
+
+    def test_neg(self):
+        assert np.allclose(F.neg(Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_power(self):
+        assert np.allclose(F.power(Tensor([2.0]), 3.0).data, [8.0])
+
+    def test_exp_log_roundtrip(self, rng):
+        x = np.abs(rng.normal(size=(5,))) + 0.5
+        assert np.allclose(F.log(F.exp(Tensor(x))).data, x)
+
+    def test_sqrt(self):
+        assert np.allclose(F.sqrt(Tensor([4.0, 9.0])).data, [2.0, 3.0])
+
+    def test_maximum(self):
+        out = F.maximum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0]))
+        assert np.allclose(out.data, [3.0, 5.0])
+
+
+class TestActivations:
+    def test_relu_clamps_negative(self):
+        out = F.relu(Tensor([-1.0, 0.0, 2.0]))
+        assert np.allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range_and_midpoint(self):
+        out = F.sigmoid(Tensor([0.0, 100.0, -100.0]))
+        assert np.allclose(out.data, [0.5, 1.0, 0.0], atol=1e-9)
+
+    def test_tanh_odd_function(self, rng):
+        x = rng.normal(size=(6,))
+        a = F.tanh(Tensor(x)).data
+        b = F.tanh(Tensor(-x)).data
+        assert np.allclose(a, -b)
+
+
+class TestReductionsAndShapes:
+    def test_sum_all(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.isclose(F.sum(Tensor(x)).item(), x.sum())
+
+    def test_sum_axis_tuple(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        out = F.sum(Tensor(x), axis=(0, 2))
+        assert np.allclose(out.data, x.sum(axis=(0, 2)))
+
+    def test_sum_negative_axis(self, rng):
+        x = rng.normal(size=(2, 3))
+        assert np.allclose(F.sum(Tensor(x), axis=-1).data, x.sum(axis=-1))
+
+    def test_mean_matches_numpy(self, rng):
+        x = rng.normal(size=(2, 5))
+        assert np.allclose(F.mean(Tensor(x), axis=1).data, x.mean(axis=1))
+
+    def test_reshape(self, rng):
+        x = rng.normal(size=(2, 6))
+        assert F.reshape(Tensor(x), (3, 4)).shape == (3, 4)
+
+    def test_transpose_axes(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        out = F.transpose(Tensor(x), (2, 0, 1))
+        assert out.shape == (4, 2, 3)
+
+    def test_concatenate(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+        out = F.concatenate([Tensor(a), Tensor(b)], axis=0)
+        assert np.allclose(out.data, np.concatenate([a, b], axis=0))
+
+    def test_getitem_fancy(self, rng):
+        x = rng.normal(size=(5, 2))
+        out = F.getitem(Tensor(x), (slice(1, 4),))
+        assert np.allclose(out.data, x[1:4])
+
+    def test_pad2d(self, rng):
+        x = rng.normal(size=(1, 1, 3, 3))
+        out = F.pad2d(Tensor(x), 2)
+        assert out.shape == (1, 1, 7, 7)
+        assert np.allclose(out.data[0, 0, 2:5, 2:5], x[0, 0])
+
+    def test_pad2d_zero_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 3, 3)))
+        assert F.pad2d(x, 0) is x
+
+
+class TestMatmul:
+    def test_matches_numpy(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        assert np.allclose(F.matmul(Tensor(a), Tensor(b)).data, a @ b)
+
+    def test_batched(self, rng):
+        a, b = rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 4, 5))
+        assert np.allclose(F.matmul(Tensor(a), Tensor(b)).data, a @ b)
+
+
+class TestConv2d:
+    def test_identity_kernel(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1)
+        assert np.allclose(out.data, x)
+
+    def test_output_shape_stride2(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)))
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 4, 4, 4)
+
+    def test_matches_direct_computation(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1).data
+        # Direct loop reference at one output location.
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = sum(
+            (padded[0, c, 1:4, 1:4] * w[1, c]).sum() for c in range(2)
+        )
+        assert np.isclose(out[0, 1, 1, 1], expected)
+
+    def test_bias_added_per_channel(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 3, 3)))
+        w = Tensor(np.zeros((2, 1, 1, 1)))
+        b = Tensor(np.array([1.5, -2.0]))
+        out = F.conv2d(x, w, b)
+        assert np.allclose(out.data[0, 0], 1.5)
+        assert np.allclose(out.data[0, 1], -2.0)
+
+    def test_rejects_non_nchw(self, rng):
+        with pytest.raises(ShapeError):
+            F.conv2d(Tensor(rng.normal(size=(3, 8, 8))),
+                     Tensor(rng.normal(size=(4, 3, 3, 3))))
+
+    def test_rejects_channel_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            F.conv2d(Tensor(rng.normal(size=(1, 2, 8, 8))),
+                     Tensor(rng.normal(size=(4, 3, 3, 3))))
+
+    def test_rejects_rectangular_kernel(self, rng):
+        with pytest.raises(ShapeError):
+            F.conv2d(Tensor(rng.normal(size=(1, 3, 8, 8))),
+                     Tensor(rng.normal(size=(4, 3, 1, 3))))
+
+
+class TestPooling:
+    def test_avg_pool_constant_input(self):
+        x = Tensor(np.full((1, 1, 4, 4), 3.0))
+        out = F.avg_pool2d(x, 2)
+        assert out.shape == (1, 1, 2, 2)
+        assert np.allclose(out.data, 3.0)
+
+    def test_avg_pool_includes_padding_zeros(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        out = F.avg_pool2d(x, 3, stride=1, padding=1)
+        # Corner window covers 4 ones + 5 padded zeros.
+        assert np.isclose(out.data[0, 0, 0, 0], 4.0 / 9.0)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = F.global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3)
+        assert np.allclose(out.data, x.mean(axis=(2, 3)))

@@ -1,0 +1,99 @@
+"""Finite-difference validation of every op's backward pass."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F, gradcheck
+
+
+def t(shape, seed, shift=0.0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape) + shift,
+                  requires_grad=True)
+
+
+@pytest.mark.parametrize("fn,args", [
+    (lambda a, b: F.add(a, b), (t((3, 4), 0), t((3, 4), 1))),
+    (lambda a, b: F.add(a, b), (t((3, 4), 0), t((4,), 1))),  # broadcast
+    (lambda a, b: F.mul(a, b), (t((2, 3), 2), t((2, 3), 3))),
+    (lambda a, b: F.mul(a, b), (t((2, 3), 2), t((1, 3), 3))),  # broadcast
+    (lambda a, b: F.div(a, b), (t((4,), 4), t((4,), 5, shift=4.0))),
+    (lambda a: F.neg(a), (t((5,), 6),)),
+    (lambda a: F.power(a, 3.0), (t((4,), 7),)),
+    (lambda a: F.exp(a), (t((4,), 8),)),
+    (lambda a: F.log(a), (t((4,), 9, shift=5.0),)),
+    (lambda a: F.sigmoid(a), (t((6,), 10),)),
+    (lambda a: F.tanh(a), (t((6,), 11),)),
+    (lambda a, b: F.maximum(a, b), (t((8,), 12), t((8,), 13))),
+    (lambda a: F.sum(a), (t((3, 4), 14),)),
+    (lambda a: F.sum(a, axis=1), (t((3, 4), 15),)),
+    (lambda a: F.sum(a, axis=(0, 2), keepdims=True), (t((2, 3, 4), 16),)),
+    (lambda a: F.mean(a, axis=0), (t((3, 4), 17),)),
+    (lambda a: F.reshape(a, (6, 2)), (t((3, 4), 18),)),
+    (lambda a: F.transpose(a, (1, 0)), (t((3, 4), 19),)),
+    (lambda a: F.transpose(a, (2, 0, 1)), (t((2, 3, 4), 20),)),
+    (lambda a: F.getitem(a, (slice(1, 3),)), (t((4, 2), 21),)),
+    (lambda a, b: F.concatenate([a, b], axis=1), (t((2, 3), 22), t((2, 2), 23))),
+    (lambda a, b: F.matmul(a, b), (t((3, 4), 24), t((4, 2), 25))),
+    (lambda a, b: F.matmul(a, b), (t((2, 3, 4), 26), t((2, 4, 2), 27))),
+    (lambda a: F.pad2d(a, 1), (t((1, 2, 3, 3), 28),)),
+    (lambda a: F.avg_pool2d(a, 2), (t((1, 2, 4, 4), 29),)),
+    (lambda a: F.avg_pool2d(a, 3, stride=1, padding=1), (t((1, 2, 4, 4), 30),)),
+    (lambda a: F.avg_pool2d(a, 2, stride=2, padding=1), (t((1, 2, 5, 5), 31),)),
+    (lambda a: F.global_avg_pool2d(a), (t((2, 3, 4, 4), 32),)),
+])
+def test_op_gradients_match_finite_differences(fn, args):
+    assert gradcheck(fn, args, atol=1e-5, rtol=1e-3)
+
+
+class TestConvGradients:
+    def test_conv_wrt_all_inputs(self):
+        x = t((2, 3, 6, 6), 40)
+        w = t((4, 3, 3, 3), 41)
+        b = t((4,), 42)
+        assert gradcheck(
+            lambda x, w, b: F.conv2d(x, w, b, stride=1, padding=1),
+            (x, w, b), atol=1e-5, rtol=1e-3,
+        )
+
+    def test_conv_stride2(self):
+        x = t((1, 2, 6, 6), 43)
+        w = t((3, 2, 3, 3), 44)
+        assert gradcheck(
+            lambda x, w: F.conv2d(x, w, stride=2, padding=1),
+            (x, w), atol=1e-5, rtol=1e-3,
+        )
+
+    def test_conv_1x1(self):
+        x = t((2, 3, 4, 4), 45)
+        w = t((5, 3, 1, 1), 46)
+        assert gradcheck(lambda x, w: F.conv2d(x, w), (x, w),
+                         atol=1e-5, rtol=1e-3)
+
+    def test_relu_gradient_masks_negative(self):
+        x = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        F.relu(x).backward()
+        assert np.allclose(x.grad, [0.0, 1.0])
+
+
+class TestGradcheckHarness:
+    def test_detects_wrong_gradient(self):
+        # A deliberately broken "op": forward x^2 but gradient of x.
+        def broken(x):
+            out = Tensor(x.data**2)
+
+            def backward(grad):
+                x._accumulate(grad)  # wrong: should be grad * 2x
+
+            return out._attach((x,), backward)
+
+        x = t((3,), 50, shift=2.0)
+        with pytest.raises(AssertionError):
+            gradcheck(broken, (x,))
+
+    def test_composite_expression(self):
+        x = t((3, 3), 51)
+        w = t((3, 3), 52)
+        assert gradcheck(
+            lambda x, w: F.sum(F.relu(F.matmul(x, w)) * 2.0 + x),
+            (x, w), atol=1e-4, rtol=1e-3,
+        )

@@ -1,0 +1,105 @@
+"""Training-specific ops: max reduction, softmax family, cross-entropy."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F, gradcheck
+from repro.errors import ShapeError
+
+
+def t(shape, seed):
+    return Tensor(np.random.default_rng(seed).normal(size=shape),
+                  requires_grad=True)
+
+
+class TestMaxReduce:
+    def test_forward_matches_numpy(self):
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        assert np.allclose(F.max_reduce(Tensor(x), axis=1).data, x.max(axis=1))
+        assert np.isclose(F.max_reduce(Tensor(x)).item(), x.max())
+
+    def test_gradient_flows_to_argmax(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        F.max_reduce(x, axis=1).backward()
+        assert np.allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_tied_maxima_split_gradient(self):
+        x = Tensor(np.array([[3.0, 3.0, 1.0]]), requires_grad=True)
+        F.max_reduce(x, axis=1).backward()
+        assert np.allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+    def test_global_max_gradient(self):
+        x = Tensor(np.array([1.0, 7.0]), requires_grad=True)
+        F.max_reduce(x).backward()
+        assert np.allclose(x.grad, [0.0, 1.0])
+
+    @pytest.mark.parametrize("axis,keepdims", [(0, False), (1, True), (None, False)])
+    def test_gradcheck(self, axis, keepdims):
+        # Distinct values avoid tie-point non-differentiability.
+        data = np.random.default_rng(3).permutation(12.0 * np.arange(12)).reshape(3, 4)
+        x = Tensor(data, requires_grad=True)
+        assert gradcheck(lambda x: F.max_reduce(x, axis=axis, keepdims=keepdims),
+                         (x,), atol=1e-5)
+
+
+class TestSoftmaxFamily:
+    def test_log_softmax_normalises(self):
+        x = t((4, 6), 1)
+        probs = np.exp(F.log_softmax(x, axis=1).data)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_log_softmax_shift_invariant(self):
+        x = np.random.default_rng(2).normal(size=(2, 5))
+        a = F.log_softmax(Tensor(x), axis=1).data
+        b = F.log_softmax(Tensor(x + 1000.0), axis=1).data
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_log_softmax_stable_at_extremes(self):
+        x = Tensor(np.array([[1e4, -1e4]]))
+        out = F.log_softmax(x, axis=1).data
+        assert np.all(np.isfinite(out))
+
+    def test_softmax_matches_exp_log_softmax(self):
+        x = t((3, 4), 3)
+        assert np.allclose(F.softmax(x).data,
+                           np.exp(F.log_softmax(x).data))
+
+    def test_gradchecks(self):
+        assert gradcheck(lambda a: F.log_softmax(a, axis=1), (t((3, 5), 4),),
+                         atol=1e-5)
+        assert gradcheck(lambda a: F.softmax(a, axis=-1), (t((2, 4), 5),),
+                         atol=1e-5)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_log_c(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = F.cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(10.0))
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_gradcheck(self):
+        labels = np.array([0, 2, 1, 3])
+        assert gradcheck(lambda a: F.cross_entropy(a, labels),
+                         (t((4, 5), 6),), atol=1e-5)
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = t((2, 3), 7)
+        labels = np.array([0, 2])
+        loss = F.cross_entropy(logits, labels)
+        loss.backward()
+        probs = F.softmax(logits.detach(), axis=1).data
+        onehot = np.eye(3)[labels]
+        assert np.allclose(logits.grad, (probs - onehot) / 2.0, atol=1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(Tensor(np.zeros(3)), np.zeros(3, dtype=int))
+        with pytest.raises(ShapeError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.zeros(3, dtype=int))

@@ -1,0 +1,67 @@
+"""NAS-Bench-201-style query API."""
+
+import pytest
+
+from repro.benchdata.api import SPACE_SIZE, SurrogateBenchmarkAPI
+from repro.errors import BenchmarkDataError
+from repro.searchspace.genotype import Genotype
+
+
+@pytest.fixture(scope="module")
+def api():
+    return SurrogateBenchmarkAPI(datasets=["cifar10", "cifar100"])
+
+
+class TestQuery:
+    def test_query_by_genotype_index_and_string(self, api, heavy_genotype):
+        by_geno = api.query(heavy_genotype)
+        by_index = api.query(heavy_genotype.to_index())
+        by_str = api.query(heavy_genotype.to_arch_str())
+        assert by_geno.index == by_index.index == by_str.index
+
+    def test_record_fields(self, api, heavy_genotype):
+        record = api.query(heavy_genotype)
+        assert record.flops > 0 and record.params > 0
+        assert record.training_seconds > 0
+        assert set(record.accuracies) == {"cifar10", "cifar100"}
+        assert record.arch_str == heavy_genotype.to_arch_str()
+
+    def test_per_seed_consistent_with_mean(self, api, heavy_genotype):
+        record = api.query(heavy_genotype)
+        per_seed = [record.per_seed[("cifar10", s)] for s in api.seeds]
+        assert abs(sum(per_seed) / len(per_seed) - record.accuracy("cifar10")) < 1e-9
+
+    def test_cache_returns_same_object(self, api, heavy_genotype):
+        assert api.query(heavy_genotype) is api.query(heavy_genotype)
+
+    def test_invalid_key_type(self, api):
+        with pytest.raises(BenchmarkDataError):
+            api.query(3.14)
+
+    def test_missing_dataset_accuracy(self, api, heavy_genotype):
+        record = api.query(heavy_genotype)
+        with pytest.raises(BenchmarkDataError):
+            record.accuracy("imagenet16-120")
+
+    def test_unknown_dataset_at_construction(self):
+        with pytest.raises(BenchmarkDataError):
+            SurrogateBenchmarkAPI(datasets=["svhn"])
+
+
+class TestSpaceLevel:
+    def test_len_is_space_size(self, api):
+        assert len(api) == SPACE_SIZE == 15625
+
+    def test_iter_records_subset(self, api):
+        records = list(api.iter_records([0, 1, 2]))
+        assert [r.index for r in records] == [0, 1, 2]
+
+    def test_best_architecture_over_subset(self, api):
+        indices = list(range(0, 15625, 500))
+        best = api.best_architecture("cifar10", indices)
+        accs = [api.query(i).accuracy("cifar10") for i in indices]
+        assert best.accuracy("cifar10") == max(accs)
+
+    def test_accuracy_shortcut(self, api, heavy_genotype):
+        assert api.accuracy(heavy_genotype) == \
+            api.query(heavy_genotype).accuracy("cifar10")

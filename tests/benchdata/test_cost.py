@@ -1,0 +1,42 @@
+"""Training-cost model used in the search-efficiency accounting."""
+
+import pytest
+
+from repro.benchdata.cost import TrainingCostModel
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return TrainingCostModel()
+
+
+class TestScaling:
+    def test_flops_monotone(self, cost, heavy_genotype, light_genotype):
+        assert cost.training_seconds(heavy_genotype) > \
+            cost.training_seconds(light_genotype)
+
+    def test_epochs_linear(self, cost, heavy_genotype):
+        full = cost.training_seconds(heavy_genotype, epochs=200)
+        half = cost.training_seconds(heavy_genotype, epochs=100)
+        assert abs(full - 2 * half) < 1e-9
+
+    def test_gpu_hours_conversion(self, cost, heavy_genotype):
+        secs = cost.training_seconds(heavy_genotype)
+        assert cost.training_gpu_hours(heavy_genotype) == pytest.approx(secs / 3600)
+
+    def test_calibration_full_training_about_an_hour(self, cost):
+        # All-3x3 cell: ~1-2 GPU-hours for 200 epochs (NB201 logs scale).
+        hours = cost.training_gpu_hours(Genotype(("nor_conv_3x3",) * 6))
+        assert 0.5 < hours < 3.0
+
+    def test_base_cost_floor(self, cost, disconnected_genotype):
+        # Even a trivial network pays per-epoch overheads.
+        assert cost.training_seconds(disconnected_genotype) >= \
+            cost.epochs * cost.base_seconds_per_epoch
+
+    def test_config_affects_cost(self, cost, heavy_genotype):
+        small = MacroConfig(init_channels=4, cells_per_stage=1)
+        assert cost.training_seconds(heavy_genotype, small) < \
+            cost.training_seconds(heavy_genotype, MacroConfig.full())

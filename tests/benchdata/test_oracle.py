@@ -1,0 +1,76 @@
+"""Oracle frontier tables."""
+
+import numpy as np
+import pytest
+
+from repro.benchdata.oracle import OracleTable, build_oracle_table
+from repro.errors import BenchmarkDataError
+from repro.hardware.device import NUCLEO_F746ZG
+from repro.hardware.latency import LatencyEstimator
+from repro.searchspace.canonical import is_canonical
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+
+TINY = MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
+                   input_channels=3, image_size=8)
+
+
+@pytest.fixture(scope="module")
+def table():
+    estimator = LatencyEstimator(NUCLEO_F746ZG, config=TINY)
+    return build_oracle_table(estimator, limit=400)
+
+
+class TestBuild:
+    def test_entries_are_canonical_and_unique(self, table):
+        assert len(table) == 400
+        assert len(set(table.indices.tolist())) == 400
+        for index in table.indices[:40]:
+            assert is_canonical(Genotype.from_index(int(index)))
+
+    def test_arrays_aligned(self, table):
+        assert table.latencies_ms.shape == table.accuracies.shape
+        assert (table.latencies_ms > 0).all()
+        assert (table.accuracies > 0).all()
+
+
+class TestQueries:
+    def test_best_under_latency_is_feasible_max(self, table):
+        budget = float(np.median(table.latencies_ms))
+        genotype, acc = table.best_under_latency(budget)
+        feasible = table.latencies_ms <= budget
+        assert acc == pytest.approx(table.accuracies[feasible].max())
+        assert genotype.to_index() in set(table.indices.tolist())
+
+    def test_impossible_budget(self, table):
+        with pytest.raises(BenchmarkDataError, match="no architecture"):
+            table.best_under_latency(table.latencies_ms.min() / 2)
+
+    def test_larger_budget_never_worse(self, table):
+        low = table.best_under_latency(float(np.quantile(table.latencies_ms, 0.2)))[1]
+        high = table.best_under_latency(float(np.quantile(table.latencies_ms, 0.9)))[1]
+        assert high >= low
+
+    def test_regret_of_oracle_pick_is_zero(self, table):
+        budget = float(np.median(table.latencies_ms))
+        genotype, _ = table.best_under_latency(budget)
+        assert table.regret(genotype, budget) == pytest.approx(0.0, abs=1e-9)
+
+    def test_regret_nonnegative_for_feasible(self, table):
+        budget = float(np.quantile(table.latencies_ms, 0.8))
+        some = Genotype.from_index(int(table.indices[5]))
+        assert table.regret(some, budget) >= 0.0
+
+
+class TestFrontier:
+    def test_frontier_monotone(self, table):
+        frontier = table.pareto_frontier()
+        assert frontier
+        latencies = [lat for lat, _ in frontier]
+        accuracies = [acc for _, acc in frontier]
+        assert latencies == sorted(latencies)
+        assert accuracies == sorted(accuracies)
+
+    def test_frontier_ends_at_global_best(self, table):
+        frontier = table.pareto_frontier()
+        assert frontier[-1][1] == pytest.approx(table.accuracies.max())

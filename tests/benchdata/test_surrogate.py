@@ -1,0 +1,104 @@
+"""Surrogate accuracy model: calibration, determinism, structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchdata.surrogate import DIFFICULTY, SurrogateModel, accuracy_of
+from repro.errors import BenchmarkDataError
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.ops import CANDIDATE_OPS, NUM_EDGES
+from repro.searchspace.space import NasBench201Space
+
+ops_strategy = st.tuples(*[st.sampled_from(CANDIDATE_OPS) for _ in range(NUM_EDGES)])
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SurrogateModel()
+
+
+class TestDeterminism:
+    def test_same_query_same_answer(self, model, heavy_genotype):
+        assert model.accuracy(heavy_genotype) == model.accuracy(heavy_genotype)
+
+    def test_seed_changes_answer_slightly(self, model, heavy_genotype):
+        a = model.accuracy(heavy_genotype, seed=0)
+        b = model.accuracy(heavy_genotype, seed=1)
+        assert a != b
+        assert abs(a - b) < 3.0  # seeds correlate like real training seeds
+
+    def test_mean_accuracy_averages(self, model, heavy_genotype):
+        mean = model.mean_accuracy(heavy_genotype, "cifar10")
+        singles = [model.accuracy(heavy_genotype, "cifar10", s) for s in range(3)]
+        assert np.isclose(mean, np.mean(singles))
+
+
+class TestCalibration:
+    def test_disconnected_is_random_guess(self, model, disconnected_genotype):
+        for dataset, difficulty in DIFFICULTY.items():
+            acc = model.accuracy(disconnected_genotype, dataset)
+            assert acc < difficulty.guess_accuracy + 2.0
+
+    def test_best_archs_near_published_ceilings(self, model):
+        space = NasBench201Space()
+        best = {d: 0.0 for d in DIFFICULTY}
+        for g in space.sample(400, rng=11):
+            for dataset in DIFFICULTY:
+                best[dataset] = max(best[dataset], model.accuracy(g, dataset))
+        # Published NAS-Bench-201 bests: ~94.4 / ~73.5 / ~47.3.
+        assert 91.0 < best["cifar10"] <= 95.5
+        assert 68.0 < best["cifar100"] <= 75.5
+        assert 42.0 < best["imagenet16-120"] <= 49.0
+
+    def test_dataset_ordering_preserved(self, model, heavy_genotype):
+        c10 = model.accuracy(heavy_genotype, "cifar10")
+        c100 = model.accuracy(heavy_genotype, "cifar100")
+        in16 = model.accuracy(heavy_genotype, "imagenet16-120")
+        assert c10 > c100 > in16
+
+    def test_conv_dense_beats_skip_only(self, model, heavy_genotype,
+                                        skip_only_genotype):
+        assert model.accuracy(heavy_genotype) > model.accuracy(skip_only_genotype)
+
+    def test_datasets_rank_correlate(self, model):
+        space = NasBench201Space()
+        sample = space.sample(100, rng=5)
+        c10 = [model.accuracy(g, "cifar10") for g in sample]
+        c100 = [model.accuracy(g, "cifar100") for g in sample]
+        from repro.eval import spearman_rho
+        assert spearman_rho(c10, c100) > 0.8
+
+
+class TestValidation:
+    def test_unknown_dataset_rejected(self, model, heavy_genotype):
+        with pytest.raises(BenchmarkDataError):
+            model.accuracy(heavy_genotype, "mnist")
+
+    def test_negative_noise_scale_rejected(self):
+        with pytest.raises(BenchmarkDataError):
+            SurrogateModel(noise_scale=-1.0)
+
+    def test_noise_scale_zero_removes_seed_spread(self, heavy_genotype):
+        model = SurrogateModel(noise_scale=0.0)
+        a = model.accuracy(heavy_genotype, seed=0)
+        b = model.accuracy(heavy_genotype, seed=1)
+        assert a == b
+
+    def test_module_level_helper(self, heavy_genotype):
+        assert accuracy_of(heavy_genotype) == SurrogateModel().accuracy(heavy_genotype)
+
+
+class TestBounds:
+    @given(ops_strategy, st.sampled_from(sorted(DIFFICULTY)))
+    @settings(max_examples=60, deadline=None)
+    def test_accuracy_in_valid_range(self, ops, dataset):
+        acc = SurrogateModel().accuracy(Genotype(ops), dataset)
+        assert 0.0 < acc <= 100.0
+
+    @given(ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_quality_in_unit_interval(self, ops):
+        q = SurrogateModel().quality(Genotype(ops))
+        assert 0.0 <= q <= 1.0

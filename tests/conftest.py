@@ -1,0 +1,73 @@
+"""Shared fixtures: small, fast configurations used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.device import NUCLEO_F746ZG
+from repro.hardware.latency import LatencyEstimator
+from repro.proxies.base import ProxyConfig
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_proxy_config() -> ProxyConfig:
+    """Smallest proxy setup that still exercises every code path."""
+    return ProxyConfig(
+        init_channels=4,
+        cells_per_stage=1,
+        input_size=8,
+        num_classes=10,
+        ntk_batch_size=8,
+        lr_num_samples=32,
+        lr_input_size=4,
+        lr_channels=2,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_macro_config() -> MacroConfig:
+    return MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
+                       input_channels=3, image_size=8)
+
+
+@pytest.fixture(scope="session")
+def heavy_genotype() -> Genotype:
+    """A conv-dense architecture (TE-NAS-like pick)."""
+    return Genotype.from_arch_str(
+        "|nor_conv_3x3~0|+|nor_conv_3x3~0|nor_conv_3x3~1|"
+        "+|skip_connect~0|nor_conv_3x3~1|nor_conv_3x3~2|"
+    )
+
+
+@pytest.fixture(scope="session")
+def light_genotype() -> Genotype:
+    """A cheap architecture (hardware-friendly pick)."""
+    return Genotype.from_arch_str(
+        "|nor_conv_1x1~0|+|skip_connect~0|nor_conv_1x1~1|"
+        "+|skip_connect~0|skip_connect~1|nor_conv_3x3~2|"
+    )
+
+
+@pytest.fixture(scope="session")
+def disconnected_genotype() -> Genotype:
+    return Genotype(("none",) * 6)
+
+
+@pytest.fixture(scope="session")
+def skip_only_genotype() -> Genotype:
+    return Genotype(("skip_connect",) * 6)
+
+
+@pytest.fixture(scope="session")
+def shared_latency_estimator() -> LatencyEstimator:
+    """One profiled estimator shared by the whole session (profiling once)."""
+    return LatencyEstimator(device=NUCLEO_F746ZG)

@@ -1,0 +1,74 @@
+"""Synthetic dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import DATASETS, SyntheticImageDataset, get_dataset
+from repro.errors import BenchmarkDataError
+
+
+class TestSpecs:
+    def test_registered_datasets_match_nb201(self):
+        assert DATASETS["cifar10"].num_classes == 10
+        assert DATASETS["cifar100"].num_classes == 100
+        assert DATASETS["imagenet16-120"].num_classes == 120
+        assert DATASETS["imagenet16-120"].image_size == 16
+
+    def test_input_shape(self):
+        assert DATASETS["cifar10"].input_shape == (3, 32, 32)
+
+    def test_get_dataset_case_insensitive(self):
+        assert get_dataset("CIFAR10").spec.name == "cifar10"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(BenchmarkDataError):
+            get_dataset("fashion-mnist")
+
+
+class TestBatches:
+    def test_shapes_and_labels(self):
+        ds = get_dataset("cifar10")
+        x, y = ds.batch(16, rng=0)
+        assert x.shape == (16, 3, 32, 32)
+        assert y.shape == (16,)
+        assert set(y) <= set(range(10))
+
+    def test_balanced_labels_cycle(self):
+        ds = get_dataset("cifar10")
+        _, y = ds.batch(20, rng=0, balanced=True)
+        assert list(y[:10]) == list(range(10))
+
+    def test_unbalanced_labels_random(self):
+        ds = get_dataset("cifar10")
+        _, y = ds.batch(50, rng=0, balanced=False)
+        assert len(set(y)) > 1
+
+    def test_deterministic_given_rng(self):
+        ds = get_dataset("cifar10")
+        x1, _ = ds.batch(8, rng=42)
+        x2, _ = ds.batch(8, rng=42)
+        assert np.array_equal(x1, x2)
+
+    def test_standardised(self):
+        x, _ = get_dataset("cifar100").batch(64, rng=1)
+        assert abs(x.mean()) < 1e-6
+        assert abs(x.std() - 1.0) < 1e-3
+
+    def test_class_structure_present(self):
+        # Same-class samples are more similar than cross-class samples.
+        ds = get_dataset("cifar10", seed=0)
+        x, y = ds.batch(40, rng=2, balanced=True)
+        same, cross = [], []
+        for i in range(len(y)):
+            for j in range(i + 1, len(y)):
+                dist = np.linalg.norm(x[i] - x[j])
+                (same if y[i] == y[j] else cross).append(dist)
+        assert np.mean(same) < np.mean(cross)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(BenchmarkDataError):
+            get_dataset("cifar10").batch(0)
+
+    def test_imagenet16_small_images(self):
+        x, _ = get_dataset("imagenet16-120").batch(4, rng=0)
+        assert x.shape == (4, 3, 16, 16)

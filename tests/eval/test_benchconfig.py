@@ -1,0 +1,34 @@
+"""Benchmark-scale configuration."""
+
+import pytest
+
+from repro.eval import benchconfig
+
+
+class TestScaleSwitch:
+    def test_default_is_reduced(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert benchconfig.bench_scale() == "reduced"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert benchconfig.bench_scale() == "paper"
+
+    def test_paper_scale_uses_paper_batch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert benchconfig.search_proxy_config().ntk_batch_size == 32
+        assert benchconfig.correlation_proxy_config().ntk_batch_size == 32
+
+    def test_reduced_scale_is_smaller(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        reduced = benchconfig.search_proxy_config()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        paper = benchconfig.search_proxy_config()
+        assert reduced.ntk_batch_size < paper.ntk_batch_size
+        assert reduced.init_channels < paper.init_channels
+
+    def test_arch_counts(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        reduced = benchconfig.num_correlation_archs()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert benchconfig.num_correlation_archs() > reduced

@@ -1,0 +1,110 @@
+"""Experiment records and markdown rendering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.report import (
+    ExperimentRecord,
+    agreement_summary,
+    render_markdown,
+    within_factor,
+)
+
+
+class TestWithinFactor:
+    def test_exact_match(self):
+        assert within_factor(3.23, 3.23, 1.0)
+
+    def test_band_edges(self):
+        assert within_factor(2.0, 1.0, 2.0)
+        assert within_factor(0.5, 1.0, 2.0)
+        assert not within_factor(2.01, 1.0, 2.0)
+        assert not within_factor(0.49, 1.0, 2.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            within_factor(1.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            within_factor(-1.0, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            within_factor(1.0, 0.0, 2.0)
+
+    @given(
+        expected=st.floats(min_value=1e-3, max_value=1e6),
+        factor=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_symmetric_in_ratio(self, expected, factor):
+        """a within factor of b iff b within factor of a."""
+        measured = expected * 1.7
+        assert (within_factor(measured, expected, factor)
+                == within_factor(expected, measured, factor))
+
+
+class TestExperimentRecord:
+    def test_verdicts(self):
+        base = dict(experiment_id="T1", artifact="Table I", metric="speedup",
+                    measured=3.1)
+        assert ExperimentRecord(agrees=True, **base).verdict() == "yes"
+        assert ExperimentRecord(agrees=False, **base).verdict() == "NO"
+        assert ExperimentRecord(**base).verdict() == "n/a"
+
+    def test_markdown_row_shape(self):
+        record = ExperimentRecord(
+            experiment_id="C1", artifact="1104x claim", metric="ratio",
+            measured=980.0, paper=1104.0, agrees=True,
+        )
+        row = record.markdown_row()
+        assert row.startswith("| C1 |")
+        assert row.count("|") == 8
+        assert "980" in row and "1.1e+03" in row or "1104" in row
+
+    def test_missing_paper_value_rendered_as_dash(self):
+        record = ExperimentRecord(
+            experiment_id="C3", artifact="latency vs flops guided",
+            metric="acc delta", measured=0.4,
+        )
+        assert "—" in record.markdown_row()
+
+    def test_unit_appended(self):
+        record = ExperimentRecord(
+            experiment_id="T1", artifact="row", metric="latency",
+            measured=42.0, unit="ms",
+        )
+        assert "42 ms" in record.markdown_row()
+
+
+class TestRenderMarkdown:
+    RECORDS = [
+        ExperimentRecord("T1", "Table I", "ACC", measured=93.9, paper=93.88,
+                         unit="%", agrees=True),
+        ExperimentRecord("F2b", "Fig. 2b", "optimal batch", measured=16,
+                         paper=32, agrees=True),
+        ExperimentRecord("C3", "claim", "L beats F", measured=1.0),
+    ]
+
+    def test_contains_header_and_all_rows(self):
+        text = render_markdown(self.RECORDS, title="Results")
+        assert text.startswith("## Results")
+        assert "| id |" in text
+        for record in self.RECORDS:
+            assert record.experiment_id in text
+
+    def test_no_title(self):
+        text = render_markdown(self.RECORDS)
+        assert text.startswith("| id |")
+
+    def test_agreement_summary(self):
+        assert agreement_summary(self.RECORDS) == (
+            "2/2 checked shapes hold (1 qualitative rows)"
+        )
+
+    def test_agreement_summary_empty(self):
+        assert agreement_summary([]) == "no checked shapes"
+
+    def test_agreement_summary_counts_failures(self):
+        records = [
+            ExperimentRecord("X", "a", "m", measured=1.0, agrees=False),
+            ExperimentRecord("Y", "b", "m", measured=1.0, agrees=True),
+        ]
+        assert agreement_summary(records).startswith("1/2")

@@ -1,0 +1,92 @@
+"""Cycle cost model: kernel costs and MCU-specific biases."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.costmodel import CycleCostModel
+from repro.hardware.device import NUCLEO_F411RE, NUCLEO_F746ZG
+from repro.hardware.layers import LayerOp
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CycleCostModel(NUCLEO_F746ZG)
+
+
+class TestKernelCosts:
+    def test_conv_cost_scales_with_macs(self, model):
+        small = model.layer_cycles(LayerOp("conv", 16, 16, 8, 8, kernel=3))
+        big = model.layer_cycles(LayerOp("conv", 16, 16, 16, 16, kernel=3))
+        assert big > 2.5 * small
+
+    def test_conv1x1_cheaper_per_mac_than_3x3(self, model):
+        # Excluding the fixed invocation overhead, 1x1 convs skip im2col and
+        # are cheaper per MAC (this is the latency-vs-FLOPs MCU bias).
+        conv3 = LayerOp("conv", 16, 16, 32, 32, kernel=3)
+        conv1 = LayerOp("conv", 16, 16, 32, 32, kernel=1)
+        overhead = model.device.layer_overhead_cycles
+        per_mac_3 = (model.layer_cycles(conv3) - overhead) / conv3.macs
+        per_mac_1 = (model.layer_cycles(conv1) - overhead) / conv1.macs
+        assert per_mac_1 < per_mac_3
+
+    def test_pool_is_memory_bound(self, model):
+        pool = LayerOp("pool", 16, 16, 8, 8, kernel=3)
+        cycles = model.layer_cycles(pool)
+        assert cycles > model.device.layer_overhead_cycles
+
+    def test_copy_cheaper_than_pool(self, model):
+        pool = model.layer_cycles(LayerOp("pool", 16, 16, 8, 8, kernel=3))
+        copy = model.layer_cycles(LayerOp("copy", 16, 16, 8, 8))
+        assert copy < pool
+
+    def test_linear_cost(self, model):
+        layer = LayerOp("linear", 64, 10, 1, 1)
+        cycles = model.layer_cycles(layer)
+        assert cycles >= 640 * model.device.cycles_per_mac
+
+    def test_gap_cost_positive(self, model):
+        assert model.layer_cycles(LayerOp("gap", 64, 64, 8, 8)) > 0
+
+    def test_unknown_kind_rejected(self, model):
+        with pytest.raises(HardwareModelError):
+            model.layer_cycles(LayerOp("fft", 4, 4, 4, 4))
+
+
+class TestDeviceEffects:
+    def test_simd_utilisation_odd_channels_penalised(self, model):
+        even = LayerOp("conv", 16, 16, 8, 8, kernel=3)
+        odd = LayerOp("conv", 15, 16, 8, 8, kernel=3)
+        per_mac_even = model.layer_cycles(even) / even.macs
+        per_mac_odd = model.layer_cycles(odd) / odd.macs
+        assert per_mac_odd > per_mac_even
+
+    def test_spill_penalty_for_large_working_set(self, model):
+        # 64 channels at 32x32 float32 ≈ 512 KB >> 64 KB fast memory.
+        big = LayerOp("pool", 64, 64, 32, 32, kernel=3)
+        small = LayerOp("pool", 4, 4, 8, 8, kernel=3)
+        per_el_big = (model.layer_cycles(big)
+                      - model.device.layer_overhead_cycles) / big.out_elements
+        per_el_small = (model.layer_cycles(small)
+                        - model.device.layer_overhead_cycles) / small.out_elements
+        assert per_el_big > per_el_small
+
+    def test_m4_slower_than_m7(self):
+        m7 = CycleCostModel(NUCLEO_F746ZG)
+        m4 = CycleCostModel(NUCLEO_F411RE)
+        layer = LayerOp("conv", 16, 16, 16, 16, kernel=3)
+        assert m4.device.cycles_to_ms(m4.layer_cycles(layer)) > \
+            m7.device.cycles_to_ms(m7.layer_cycles(layer))
+
+
+class TestNetworkCycles:
+    def test_transition_stalls_increase_total(self, model):
+        layers = [LayerOp("conv", 16, 16, 8, 8, kernel=3)] * 5
+        with_stalls = model.network_cycles(layers, include_transition_stalls=True)
+        without = model.network_cycles(layers, include_transition_stalls=False)
+        assert with_stalls > without
+
+    def test_network_overhead_included(self, model):
+        assert model.network_cycles([]) == model.device.network_overhead_cycles
+
+    def test_layer_ms_positive(self, model):
+        assert model.layer_ms(LayerOp("conv", 8, 8, 4, 4, kernel=1)) > 0

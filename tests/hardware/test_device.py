@@ -1,0 +1,97 @@
+"""Device descriptors."""
+
+import pytest
+
+from repro.hardware.device import (
+    MCUDevice,
+    NUCLEO_F411RE,
+    NUCLEO_F746ZG,
+    NUCLEO_H743ZI,
+    NUCLEO_L432KC,
+    RP2040_PICO,
+    get_device,
+    known_devices,
+    register_device,
+)
+
+
+class TestDescriptors:
+    def test_f746zg_matches_board_spec(self):
+        d = NUCLEO_F746ZG
+        assert d.core == "cortex-m7"
+        assert d.clock_hz == 216e6
+        assert d.sram_bytes == 320 * 1024
+        assert d.flash_bytes == 1024 * 1024
+
+    def test_f411re_is_weaker(self):
+        assert NUCLEO_F411RE.clock_hz < NUCLEO_F746ZG.clock_hz
+        assert NUCLEO_F411RE.cycles_per_mac > NUCLEO_F746ZG.cycles_per_mac
+        assert NUCLEO_F411RE.sram_bytes < NUCLEO_F746ZG.sram_bytes
+
+    def test_registry(self):
+        devices = known_devices()
+        assert "nucleo-f746zg" in devices
+        assert "nucleo-f411re" in devices
+
+    def test_registry_returns_copy(self):
+        devices = known_devices()
+        devices.clear()
+        assert known_devices()
+
+    def test_cycle_ms_conversion_roundtrip(self):
+        d = NUCLEO_F746ZG
+        assert d.ms_to_cycles(d.cycles_to_ms(1e6)) == pytest.approx(1e6)
+
+    def test_one_ms_at_216mhz(self):
+        assert NUCLEO_F746ZG.cycles_to_ms(216_000) == pytest.approx(1.0)
+
+    def test_frozen(self):
+        import dataclasses
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            NUCLEO_F746ZG.clock_hz = 1.0
+
+
+class TestExtendedRegistry:
+    def test_five_builtin_boards(self):
+        devices = known_devices()
+        for name in ("nucleo-f746zg", "nucleo-f411re", "nucleo-h743zi",
+                     "nucleo-l432kc", "rp2040-pico"):
+            assert name in devices
+
+    def test_h743_dominates_f746(self):
+        assert NUCLEO_H743ZI.clock_hz > NUCLEO_F746ZG.clock_hz
+        assert NUCLEO_H743ZI.cycles_per_mac <= NUCLEO_F746ZG.cycles_per_mac
+        assert NUCLEO_H743ZI.sram_bytes > NUCLEO_F746ZG.sram_bytes
+
+    def test_l432_is_smallest_memory(self):
+        smallest = min(known_devices().values(), key=lambda d: d.sram_bytes)
+        assert smallest.name == NUCLEO_L432KC.name
+
+    def test_pico_soft_float_macs(self):
+        """No FPU: per-MAC cost is an order of magnitude above the M7s."""
+        assert RP2040_PICO.cycles_per_mac >= 10 * NUCLEO_F746ZG.cycles_per_mac
+        assert RP2040_PICO.simd_width == 1
+
+    def test_get_device(self):
+        assert get_device("nucleo-f746zg") is NUCLEO_F746ZG
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("esp32")
+
+    def test_register_device(self):
+        custom = MCUDevice(name="test-board", core="cortex-m33",
+                           clock_hz=160e6, sram_bytes=512 * 1024,
+                           flash_bytes=1024 * 1024)
+        try:
+            register_device(custom)
+            assert get_device("test-board") is custom
+            with pytest.raises(ValueError, match="already registered"):
+                register_device(custom)
+            replacement = MCUDevice(name="test-board", core="cortex-m33",
+                                    clock_hz=200e6, sram_bytes=512 * 1024,
+                                    flash_bytes=1024 * 1024)
+            register_device(replacement, replace=True)
+            assert get_device("test-board").clock_hz == 200e6
+        finally:
+            # Keep the global registry clean for other tests.
+            from repro.hardware import device as device_module
+            device_module._DEVICES.pop("test-board", None)

@@ -1,0 +1,109 @@
+"""Energy-per-inference and battery-life estimation."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.device import (
+    MCUDevice,
+    NUCLEO_F746ZG,
+    NUCLEO_H743ZI,
+    NUCLEO_L432KC,
+)
+from repro.hardware.energy import (
+    BOARD_POWER_MW,
+    EnergyEstimator,
+    PowerProfile,
+    power_profile,
+)
+from repro.hardware.latency import LatencyEstimator
+from repro.searchspace.network import MacroConfig
+
+TINY = MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
+                   input_channels=3, image_size=8)
+
+
+@pytest.fixture(scope="module")
+def f746(shared_latency_estimator):
+    return EnergyEstimator(NUCLEO_F746ZG, estimator=shared_latency_estimator)
+
+
+class TestPowerProfile:
+    def test_all_builtin_boards_covered(self):
+        from repro.hardware.device import known_devices
+        for name, device in known_devices().items():
+            assert name in BOARD_POWER_MW
+            assert power_profile(device).active_mw > 0
+
+    def test_unknown_board_rejected(self):
+        stranger = MCUDevice(name="mystery", core="m4", clock_hz=1e8,
+                             sram_bytes=1, flash_bytes=1)
+        with pytest.raises(HardwareModelError, match="no power profile"):
+            power_profile(stranger)
+
+    def test_invalid_figures_rejected(self):
+        with pytest.raises(HardwareModelError):
+            PowerProfile(active_mw=0.0, sleep_mw=0.0, wake_uj=0.0)
+        with pytest.raises(HardwareModelError):
+            PowerProfile(active_mw=10.0, sleep_mw=-1.0, wake_uj=0.0)
+
+
+class TestEnergyEstimator:
+    def test_energy_proportional_to_latency(self, f746, heavy_genotype,
+                                            light_genotype):
+        heavy = f746.energy_per_inference_mj(heavy_genotype)
+        light = f746.energy_per_inference_mj(light_genotype)
+        assert heavy > light
+        ratio_latency = (f746.estimator.estimate_ms(heavy_genotype)
+                         / f746.estimator.estimate_ms(light_genotype))
+        assert heavy / light == pytest.approx(ratio_latency, rel=0.02)
+
+    def test_average_power_below_active(self, f746, light_genotype):
+        avg = f746.average_power_mw(light_genotype, duty_cycle_hz=0.5)
+        assert avg < f746.profile.active_mw
+
+    def test_slower_duty_cycle_less_power(self, f746, light_genotype):
+        fast = f746.average_power_mw(light_genotype, duty_cycle_hz=1.0)
+        slow = f746.average_power_mw(light_genotype, duty_cycle_hz=0.1)
+        assert slow < fast
+
+    def test_unsustainable_rate_rejected(self, f746, heavy_genotype):
+        with pytest.raises(HardwareModelError, match="cannot sustain"):
+            f746.average_power_mw(heavy_genotype, duty_cycle_hz=1000.0)
+
+    def test_invalid_duty_cycle(self, f746, light_genotype):
+        with pytest.raises(HardwareModelError):
+            f746.average_power_mw(light_genotype, duty_cycle_hz=0.0)
+
+    def test_battery_days_positive_and_monotone(self, f746, light_genotype):
+        days_slow = f746.battery_days(light_genotype, duty_cycle_hz=0.1)
+        days_fast = f746.battery_days(light_genotype, duty_cycle_hz=1.0)
+        assert 0 < days_fast < days_slow
+
+    def test_report_fields(self, f746, light_genotype):
+        report = f746.report(light_genotype, duty_cycle_hz=0.5)
+        assert report.device_name == NUCLEO_F746ZG.name
+        assert report.energy_per_inference_mj > 0
+        assert "mJ/inference" in report.summary()
+
+    def test_invalid_battery(self):
+        with pytest.raises(HardwareModelError):
+            EnergyEstimator(NUCLEO_F746ZG, battery_mwh=0.0)
+
+
+class TestCrossDeviceEnergy:
+    """Energy ranks devices differently than latency — the point of the
+    indicator."""
+
+    def test_low_power_m4_beats_fast_m7_on_energy(self, light_genotype):
+        h7 = EnergyEstimator(
+            NUCLEO_H743ZI,
+            estimator=LatencyEstimator(NUCLEO_H743ZI, config=TINY))
+        l4 = EnergyEstimator(
+            NUCLEO_L432KC,
+            estimator=LatencyEstimator(NUCLEO_L432KC, config=TINY))
+        # The H7 is far faster...
+        assert (h7.estimator.estimate_ms(light_genotype)
+                < l4.estimator.estimate_ms(light_genotype))
+        # ...but at 710 mW vs 26 mW the L4 wins on energy per inference.
+        assert (l4.energy_per_inference_mj(light_genotype)
+                < h7.energy_per_inference_mj(light_genotype))

@@ -1,0 +1,132 @@
+"""Deployment-graph optimisation: DCE, copy elision, accumulator fusion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.costmodel import CycleCostModel
+from repro.hardware.device import NUCLEO_F746ZG
+from repro.hardware.graphopt import (
+    live_nodes,
+    optimization_stats,
+    optimize_cell,
+    optimized_network_layers,
+)
+from repro.hardware.layers import network_layers
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.searchspace.ops import CANDIDATE_OPS
+
+TINY = MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
+                   input_channels=3, image_size=8)
+
+genotypes = st.tuples(*([st.sampled_from(CANDIDATE_OPS)] * 6)).map(Genotype)
+
+
+class TestLiveNodes:
+    def test_fully_connected(self, heavy_genotype):
+        assert live_nodes(heavy_genotype) == {0, 1, 2, 3}
+
+    def test_disconnected(self, disconnected_genotype):
+        assert live_nodes(disconnected_genotype) == set()
+
+    def test_dead_interior_branch(self):
+        """Edge 0->1 feeds node 1, but node 1 never reaches the output."""
+        genotype = Genotype(("nor_conv_3x3", "none", "none",
+                             "skip_connect", "none", "none"))
+        assert live_nodes(genotype) == {0, 3}
+
+    def test_node_without_source_is_dead(self):
+        """node2 -> node3 exists but nothing feeds node 2."""
+        genotype = Genotype(("none", "none", "none",
+                             "skip_connect", "none", "nor_conv_3x3"))
+        assert 2 not in live_nodes(genotype)
+
+
+class TestOptimizeCell:
+    def test_no_copies_survive(self, skip_only_genotype):
+        cell = optimize_cell(skip_only_genotype, 8, 8)
+        assert not any(layer.kind == "copy" for layer in cell.layers)
+        assert cell.copies_elided == 6
+
+    def test_skip_only_cell_is_three_adds(self, skip_only_genotype):
+        cell = optimize_cell(skip_only_genotype, 8, 8)
+        kinds = [layer.kind for layer in cell.layers]
+        assert kinds == ["add", "add", "add"]
+
+    def test_conv_accumulation_fused(self, heavy_genotype):
+        # heavy: node2 gets convs from 0 and 1 -> one fused; node3 gets
+        # skip + conv + conv -> one fused, one add for the skip.
+        cell = optimize_cell(heavy_genotype, 8, 8)
+        assert cell.adds_fused == 2
+        assert sum(layer.kind == "add" for layer in cell.layers) == 1
+
+    def test_dead_branch_convs_removed(self):
+        genotype = Genotype(("nor_conv_3x3", "none", "none",
+                             "nor_conv_3x3", "none", "none"))
+        cell = optimize_cell(genotype, 8, 8)
+        assert cell.dead_ops_removed == 1  # the conv into dead node 1
+        assert sum(layer.kind == "conv" for layer in cell.layers) == 1
+
+    def test_disconnected_cell_empty(self, disconnected_genotype):
+        cell = optimize_cell(disconnected_genotype, 8, 8)
+        assert cell.layers == ()
+
+
+class TestNetworkLevel:
+    def test_fewer_or_equal_kernels(self, heavy_genotype):
+        naive = network_layers(heavy_genotype, TINY)
+        optimized = optimized_network_layers(heavy_genotype, TINY)
+        assert len(optimized) <= len(naive)
+
+    def test_stats_consistent(self, heavy_genotype):
+        stats = optimization_stats(heavy_genotype, TINY)
+        assert stats.kernels_before == len(network_layers(heavy_genotype, TINY))
+        assert stats.kernels_after == len(
+            optimized_network_layers(heavy_genotype, TINY))
+        assert stats.kernels_removed >= 0
+        assert "kernels" in stats.describe()
+
+    def test_optimized_latency_never_worse(self, heavy_genotype,
+                                           light_genotype,
+                                           skip_only_genotype):
+        model = CycleCostModel(NUCLEO_F746ZG)
+        for genotype in (heavy_genotype, light_genotype, skip_only_genotype):
+            naive = model.network_cycles(network_layers(genotype, TINY))
+            optimized = model.network_cycles(
+                optimized_network_layers(genotype, TINY))
+            assert optimized <= naive
+
+    def test_stem_and_head_preserved(self, light_genotype):
+        optimized = optimized_network_layers(light_genotype, TINY)
+        assert optimized[0].kind == "conv"          # stem
+        assert optimized[-1].kind == "linear"       # classifier
+        assert optimized[-2].kind == "gap"
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(genotype=genotypes)
+    def test_never_more_kernels_and_no_copies(self, genotype):
+        naive = network_layers(genotype, TINY)
+        optimized = optimized_network_layers(genotype, TINY)
+        assert len(optimized) <= len(naive)
+        assert not any(layer.kind == "copy" for layer in optimized)
+
+    @settings(max_examples=40, deadline=None)
+    @given(genotype=genotypes)
+    def test_conv_work_never_increases(self, genotype):
+        """The rewrites remove kernels; they never add MAC work."""
+        naive_macs = sum(l.macs for l in network_layers(genotype, TINY))
+        optimized_macs = sum(
+            l.macs for l in optimized_network_layers(genotype, TINY))
+        assert optimized_macs <= naive_macs
+
+    @settings(max_examples=30, deadline=None)
+    @given(genotype=genotypes)
+    def test_latency_never_worse(self, genotype):
+        model = CycleCostModel(NUCLEO_F746ZG)
+        naive = model.network_cycles(network_layers(genotype, TINY))
+        optimized = model.network_cycles(
+            optimized_network_layers(genotype, TINY))
+        assert optimized <= naive

@@ -1,0 +1,166 @@
+"""Static int8 inference simulation: calibration, fake quant, reports."""
+
+import numpy as np
+import pytest
+
+from repro.data import get_dataset
+from repro.errors import HardwareModelError
+from repro.hardware.int8_infer import (
+    ActivationObserver,
+    StaticQuantizedModel,
+    calibrate,
+    fake_quantize,
+    int8_inference_report,
+    simulate_int8_inference,
+)
+from repro.hardware.quantize import INT8_LEVELS
+from repro.nn import Conv2d, Linear, Module, ReLU, Sequential
+from repro.nn.layers.shape import Flatten
+from repro.searchspace.network import MacroConfig, build_network
+
+TINY = MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
+                   input_channels=3, image_size=8)
+
+
+def tiny_mlp(rng=0):
+    return Sequential(
+        Conv2d(3, 4, 3, stride=1, padding=1, rng=rng),
+        ReLU(),
+        Flatten(),
+        Linear(4 * 8 * 8, 10, rng=rng),
+    )
+
+
+@pytest.fixture(scope="module")
+def images():
+    data, _ = get_dataset("cifar10", seed=11).batch(48, rng=12)
+    # Downscale to the tiny 8x8 config by cropping.
+    return data[:, :, :8, :8]
+
+
+class TestFakeQuantize:
+    def test_identity_on_grid_points(self):
+        scale = 0.1
+        values = np.array([-12.7, 0.0, 0.1, 1.0])
+        out = fake_quantize(values, scale)
+        np.testing.assert_allclose(out, values, atol=1e-12)
+
+    def test_clips_to_int8_range(self):
+        out = fake_quantize(np.array([1e9, -1e9]), 1.0)
+        np.testing.assert_array_equal(out, [INT8_LEVELS, -INT8_LEVELS])
+
+    def test_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        scale = np.abs(values).max() / INT8_LEVELS
+        out = fake_quantize(values, scale)
+        assert np.abs(out - values).max() <= scale / 2 + 1e-12
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(HardwareModelError):
+            fake_quantize(np.ones(3), 0.0)
+
+
+class TestActivationObserver:
+    def test_records_all_leaf_peaks(self, images):
+        model = tiny_mlp()
+        observer = ActivationObserver(model)
+        with observer:
+            observer.observe(images[:16])
+        scales = observer.scales()
+        assert len(scales) == 2  # conv + linear
+        assert all(s > 0 for s in scales.values())
+
+    def test_forward_restored_after_context(self, images):
+        model = tiny_mlp()
+        before = model(_tensor(images[:4])).data
+        observer = ActivationObserver(model)
+        with observer:
+            observer.observe(images[:8])
+        after = model(_tensor(images[:4])).data
+        np.testing.assert_allclose(before, after)
+
+    def test_observe_outside_context_raises(self, images):
+        observer = ActivationObserver(tiny_mlp())
+        with pytest.raises(HardwareModelError, match="not armed"):
+            observer.observe(images[:4])
+
+    def test_unactivated_layers_detected(self):
+        observer = ActivationObserver(tiny_mlp())
+        with pytest.raises(HardwareModelError, match="never activated"):
+            observer.scales()
+
+    def test_no_quantizable_layers_raises(self):
+        with pytest.raises(HardwareModelError, match="no conv/linear"):
+            ActivationObserver(Sequential(ReLU()))
+
+    def test_peaks_monotone_over_batches(self, images):
+        model = tiny_mlp()
+        observer = ActivationObserver(model)
+        with observer:
+            observer.observe(images[:8])
+            first = dict(observer.peaks)
+            observer.observe(images[8:32])
+            second = dict(observer.peaks)
+        for name in first:
+            assert second[name] >= first[name]
+
+
+class TestStaticQuantizedModel:
+    def test_missing_scale_rejected(self, images):
+        model = tiny_mlp()
+        with pytest.raises(HardwareModelError, match="no activation scale"):
+            StaticQuantizedModel(model, {}, input_scale=0.1)
+
+    def test_outputs_differ_but_slightly(self, images):
+        scales = calibrate(tiny_mlp(), images[:32])
+        reference = tiny_mlp()
+        quantized = StaticQuantizedModel(
+            tiny_mlp(), scales,
+            input_scale=float(np.abs(images).max()) / INT8_LEVELS,
+        )
+        ref = reference(_tensor(images[:8])).data
+        quant = quantized(_tensor(images[:8])).data
+        assert not np.allclose(ref, quant)  # quantization really happened
+        assert np.abs(ref - quant).mean() < 0.25 * np.abs(ref).mean() + 0.1
+
+    def test_invalid_input_scale(self):
+        with pytest.raises(HardwareModelError):
+            StaticQuantizedModel(tiny_mlp(), {"dummy": 1.0}, input_scale=-1.0)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def outcome(self, images):
+        return simulate_int8_inference(
+            tiny_mlp, images[:32], images[32:],
+        )
+
+    def test_high_prediction_agreement(self, outcome):
+        report, _ = outcome
+        assert report.prediction_agreement >= 0.8
+
+    def test_sqnr_reasonable(self, outcome):
+        report, _ = outcome
+        assert report.logit_sqnr_db > 15.0
+
+    def test_report_counts(self, outcome, images):
+        report, quantized = outcome
+        assert report.num_images == len(images) - 32
+        assert report.num_quantized_layers == 2
+        assert "prediction agreement" in report.summary()
+
+    def test_full_cell_network(self, images, light_genotype):
+        """The simulation handles a complete NAS-Bench-201 network."""
+        def factory():
+            return build_network(light_genotype, TINY, rng=4)
+        report, quantized = simulate_int8_inference(
+            factory, images[:24], images[24:40],
+        )
+        assert report.prediction_agreement >= 0.7
+        assert report.num_quantized_layers >= 5
+
+
+def _tensor(images):
+    from repro.autograd import Tensor
+    return Tensor(images)

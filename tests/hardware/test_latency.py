@@ -1,0 +1,98 @@
+"""LUT latency estimator vs ground truth (paper claim C4)."""
+
+import pytest
+
+from repro.hardware.device import NUCLEO_F411RE, NUCLEO_F746ZG
+from repro.hardware.latency import LatencyEstimator, measure_ground_truth_ms
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.searchspace.space import NasBench201Space
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    config = MacroConfig(init_channels=8, cells_per_stage=2, image_size=16)
+    return LatencyEstimator(NUCLEO_F746ZG, config=config)
+
+
+class TestEstimates:
+    def test_positive_and_cached(self, estimator, heavy_genotype):
+        a = estimator.estimate_ms(heavy_genotype)
+        b = estimator.estimate_ms(heavy_genotype)
+        assert a > 0 and a == b
+
+    def test_ordering_heavy_vs_light(self, estimator, heavy_genotype,
+                                     light_genotype, skip_only_genotype):
+        heavy = estimator.estimate_ms(heavy_genotype)
+        light = estimator.estimate_ms(light_genotype)
+        skim = estimator.estimate_ms(skip_only_genotype)
+        assert heavy > light > skim
+
+    def test_includes_constant_overhead(self, estimator, disconnected_genotype):
+        assert estimator.estimate_ms(disconnected_genotype) > \
+            estimator.lut.network_overhead_ms
+
+
+class TestValidationAgainstGroundTruth:
+    def test_error_small_across_random_sample(self, estimator):
+        space = NasBench201Space()
+        errors = [estimator.relative_error(g) for g in space.sample(12, rng=3)]
+        assert max(errors) < 0.10  # paper: "accurate and reliable"
+        assert sum(errors) / len(errors) < 0.05
+
+    def test_estimate_below_truth_systematically(self, estimator, heavy_genotype):
+        # Isolated-op profiling misses inter-layer stalls, so composition
+        # slightly underestimates the full run.
+        assert estimator.estimate_ms(heavy_genotype) < \
+            estimator.ground_truth_ms(heavy_genotype)
+
+
+class TestGroundTruthHelper:
+    def test_noise_free_value(self, heavy_genotype):
+        cfg = MacroConfig(init_channels=8, cells_per_stage=2, image_size=16)
+        a = measure_ground_truth_ms(heavy_genotype, NUCLEO_F746ZG, cfg)
+        b = measure_ground_truth_ms(heavy_genotype, NUCLEO_F746ZG, cfg)
+        assert a == b
+
+    def test_slower_device_higher_latency(self, heavy_genotype):
+        cfg = MacroConfig(init_channels=8, cells_per_stage=2, image_size=16)
+        m7 = measure_ground_truth_ms(heavy_genotype, NUCLEO_F746ZG, cfg)
+        m4 = measure_ground_truth_ms(heavy_genotype, NUCLEO_F411RE, cfg)
+        assert m4 > m7
+
+    def test_full_config_scale_plausible(self, heavy_genotype):
+        # ~185 MFLOPs float32 on a 216 MHz M7: hundreds of ms to seconds.
+        ms = measure_ground_truth_ms(heavy_genotype, NUCLEO_F746ZG,
+                                     MacroConfig.full())
+        assert 200.0 < ms < 5000.0
+
+
+class TestMonotonicity:
+    """Structural properties search correctness relies on."""
+
+    def test_upgrading_edge_never_reduces_latency(self, estimator):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from repro.searchspace.ops import CANDIDATE_OPS, NUM_EDGES
+
+        ops_strategy = st.tuples(
+            *[st.sampled_from(CANDIDATE_OPS) for _ in range(NUM_EDGES)]
+        )
+
+        @given(ops_strategy, st.integers(min_value=0, max_value=5))
+        @settings(max_examples=25, deadline=None)
+        def check(ops, edge):
+            base = Genotype(ops).with_op(edge, "none")
+            upgraded = base.with_op(edge, "nor_conv_3x3")
+            assert estimator.estimate_ms(upgraded) >= estimator.estimate_ms(base)
+
+        check()
+
+    def test_op_cost_ordering(self, estimator):
+        # At fixed other edges: 3x3 conv >= 1x1 conv >= skip >= none.
+        base = Genotype(("skip_connect",) * 6)
+        latencies = [
+            estimator.estimate_ms(base.with_op(3, op))
+            for op in ("none", "skip_connect", "nor_conv_1x1", "nor_conv_3x3")
+        ]
+        assert latencies == sorted(latencies)

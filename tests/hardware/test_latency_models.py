@@ -1,0 +1,129 @@
+"""Alternative latency estimators (the A9 ablation's machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.device import NUCLEO_F746ZG
+from repro.hardware.latency_models import (
+    FlopsProportionalModel,
+    LinearFeatureModel,
+    LUTModel,
+    compare_models,
+    default_calibration_sample,
+    layer_features,
+)
+from repro.hardware.layers import LayerOp
+from repro.hardware.profiler import OnDeviceProfiler
+from repro.searchspace.network import MacroConfig
+
+TINY = MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
+                   input_channels=3, image_size=8)
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return OnDeviceProfiler(NUCLEO_F746ZG)
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return default_calibration_sample(8)
+
+
+class TestLayerFeatures:
+    def test_conv_has_patch_elements(self):
+        conv3 = LayerOp("conv", 8, 8, 16, 16, kernel=3)
+        features = layer_features(conv3)
+        assert features[0] == conv3.macs
+        assert features[2] == 8 * 9 * 16 * 16
+        assert features[3] == 1.0
+
+    def test_1x1_conv_no_patches(self):
+        conv1 = LayerOp("conv", 8, 8, 16, 16, kernel=1)
+        assert layer_features(conv1)[2] == 0
+
+    def test_elementwise_no_macs(self):
+        add = LayerOp("add", 8, 8, 16, 16)
+        features = layer_features(add)
+        assert features[0] == 0
+        assert features[1] == add.out_elements
+
+
+class TestFlopsProportional:
+    def test_unfitted_raises(self, heavy_genotype):
+        with pytest.raises(HardwareModelError, match="not fitted"):
+            FlopsProportionalModel(config=TINY).estimate_ms(heavy_genotype)
+
+    def test_too_few_calibration_networks(self):
+        with pytest.raises(HardwareModelError):
+            FlopsProportionalModel(config=TINY).fit(
+                default_calibration_sample(1))
+
+    def test_fit_and_estimate(self, calibration, heavy_genotype, profiler):
+        model = FlopsProportionalModel(config=TINY, profiler=profiler)
+        model.fit(calibration)
+        assert model.estimate_ms(heavy_genotype) > 0
+
+    def test_monotone_in_flops(self, calibration, profiler,
+                               heavy_genotype, light_genotype):
+        model = FlopsProportionalModel(config=TINY, profiler=profiler)
+        model.fit(calibration)
+        assert (model.estimate_ms(heavy_genotype)
+                > model.estimate_ms(light_genotype))
+
+
+class TestLinearFeature:
+    def test_unfitted_raises(self, heavy_genotype):
+        with pytest.raises(HardwareModelError, match="not fitted"):
+            LinearFeatureModel(config=TINY).estimate_ms(heavy_genotype)
+
+    def test_fit_from_lut_coverage(self, profiler, heavy_genotype):
+        model = LinearFeatureModel(config=TINY, profiler=profiler).fit()
+        estimate = model.estimate_ms(heavy_genotype)
+        assert estimate > 0
+
+    def test_layer_ms_roughly_tracks_profiler(self, profiler):
+        model = LinearFeatureModel(config=TINY, profiler=profiler).fit()
+        conv = LayerOp("conv", 8, 8, 8, 8, kernel=3)
+        measured = profiler.measure_layer_ms(conv)
+        predicted = model.layer_ms(conv)
+        assert predicted == pytest.approx(measured, rel=0.6)
+
+    def test_too_few_layers(self, profiler):
+        with pytest.raises(HardwareModelError):
+            LinearFeatureModel(config=TINY, profiler=profiler).fit(
+                [LayerOp("add", 4, 4, 8, 8)] * 3)
+
+
+class TestCompareModels:
+    @pytest.fixture(scope="class")
+    def accuracies(self, profiler, calibration):
+        models = [
+            FlopsProportionalModel(config=TINY, profiler=profiler).fit(calibration),
+            LinearFeatureModel(config=TINY, profiler=profiler).fit(),
+            LUTModel(NUCLEO_F746ZG, config=TINY),
+        ]
+        eval_archs = default_calibration_sample(10, rng=77)
+        return compare_models(models, eval_archs, config=TINY,
+                              profiler=profiler)
+
+    def test_all_models_reported(self, accuracies):
+        names = [a.name for a in accuracies]
+        assert names == ["flops-proportional", "linear-feature", "lut (paper)"]
+
+    def test_lut_most_accurate(self, accuracies):
+        by_name = {a.name: a for a in accuracies}
+        assert (by_name["lut (paper)"].mean_rel_error
+                < by_name["linear-feature"].mean_rel_error)
+        assert (by_name["lut (paper)"].mean_rel_error
+                < by_name["flops-proportional"].mean_rel_error)
+
+    def test_lut_error_small(self, accuracies):
+        lut = next(a for a in accuracies if a.name == "lut (paper)")
+        assert lut.mean_rel_error < 0.05
+        assert lut.kendall_tau > 0.9
+
+    def test_all_rank_positively(self, accuracies):
+        """Even the crude models carry rank signal — FLOPs correlates."""
+        assert all(a.kendall_tau > 0.3 for a in accuracies)

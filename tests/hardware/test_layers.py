@@ -1,0 +1,98 @@
+"""Symbolic layer enumeration of deployment networks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.layers import LayerOp, network_layers, op_layer
+from repro.proxies.flops import count_flops
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.searchspace.ops import CANDIDATE_OPS, NUM_EDGES
+
+ops_strategy = st.tuples(*[st.sampled_from(CANDIDATE_OPS) for _ in range(NUM_EDGES)])
+
+
+class TestLayerOp:
+    def test_key_hashable_and_stable(self):
+        a = LayerOp("conv", 16, 16, 32, 32, kernel=3)
+        b = LayerOp("conv", 16, 16, 32, 32, kernel=3)
+        assert a.key == b.key
+        assert hash(a.key) == hash(b.key)
+
+    def test_conv_macs(self):
+        layer = LayerOp("conv", 8, 16, 4, 4, kernel=3)
+        assert layer.macs == 8 * 16 * 9 * 16
+
+    def test_non_conv_macs_zero(self):
+        assert LayerOp("pool", 8, 8, 4, 4, kernel=3).macs == 0
+
+    def test_out_elements(self):
+        assert LayerOp("copy", 8, 8, 4, 4).out_elements == 128
+
+
+class TestOpLayer:
+    def test_none_maps_to_nothing(self):
+        assert op_layer("none", 16, 32) is None
+
+    def test_conv_mapping(self):
+        layer = op_layer("nor_conv_3x3", 16, 32)
+        assert layer.kind == "conv" and layer.kernel == 3
+
+    def test_pool_and_copy(self):
+        assert op_layer("avg_pool_3x3", 16, 32).kind == "pool"
+        assert op_layer("skip_connect", 16, 32).kind == "copy"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            op_layer("mystery", 16, 32)
+
+
+class TestNetworkLayers:
+    def test_structure_all_none(self):
+        layers = network_layers(Genotype(("none",) * 6), MacroConfig.full())
+        kinds = [l.kind for l in layers]
+        # stem + 2 reduction blocks (4 kernels + add each) + gap + linear.
+        assert kinds[0] == "conv"
+        assert kinds[-2:] == ["gap", "linear"]
+        assert kinds.count("add") == 2  # one per reduction block
+
+    def test_none_edges_execute_nothing(self):
+        base = network_layers(Genotype(("none",) * 6))
+        one_conv = network_layers(
+            Genotype(("none",) * 3 + ("nor_conv_3x3",) + ("none",) * 2)
+        )
+        extra = len(one_conv) - len(base)
+        assert extra == MacroConfig.full().cells_per_stage * 3  # 1 conv/cell
+
+    def test_add_kernels_counted(self):
+        # Two incoming edges at node 3 -> one add per cell.
+        ops = ["none"] * 6
+        ops[3] = "skip_connect"   # 0->3
+        ops[5] = "nor_conv_1x1"   # 2->3 ... but node2 unreachable, still executes
+        layers = network_layers(Genotype(tuple(ops)),
+                                MacroConfig(init_channels=4, cells_per_stage=1))
+        adds = [l for l in layers if l.kind == "add"]
+        # 3 cells x 1 add + 2 reduction adds.
+        assert len(adds) == 5
+
+    def test_stage_shapes(self):
+        layers = network_layers(Genotype(("nor_conv_3x3",) * 6), MacroConfig.full())
+        conv_shapes = {(l.c_in, l.height) for l in layers if l.kind == "conv"}
+        assert (16, 32) in conv_shapes
+        assert (32, 16) in conv_shapes
+        assert (64, 8) in conv_shapes
+
+    @given(ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_layer_macs_sum_close_to_count_flops(self, ops):
+        """MAC totals from the layer walk agree with the analytic counter
+        (pool/add FLOPs differ slightly; conv MACs dominate)."""
+        g = Genotype(ops)
+        cfg = MacroConfig.full()
+        layers = network_layers(g, cfg)
+        mac_total = sum(l.macs for l in layers)
+        flops = count_flops(g, cfg)
+        # count_flops adds pooling contributions; MACs never exceed it.
+        assert mac_total <= flops
+        assert flops - mac_total < 0.12 * flops + 1e7

@@ -1,0 +1,50 @@
+"""Latency LUT persistence: profile once, reuse across sessions."""
+
+import pytest
+
+from repro.hardware.device import NUCLEO_F746ZG
+from repro.hardware.latency import LatencyEstimator
+from repro.hardware.profiler import LatencyLUT, OnDeviceProfiler
+from repro.searchspace.network import MacroConfig
+
+TINY = MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
+                   input_channels=3, image_size=8)
+
+
+@pytest.fixture(scope="module")
+def lut():
+    return OnDeviceProfiler(NUCLEO_F746ZG).build_lut(TINY)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, lut):
+        clone = LatencyLUT.from_dict(lut.to_dict())
+        assert clone.device_name == lut.device_name
+        assert clone.network_overhead_ms == lut.network_overhead_ms
+        assert clone.entries == lut.entries
+
+    def test_json_round_trip(self, lut, tmp_path):
+        path = str(tmp_path / "f746zg.json")
+        lut.save_json(path)
+        clone = LatencyLUT.load_json(path)
+        assert clone.entries == lut.entries
+
+    def test_key_types_restored(self, lut):
+        clone = LatencyLUT.from_dict(lut.to_dict())
+        for key in clone.entries:
+            assert isinstance(key[0], str)
+            assert all(isinstance(part, int) for part in key[1:])
+
+    def test_estimator_accepts_loaded_lut(self, lut, heavy_genotype, tmp_path):
+        path = str(tmp_path / "profile.json")
+        lut.save_json(path)
+        fresh = LatencyEstimator(NUCLEO_F746ZG, config=TINY)
+        loaded = LatencyEstimator(NUCLEO_F746ZG, config=TINY,
+                                  lut=LatencyLUT.load_json(path))
+        assert (loaded.estimate_ms(heavy_genotype)
+                == pytest.approx(fresh.estimate_ms(heavy_genotype)))
+
+    def test_dict_is_json_safe(self, lut):
+        import json
+        text = json.dumps(lut.to_dict())
+        assert "nucleo-f746zg" in text

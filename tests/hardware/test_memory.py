@@ -1,0 +1,80 @@
+"""Peak-memory estimation (paper §IV extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.device import NUCLEO_F746ZG
+from repro.hardware.memory import MemoryEstimator, MemoryReport
+from repro.proxies.flops import count_params
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.searchspace.ops import CANDIDATE_OPS, NUM_EDGES
+
+ops_strategy = st.tuples(*[st.sampled_from(CANDIDATE_OPS) for _ in range(NUM_EDGES)])
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    return MemoryEstimator(MacroConfig.full())
+
+
+class TestReport:
+    def test_flash_tracks_params(self, estimator, heavy_genotype):
+        report = estimator.report(heavy_genotype)
+        assert report.params == count_params(heavy_genotype, MacroConfig.full())
+        assert report.flash_bytes == report.params * 4 + estimator.code_bytes
+
+    def test_peak_sram_positive(self, estimator, heavy_genotype):
+        assert estimator.report(heavy_genotype).peak_sram_bytes > 0
+
+    def test_fits_check(self):
+        report = MemoryReport(peak_sram_bytes=100, flash_bytes=100, params=10)
+        assert report.fits(200, 200)
+        assert not report.fits(50, 200)
+        assert not report.fits(200, 50)
+
+    def test_int8_deployment_smaller(self, heavy_genotype):
+        f32 = MemoryEstimator(MacroConfig.full(), element_bytes=4)
+        i8 = MemoryEstimator(MacroConfig.full(), element_bytes=1)
+        assert i8.report(heavy_genotype).peak_sram_bytes < \
+            f32.report(heavy_genotype).peak_sram_bytes
+        assert i8.report(heavy_genotype).flash_bytes < \
+            f32.report(heavy_genotype).flash_bytes
+
+
+class TestCellScheduling:
+    def test_disconnected_cell_minimal(self, estimator, disconnected_genotype,
+                                       heavy_genotype):
+        empty = estimator.report(disconnected_genotype).peak_sram_bytes
+        full = estimator.report(heavy_genotype).peak_sram_bytes
+        assert empty <= full
+
+    def test_more_live_nodes_more_sram(self, estimator):
+        # Dense cell keeps more node buffers alive than a single path.
+        chain = ["none"] * 6
+        chain[0] = "nor_conv_3x3"   # 0->1
+        chain[2] = "nor_conv_3x3"   # 1->2
+        chain[5] = "nor_conv_3x3"   # 2->3
+        dense = Genotype(("nor_conv_3x3",) * 6)
+        assert estimator.report(dense).peak_sram_bytes >= \
+            estimator.report(Genotype(tuple(chain))).peak_sram_bytes
+
+    @given(ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_peak_bounded_by_all_buffers(self, ops):
+        # Peak can never exceed 4 node buffers + largest im2col scratch.
+        config = MacroConfig.full()
+        est = MemoryEstimator(config)
+        peak = est.report(Genotype(ops)).peak_sram_bytes
+        c, s = config.stage_channels[0], config.stage_sizes[0]
+        bound = 4 * c * s * s * 4 + c * 9 * s * s * 4
+        # Stage 1 dominates (largest spatial size x channels product).
+        stem = (3 + c) * s * s * 4
+        assert peak <= max(bound, stem) + 1
+
+    def test_realistic_feasibility_f746zg(self, estimator, heavy_genotype):
+        # float32 NB201 cells at 32x32 fit 320 KB SRAM but not 1 MB flash.
+        report = estimator.report(heavy_genotype)
+        assert report.peak_sram_bytes <= NUCLEO_F746ZG.sram_bytes
+        assert report.flash_bytes > NUCLEO_F746ZG.flash_bytes  # needs int8

@@ -1,0 +1,214 @@
+"""Tensor-arena planning: liveness extraction and offset assignment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareModelError
+from repro.hardware.memplan import (
+    PLANNING_STRATEGIES,
+    ArenaReport,
+    BufferLifetime,
+    arena_report,
+    liveness_lower_bound,
+    plan_memory,
+    tensor_lifetimes,
+)
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.searchspace.ops import CANDIDATE_OPS
+
+TINY = MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
+                   input_channels=3, image_size=8)
+
+genotypes = st.tuples(*([st.sampled_from(CANDIDATE_OPS)] * 6)).map(Genotype)
+
+
+class TestBufferLifetime:
+    def test_rejects_empty_buffer(self):
+        with pytest.raises(HardwareModelError):
+            BufferLifetime("x", 0, 0, 1)
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(HardwareModelError):
+            BufferLifetime("x", 4, 5, 3)
+
+    def test_time_overlap(self):
+        a = BufferLifetime("a", 4, 0, 3)
+        assert a.overlaps_in_time(BufferLifetime("b", 4, 3, 5))
+        assert not a.overlaps_in_time(BufferLifetime("c", 4, 4, 5))
+
+
+class TestTensorLifetimes:
+    def test_heavy_cell_produces_buffers(self, heavy_genotype):
+        buffers = tensor_lifetimes(heavy_genotype, TINY)
+        names = {b.name for b in buffers}
+        assert "input" in names
+        assert "stem" in names
+        assert "logits" in names
+        assert any("im2col" in n for n in names)
+
+    def test_buffer_names_unique(self, heavy_genotype):
+        buffers = tensor_lifetimes(heavy_genotype, TINY)
+        names = [b.name for b in buffers]
+        assert len(names) == len(set(names))
+
+    def test_disconnected_cell_is_pass_through(self, disconnected_genotype):
+        buffers = tensor_lifetimes(disconnected_genotype, TINY)
+        assert not any("node" in b.name for b in buffers)
+
+    def test_element_bytes_scales_sizes(self, heavy_genotype):
+        f32 = tensor_lifetimes(heavy_genotype, TINY, element_bytes=4)
+        i8 = tensor_lifetimes(heavy_genotype, TINY, element_bytes=1)
+        by_name_f32 = {b.name: b.size_bytes for b in f32}
+        by_name_i8 = {b.name: b.size_bytes for b in i8}
+        assert by_name_f32.keys() == by_name_i8.keys()
+        for name, size in by_name_f32.items():
+            assert size == 4 * by_name_i8[name]
+
+    def test_invalid_element_bytes(self, heavy_genotype):
+        with pytest.raises(HardwareModelError):
+            tensor_lifetimes(heavy_genotype, TINY, element_bytes=0)
+
+    def test_dead_interior_path_handled(self):
+        """Output only reachable via a node that never receives an edge."""
+        genotype = Genotype(
+            ("none", "none", "nor_conv_3x3", "none", "none", "nor_conv_3x3")
+        )
+        buffers = tensor_lifetimes(genotype, TINY)
+        assert buffers  # stem / input / head still exist
+        plan = plan_memory(buffers)
+        plan.validate()
+
+    def test_more_cells_more_buffers(self, heavy_genotype):
+        one = tensor_lifetimes(heavy_genotype, TINY)
+        deep_config = MacroConfig(init_channels=4, cells_per_stage=3,
+                                  num_classes=10, input_channels=3,
+                                  image_size=8)
+        three = tensor_lifetimes(heavy_genotype, deep_config)
+        assert len(three) > len(one)
+
+
+class TestPlanMemory:
+    @pytest.fixture(scope="class")
+    def lifetimes(self, heavy_genotype):
+        return tensor_lifetimes(heavy_genotype, TINY)
+
+    @pytest.mark.parametrize("strategy", PLANNING_STRATEGIES)
+    def test_all_strategies_validate(self, lifetimes, strategy):
+        plan = plan_memory(lifetimes, strategy)
+        plan.validate()
+        assert plan.arena_bytes > 0
+        assert plan.num_buffers == len(lifetimes)
+
+    def test_unknown_strategy_rejected(self, lifetimes):
+        with pytest.raises(HardwareModelError):
+            plan_memory(lifetimes, "magic")
+
+    def test_no_reuse_is_total_size(self, lifetimes):
+        plan = plan_memory(lifetimes, "no_reuse")
+        assert plan.arena_bytes == sum(b.size_bytes for b in lifetimes)
+
+    def test_reuse_beats_no_reuse(self, lifetimes):
+        no_reuse = plan_memory(lifetimes, "no_reuse").arena_bytes
+        for strategy in ("first_fit", "greedy_by_size"):
+            assert plan_memory(lifetimes, strategy).arena_bytes < no_reuse
+
+    def test_plans_respect_lower_bound(self, lifetimes):
+        bound = liveness_lower_bound(lifetimes)
+        for strategy in PLANNING_STRATEGIES:
+            assert plan_memory(lifetimes, strategy).arena_bytes >= bound
+
+    def test_empty_lifetimes(self):
+        plan = plan_memory([], "first_fit")
+        assert plan.arena_bytes == 0
+        assert liveness_lower_bound([]) == 0
+
+    def test_validate_catches_collision(self, lifetimes):
+        plan = plan_memory(lifetimes, "first_fit")
+        overlapping = [b for b in lifetimes if b.overlaps_in_time(lifetimes[0])]
+        if len(overlapping) >= 2:
+            plan.offsets[overlapping[1].name] = plan.offsets[overlapping[0].name]
+            with pytest.raises(HardwareModelError):
+                plan.validate()
+
+    def test_validate_catches_escape(self, lifetimes):
+        plan = plan_memory(lifetimes, "first_fit")
+        plan.offsets[lifetimes[0].name] = plan.arena_bytes
+        with pytest.raises(HardwareModelError):
+            plan.validate()
+
+
+class TestLowerBound:
+    def test_simple_sequence(self):
+        buffers = [
+            BufferLifetime("a", 10, 0, 1),
+            BufferLifetime("b", 20, 1, 2),
+            BufferLifetime("c", 5, 3, 4),
+        ]
+        assert liveness_lower_bound(buffers) == 30
+
+    def test_disjoint_buffers(self):
+        buffers = [
+            BufferLifetime("a", 10, 0, 0),
+            BufferLifetime("b", 20, 1, 1),
+        ]
+        assert liveness_lower_bound(buffers) == 20
+        plan = plan_memory(buffers, "greedy_by_size")
+        assert plan.arena_bytes == 20  # perfect reuse
+
+
+class TestArenaReport:
+    def test_report_fields_consistent(self, heavy_genotype):
+        report = arena_report(heavy_genotype, TINY)
+        assert isinstance(report, ArenaReport)
+        assert report.lower_bound_bytes <= report.best_bytes
+        assert report.best_bytes <= report.no_reuse_bytes
+        assert 0.0 <= report.reuse_saving < 1.0
+        assert report.gap_to_lower_bound >= 0.0
+
+    def test_int8_quarter_of_float32(self, heavy_genotype):
+        f32 = arena_report(heavy_genotype, TINY, element_bytes=4)
+        i8 = arena_report(heavy_genotype, TINY, element_bytes=1)
+        assert i8.no_reuse_bytes * 4 == f32.no_reuse_bytes
+        assert i8.lower_bound_bytes * 4 == f32.lower_bound_bytes
+
+
+class TestPlannerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(genotype=genotypes)
+    def test_any_genotype_plans_validate(self, genotype):
+        lifetimes = tensor_lifetimes(genotype, TINY)
+        bound = liveness_lower_bound(lifetimes)
+        for strategy in PLANNING_STRATEGIES:
+            plan = plan_memory(lifetimes, strategy)
+            plan.validate()
+            assert plan.arena_bytes >= bound
+
+    @settings(max_examples=25, deadline=None)
+    @given(genotype=genotypes)
+    def test_greedy_never_worse_than_no_reuse(self, genotype):
+        lifetimes = tensor_lifetimes(genotype, TINY)
+        no_reuse = plan_memory(lifetimes, "no_reuse").arena_bytes
+        greedy = plan_memory(lifetimes, "greedy_by_size").arena_bytes
+        assert greedy <= no_reuse
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=1000),
+                       min_size=1, max_size=12),
+        spans=st.lists(st.tuples(st.integers(0, 20), st.integers(0, 10)),
+                       min_size=1, max_size=12),
+    )
+    def test_synthetic_intervals_pack_validly(self, sizes, spans):
+        n = min(len(sizes), len(spans))
+        lifetimes = [
+            BufferLifetime(f"b{i}", sizes[i], spans[i][0],
+                           spans[i][0] + spans[i][1])
+            for i in range(n)
+        ]
+        bound = liveness_lower_bound(lifetimes)
+        for strategy in ("first_fit", "greedy_by_size"):
+            plan = plan_memory(lifetimes, strategy)
+            plan.validate()
+            assert plan.arena_bytes >= bound

@@ -1,0 +1,166 @@
+"""int8 deployment path: precision-aware cost model, latency, reports."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.costmodel import PRECISIONS, CycleCostModel
+from repro.hardware.deploy import DeploymentReport, deployment_report
+from repro.hardware.device import NUCLEO_F746ZG, NUCLEO_L432KC, RP2040_PICO
+from repro.hardware.latency import LatencyEstimator, measure_ground_truth_ms
+from repro.hardware.layers import LayerOp
+from repro.hardware.profiler import OnDeviceProfiler
+from repro.searchspace.network import MacroConfig
+
+TINY = MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
+                   input_channels=3, image_size=8)
+
+CONV = LayerOp("conv", 16, 16, 16, 16, kernel=3)
+LINEAR = LayerOp("linear", 64, 10, 1, 1)
+
+
+class TestDeviceMacCycles:
+    def test_float_default(self):
+        assert NUCLEO_F746ZG.mac_cycles() == NUCLEO_F746ZG.cycles_per_mac
+
+    def test_int8_explicit(self):
+        assert NUCLEO_F746ZG.mac_cycles("int8") == 0.6
+
+    def test_int8_fallback_halves(self):
+        from repro.hardware.device import MCUDevice
+        d = MCUDevice(name="x", core="m4", clock_hz=1e8, sram_bytes=1,
+                      flash_bytes=1, cycles_per_mac=2.0)
+        assert d.mac_cycles("int8") == 1.0
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError):
+            NUCLEO_F746ZG.mac_cycles("int4")
+
+
+class TestCostModelPrecision:
+    def test_rejects_unknown_precision(self):
+        with pytest.raises(HardwareModelError):
+            CycleCostModel(NUCLEO_F746ZG, precision="fp16")
+
+    def test_element_bytes(self):
+        assert CycleCostModel(NUCLEO_F746ZG).element_bytes == 4
+        assert CycleCostModel(NUCLEO_F746ZG, precision="int8").element_bytes == 1
+
+    @pytest.mark.parametrize("device", [NUCLEO_F746ZG, NUCLEO_L432KC,
+                                        RP2040_PICO])
+    def test_int8_conv_faster(self, device):
+        f32 = CycleCostModel(device).layer_cycles(CONV)
+        i8 = CycleCostModel(device, precision="int8").layer_cycles(CONV)
+        assert i8 < f32
+
+    def test_pico_gains_most_from_int8(self):
+        """Soft-float M0+ sees the largest quantization speedup."""
+        def speedup(device):
+            f32 = CycleCostModel(device).layer_cycles(CONV)
+            i8 = CycleCostModel(device, precision="int8").layer_cycles(CONV)
+            return f32 / i8
+        assert speedup(RP2040_PICO) > speedup(NUCLEO_F746ZG)
+
+    def test_linear_includes_requant_epilogue(self):
+        f32 = CycleCostModel(NUCLEO_F746ZG)
+        i8 = CycleCostModel(NUCLEO_F746ZG, precision="int8")
+        # MAC savings dominate, but the epilogue difference must be present:
+        # at equal MAC cost the int8 layer would be *slower* per element.
+        assert (i8._epilogue_cycles_per_element()
+                > f32._epilogue_cycles_per_element())
+
+    def test_int8_shrinks_working_set_below_spill(self):
+        """A layer that spills at float32 can fit fast memory at int8."""
+        big = LayerOp("conv", 64, 64, 32, 32, kernel=3)
+        f32 = CycleCostModel(NUCLEO_F746ZG)
+        in_elems = big.c_in * big.height * big.width
+        weight_bytes = big.c_in * big.c_out * 9
+        f32_ws = (in_elems + big.out_elements) * 4 + weight_bytes * 4
+        i8_ws = (in_elems + big.out_elements) * 1 + weight_bytes * 1
+        assert f32_ws > NUCLEO_F746ZG.fast_memory_bytes
+        assert f32._spill_factor(f32_ws) > 1.0
+        assert f32._spill_factor(i8_ws) >= 1.0
+
+
+class TestProfilerPrecision:
+    def test_profiler_exposes_precision(self):
+        assert OnDeviceProfiler(NUCLEO_F746ZG).precision == "float32"
+        p = OnDeviceProfiler(NUCLEO_F746ZG, precision="int8")
+        assert p.precision == "int8"
+
+    def test_int8_measurements_cheaper(self):
+        f32 = OnDeviceProfiler(NUCLEO_F746ZG)
+        i8 = OnDeviceProfiler(NUCLEO_F746ZG, precision="int8")
+        assert i8.measure_layer_ms(CONV) < f32.measure_layer_ms(CONV)
+
+    def test_float32_seed_stream_unchanged(self):
+        """Adding precision must not disturb historical float32 LUTs."""
+        a = OnDeviceProfiler(NUCLEO_F746ZG).measure_layer_ms(CONV)
+        b = OnDeviceProfiler(NUCLEO_F746ZG, precision="float32").measure_layer_ms(CONV)
+        assert a == b
+
+
+class TestLatencyPrecision:
+    @pytest.fixture(scope="class")
+    def estimators(self):
+        return (
+            LatencyEstimator(NUCLEO_F746ZG, config=TINY),
+            LatencyEstimator(NUCLEO_F746ZG, config=TINY, precision="int8"),
+        )
+
+    def test_int8_estimates_faster(self, estimators, heavy_genotype):
+        f32, i8 = estimators
+        assert i8.estimate_ms(heavy_genotype) < f32.estimate_ms(heavy_genotype)
+        assert i8.precision == "int8"
+
+    def test_int8_estimator_still_accurate(self, estimators, heavy_genotype):
+        _, i8 = estimators
+        assert i8.relative_error(heavy_genotype) < 0.15
+
+    def test_ground_truth_precision(self, heavy_genotype):
+        f32 = measure_ground_truth_ms(heavy_genotype, config=TINY)
+        i8 = measure_ground_truth_ms(heavy_genotype, config=TINY,
+                                     precision="int8")
+        assert i8 < f32
+
+
+class TestDeploymentReport:
+    @pytest.fixture(scope="class")
+    def report(self, heavy_genotype):
+        return deployment_report(heavy_genotype, NUCLEO_F746ZG, config=TINY)
+
+    def test_speedup_above_one(self, report):
+        assert report.int8_speedup > 1.0
+
+    def test_arena_int8_quarter(self, report):
+        assert report.arena_int8_bytes * 4 == report.arena_float32_bytes
+
+    def test_tiny_config_deployable(self, report):
+        assert report.fits_sram
+        assert report.fits_flash
+        assert report.deployable
+
+    def test_summary_mentions_verdict(self, report):
+        assert "DEPLOYABLE" in report.summary()
+        assert NUCLEO_F746ZG.name in report.summary()
+
+    def test_quantization_metrics_present(self, report):
+        assert report.weight_sqnr_db > 20.0  # int8 keeps ~6 bits of signal
+        assert report.total_params > 0
+
+    def test_not_deployable_on_microscopic_board(self, heavy_genotype):
+        from repro.hardware.device import MCUDevice
+        crumb = MCUDevice(name="crumb", core="m0", clock_hz=48e6,
+                          sram_bytes=2 * 1024, flash_bytes=16 * 1024,
+                          cycles_per_mac=20.0, simd_width=1)
+        report = deployment_report(heavy_genotype, crumb, config=TINY)
+        assert not report.deployable
+        assert "DOES NOT FIT" in report.summary()
+
+    def test_estimators_shareable(self, heavy_genotype, light_genotype):
+        f32 = LatencyEstimator(NUCLEO_F746ZG, config=TINY)
+        i8 = LatencyEstimator(NUCLEO_F746ZG, config=TINY, precision="int8")
+        a = deployment_report(heavy_genotype, NUCLEO_F746ZG, config=TINY,
+                              float_estimator=f32, int8_estimator=i8)
+        b = deployment_report(light_genotype, NUCLEO_F746ZG, config=TINY,
+                              float_estimator=f32, int8_estimator=i8)
+        assert a.latency_int8_ms > b.latency_int8_ms  # heavy cell is slower

@@ -1,0 +1,108 @@
+"""int8 post-training quantization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.errors import HardwareModelError
+from repro.hardware.quantize import (
+    QuantizedModule,
+    dequantize_array,
+    quantization_report,
+    quantization_scale,
+    quantize_array,
+    quantized_logit_error,
+)
+
+
+def small_model(seed=0):
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=seed),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 4, rng=seed + 1),
+    )
+
+
+class TestCodec:
+    def test_roundtrip_error_bounded_by_half_scale(self, rng):
+        x = rng.normal(size=(100,))
+        codes, scale = quantize_array(x)
+        recon = dequantize_array(codes, scale)
+        assert np.abs(recon - x).max() <= scale / 2 + 1e-12
+
+    def test_codes_in_int8_range(self, rng):
+        codes, _ = quantize_array(rng.normal(size=(50,)) * 100)
+        assert codes.dtype == np.int8
+        assert codes.max() <= 127 and codes.min() >= -127
+
+    def test_peak_maps_to_127(self):
+        x = np.array([-2.0, 1.0])
+        codes, scale = quantize_array(x)
+        assert codes[0] == -127
+        assert scale == pytest.approx(2.0 / 127)
+
+    def test_zero_array_scale_one(self):
+        assert quantization_scale(np.zeros(5)) == 1.0
+
+    def test_explicit_scale_respected(self, rng):
+        x = rng.normal(size=(10,))
+        codes, scale = quantize_array(x, scale=0.5)
+        assert scale == 0.5
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(HardwareModelError):
+            quantize_array(np.ones(3), scale=0.0)
+
+
+class TestQuantizedModule:
+    def test_weights_become_grid_points(self):
+        model = small_model()
+        quantized = QuantizedModule(model)
+        for p in model.parameters():
+            scale = quantized.scales[id(p)]
+            codes = p.data / scale
+            assert np.allclose(codes, np.round(codes), atol=1e-9)
+
+    def test_inference_close_to_float(self, rng):
+        float_model = small_model(seed=3)
+        quant_model = QuantizedModule(small_model(seed=3))
+        images = rng.normal(size=(4, 3, 8, 8))
+        error = quantized_logit_error(float_model, quant_model, images)
+        with_logits = float_model
+        with_logits.train(False)
+        from repro.autograd import no_grad
+        with no_grad():
+            magnitude = np.abs(with_logits(Tensor(images)).data).mean()
+        assert error < 0.1 * max(magnitude, 1e-6)
+
+    def test_predictions_usually_preserved(self, rng):
+        float_model = small_model(seed=5)
+        quant_model = QuantizedModule(small_model(seed=5))
+        images = rng.normal(size=(16, 3, 8, 8))
+        float_model.train(False), quant_model.train(False)
+        from repro.autograd import no_grad
+        with no_grad():
+            a = float_model(Tensor(images)).data.argmax(axis=1)
+            b = quant_model(Tensor(images)).data.argmax(axis=1)
+        assert (a == b).mean() >= 0.75
+
+
+class TestReport:
+    def test_footprint_and_compression(self):
+        model = small_model()
+        report = quantization_report(model)
+        assert report.total_params == model.num_parameters()
+        assert report.flash_bytes_int8 == report.total_params
+        assert report.compression == pytest.approx(4.0)
+
+    def test_sqnr_reasonable_for_gaussian_weights(self):
+        report = quantization_report(small_model())
+        # Symmetric int8 on Gaussian data: ~30-50 dB typical.
+        assert report.mean_sqnr_db > 25.0
+
+    def test_parameterless_model_rejected(self):
+        with pytest.raises(HardwareModelError):
+            quantization_report(nn.Sequential(nn.ReLU()))

@@ -1,0 +1,67 @@
+"""Integration: discovered architecture → training → int8 deployment."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import DatasetSpec, SyntheticImageDataset
+from repro.hardware.memory import MemoryEstimator
+from repro.hardware.quantize import QuantizedModule, quantization_report
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig, build_network
+from repro.train import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """A trained tiny deployment network on a separable 3-class task."""
+    macro = MacroConfig(init_channels=4, cells_per_stage=1, num_classes=3,
+                        image_size=8)
+    genotype = Genotype.from_arch_str(
+        "|nor_conv_1x1~0|+|skip_connect~0|nor_conv_1x1~1|"
+        "+|skip_connect~0|skip_connect~1|nor_conv_3x3~2|"
+    )
+    dataset = SyntheticImageDataset(DatasetSpec("toy3", 3, 8),
+                                    noise_sigma=0.3, seed=2)
+    model = build_network(genotype, macro, rng=0)
+    trainer = Trainer(model, dataset,
+                      TrainerConfig(epochs=4, batch_size=24,
+                                    batches_per_epoch=8, lr=0.1, seed=0))
+    trainer.fit()
+    return genotype, macro, dataset, model, trainer
+
+
+class TestTrainedDeployment:
+    def test_model_learned_task(self, deployment):
+        _, _, _, _, trainer = deployment
+        assert trainer.evaluate(num_batches=4) > 0.6  # chance = 1/3
+
+    def test_quantization_preserves_accuracy(self, deployment):
+        genotype, macro, dataset, model, trainer = deployment
+        clone = build_network(genotype, macro, rng=0)
+        clone.load_state_dict(model.state_dict())
+        quantized = QuantizedModule(clone)
+        quant_trainer = Trainer(quantized, dataset,
+                                TrainerConfig(epochs=1, batch_size=24,
+                                              batches_per_epoch=1, seed=0))
+        float_acc = trainer.evaluate(num_batches=4)
+        int8_acc = quant_trainer.evaluate(num_batches=4)
+        assert int8_acc > float_acc - 0.1
+
+    def test_quantized_model_fits_mcu_budget(self, deployment):
+        genotype, macro, _, model, _ = deployment
+        report = quantization_report(model)
+        memory = MemoryEstimator(macro, element_bytes=1)
+        mem = memory.report(genotype)
+        # Tiny deployment: comfortably inside a 320 KB / 1 MB budget.
+        assert report.flash_bytes_int8 < 1024 * 1024
+        assert mem.peak_sram_bytes < 320 * 1024
+
+    def test_training_is_deterministic_across_reruns(self, deployment):
+        genotype, macro, dataset, _, trainer = deployment
+        model2 = build_network(genotype, macro, rng=0)
+        trainer2 = Trainer(model2, dataset,
+                           TrainerConfig(epochs=4, batch_size=24,
+                                         batches_per_epoch=8, lr=0.1, seed=0))
+        trainer2.fit()
+        assert trainer2.history[-1].train_loss == \
+            pytest.approx(trainer.history[-1].train_loss)

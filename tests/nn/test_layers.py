@@ -1,0 +1,168 @@
+"""Layer behaviour: shapes, statistics, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=0)
+        out = conv(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_no_bias_by_default(self):
+        assert nn.Conv2d(3, 4, 3).bias is None
+
+    def test_bias_optional(self):
+        conv = nn.Conv2d(3, 4, 3, bias=True)
+        assert conv.bias is not None
+        assert conv.num_parameters() == 4 * 3 * 9 + 4
+
+    def test_invalid_channels_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(0, 4, 3)
+        with pytest.raises(ValueError):
+            nn.Conv2d(4, 4, 0)
+
+    def test_seeded_init_reproducible(self):
+        a = nn.Conv2d(3, 4, 3, rng=42).weight.data
+        b = nn.Conv2d(3, 4, 3, rng=42).weight.data
+        assert np.array_equal(a, b)
+
+    def test_extra_repr(self):
+        assert "kernel_size=3" in repr(nn.Conv2d(3, 4, 3))
+
+
+class TestLinear:
+    def test_affine_map(self, rng):
+        lin = nn.Linear(3, 2, rng=0)
+        x = rng.normal(size=(4, 3))
+        expected = x @ lin.weight.data.T + lin.bias.data
+        assert np.allclose(lin(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        lin = nn.Linear(3, 2, bias=False)
+        assert lin.bias is None
+
+    def test_invalid_features_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Linear(-1, 2)
+
+
+class TestBatchNorm2d:
+    def test_train_mode_normalises_batch(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5))
+        out = bn(Tensor(x)).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=1.0)
+        x = rng.normal(loc=5.0, size=(16, 2, 4, 4))
+        bn(Tensor(x))
+        assert np.allclose(bn.running_mean, x.mean(axis=(0, 2, 3)), atol=1e-8)
+
+    def test_eval_mode_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=1.0)
+        x = rng.normal(size=(8, 2, 3, 3))
+        bn(Tensor(x))          # sets running stats to batch stats
+        bn.eval()
+        y = rng.normal(size=(4, 2, 3, 3))
+        out = bn(Tensor(y)).data
+        expected = (y - bn.running_mean.reshape(1, -1, 1, 1)) / np.sqrt(
+            bn.running_var.reshape(1, -1, 1, 1) + bn.eps
+        )
+        assert np.allclose(out, expected, atol=1e-7)
+
+    def test_affine_scale_shift(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.weight.data[...] = 2.0
+        bn.bias.data[...] = 1.0
+        x = rng.normal(size=(8, 2, 3, 3))
+        out = bn(Tensor(x)).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 1.0, atol=1e-7)
+
+    def test_non_affine(self, rng):
+        bn = nn.BatchNorm2d(2, affine=False)
+        assert bn.num_parameters() == 0
+        bn(Tensor(rng.normal(size=(4, 2, 3, 3))))  # must not raise
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(2)(Tensor(np.zeros((2, 2))))
+
+    def test_gradient_flows_through_norm(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        bn(x).sum().backward()
+        assert x.grad is not None
+        assert bn.weight.grad is not None
+
+
+class TestPooling:
+    def test_avg_pool_defaults_stride_to_kernel(self, rng):
+        pool = nn.AvgPool2d(2)
+        out = pool(Tensor(rng.normal(size=(1, 2, 6, 6))))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_global_avg_pool_shape(self, rng):
+        out = nn.GlobalAvgPool2d()(Tensor(rng.normal(size=(3, 5, 4, 4))))
+        assert out.shape == (3, 5)
+
+
+class TestActivationsAndShape:
+    def test_relu_records_pattern_when_asked(self, rng):
+        relu = nn.ReLU(record_pattern=True)
+        x = rng.normal(size=(2, 3))
+        relu(Tensor(x))
+        assert relu.last_pattern is not None
+        assert np.array_equal(relu.last_pattern, x > 0)
+
+    def test_relu_no_recording_by_default(self, rng):
+        relu = nn.ReLU()
+        relu(Tensor(rng.normal(size=(2, 3))))
+        assert relu.last_pattern is None
+
+    def test_sigmoid_tanh_layers(self, rng):
+        x = Tensor(rng.normal(size=(4,)))
+        assert nn.Sigmoid()(x).shape == (4,)
+        assert nn.Tanh()(x).shape == (4,)
+
+    def test_flatten(self, rng):
+        out = nn.Flatten()(Tensor(rng.normal(size=(2, 3, 4, 5))))
+        assert out.shape == (2, 60)
+
+
+class TestInitializers:
+    def test_kaiming_normal_std(self):
+        from repro.nn import init
+        w = init.kaiming_normal((256, 128, 3, 3), rng=0)
+        fan_in = 128 * 9
+        expected_std = np.sqrt(2.0 / fan_in)
+        assert abs(w.std() - expected_std) / expected_std < 0.05
+
+    def test_kaiming_uniform_bound(self):
+        from repro.nn import init
+        w = init.kaiming_uniform((64, 64), rng=1)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 64)
+        assert w.max() <= bound and w.min() >= -bound
+
+    def test_xavier_normal_std(self):
+        from repro.nn import init
+        w = init.xavier_normal((300, 200), rng=2)
+        expected = np.sqrt(2.0 / 500)
+        assert abs(w.std() - expected) / expected < 0.05
+
+    def test_unsupported_shape_raises(self):
+        from repro.nn import init
+        with pytest.raises(ValueError):
+            init.kaiming_normal((3,))

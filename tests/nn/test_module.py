@@ -1,0 +1,125 @@
+"""Module system: registration, traversal, state dicts, train/eval."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+def make_net():
+    return nn.Sequential(
+        nn.Conv2d(3, 4, 3, padding=1, rng=0),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(4, 2, rng=1),
+    )
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        net = make_net()
+        names = [n for n, _ in net.named_parameters()]
+        assert "0.weight" in names and "4.weight" in names and "4.bias" in names
+
+    def test_parameter_order_deterministic(self):
+        a = [n for n, _ in make_net().named_parameters()]
+        b = [n for n, _ in make_net().named_parameters()]
+        assert a == b
+
+    def test_num_parameters(self):
+        net = make_net()
+        conv = 4 * 3 * 9
+        bn = 2 * 4
+        linear = 4 * 2 + 2
+        assert net.num_parameters() == conv + bn + linear
+
+    def test_modules_iteration_includes_self(self):
+        net = make_net()
+        mods = list(net.modules())
+        assert mods[0] is net
+        assert any(isinstance(m, nn.Linear) for m in mods)
+
+    def test_children_are_direct_only(self):
+        net = make_net()
+        assert len(list(net.children())) == 5
+
+    def test_buffers_registered(self):
+        bn = nn.BatchNorm2d(4)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+
+class TestTrainEval:
+    def test_train_propagates(self):
+        net = make_net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+
+class TestGradients:
+    def test_zero_grad_clears_all(self):
+        net = make_net()
+        out = net(Tensor(np.random.default_rng(0).normal(size=(2, 3, 8, 8))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_all_parameters_receive_gradient(self):
+        net = make_net()
+        out = net(Tensor(np.random.default_rng(1).normal(size=(2, 3, 8, 8))))
+        out.sum().backward()
+        assert all(p.grad is not None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net_a, net_b = make_net(), make_net()
+        # Different init (rng seeds same here, so perturb first).
+        for p in net_a.parameters():
+            p.data += 1.0
+        net_b.load_state_dict(net_a.state_dict())
+        x = Tensor(np.random.default_rng(2).normal(size=(1, 3, 8, 8)))
+        net_a.eval(), net_b.eval()
+        assert np.allclose(net_a(x).data, net_b(x).data)
+
+    def test_state_dict_copies_data(self):
+        net = make_net()
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key] += 100.0
+        assert not np.allclose(state[key], net.state_dict()[key])
+
+    def test_partial_load_ignores_missing(self):
+        net = make_net()
+        net.load_state_dict({})  # no-op, must not raise
+
+
+class TestContainers:
+    def test_sequential_len_iter_getitem(self):
+        net = make_net()
+        assert len(net) == 5
+        assert isinstance(net[4], nn.Linear)
+        assert len(list(iter(net))) == 5
+
+    def test_module_list_append_and_index(self):
+        ml = nn.ModuleList([nn.ReLU()])
+        ml.append(nn.ReLU())
+        assert len(ml) == 2
+        assert isinstance(ml[1], nn.ReLU)
+
+    def test_module_list_params_traversed(self):
+        ml = nn.ModuleList([nn.Linear(2, 2, rng=0), nn.Linear(2, 2, rng=1)])
+        assert len(ml.parameters()) == 4
+
+    def test_module_list_forward_raises(self):
+        with pytest.raises(NotImplementedError):
+            nn.ModuleList([])(Tensor([1.0]))
+
+    def test_base_module_forward_abstract(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(Tensor([1.0]))

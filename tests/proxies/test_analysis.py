@@ -1,0 +1,90 @@
+"""Programmatic Fig. 2a / Fig. 2b sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProxyError
+from repro.proxies.analysis import (
+    BatchSizeSweep,
+    ConditionNumberSweep,
+    batch_size_sweep,
+    condition_number_sweep,
+)
+from repro.proxies.base import ProxyConfig
+
+FAST = ProxyConfig(init_channels=4, cells_per_stage=1, input_size=8,
+                   ntk_batch_size=8, lr_num_samples=16, lr_input_size=4,
+                   lr_channels=2, seed=21)
+
+
+@pytest.fixture(scope="module")
+def cn_sweep():
+    return condition_number_sweep(FAST, num_archs=10,
+                                  datasets=("cifar10", "cifar100"),
+                                  max_index=6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def bs_sweep():
+    return batch_size_sweep(FAST, batch_sizes=(4, 8), num_archs=8,
+                            num_trials=2, seed=5)
+
+
+class TestConditionNumberSweep:
+    def test_structure(self, cn_sweep):
+        assert cn_sweep.indices == tuple(range(1, 7))
+        assert set(cn_sweep.taus) == {"cifar10", "cifar100"}
+        for taus in cn_sweep.taus.values():
+            assert len(taus) == 6
+            assert all(-1.0 <= t <= 1.0 for t in taus)
+
+    def test_best_index_consistent(self, cn_sweep):
+        best = cn_sweep.best_index("cifar10")
+        best_tau = cn_sweep.tau("cifar10", best)
+        assert best_tau == max(cn_sweep.taus["cifar10"])
+
+    def test_signal_at_small_indices(self, cn_sweep):
+        """The Fig. 2a shape: usable signal somewhere in the small indices."""
+        assert max(cn_sweep.taus["cifar10"][:4]) > 0.0
+
+    def test_k1_is_degenerate(self, cn_sweep):
+        """K_1 = λ1/λ1 = 1 for every arch: τ must be exactly 0."""
+        assert cn_sweep.tau("cifar10", 1) == pytest.approx(0.0)
+
+    def test_too_few_archs(self):
+        with pytest.raises(ProxyError):
+            condition_number_sweep(FAST, num_archs=2)
+
+    def test_deterministic(self):
+        a = condition_number_sweep(FAST, num_archs=6,
+                                   datasets=("cifar10",), max_index=4, seed=9)
+        b = condition_number_sweep(FAST, num_archs=6,
+                                   datasets=("cifar10",), max_index=4, seed=9)
+        assert a.taus == b.taus
+
+
+class TestBatchSizeSweep:
+    def test_structure(self, bs_sweep):
+        assert bs_sweep.batch_sizes == (4, 8)
+        assert len(bs_sweep.taus_per_trial) == 2
+        assert len(bs_sweep.average) == 2
+
+    def test_average_is_trial_mean(self, bs_sweep):
+        manual = np.mean(bs_sweep.taus_per_trial, axis=0)
+        np.testing.assert_allclose(bs_sweep.average, manual)
+
+    def test_recommended_within_choices(self, bs_sweep):
+        assert bs_sweep.recommended_batch_size() in bs_sweep.batch_sizes
+
+    def test_recommendation_prefers_small(self):
+        sweep = BatchSizeSweep(batch_sizes=(4, 8, 16, 32),
+                               taus_per_trial=((0.30, 0.38, 0.40, 0.41),))
+        assert sweep.recommended_batch_size(tolerance=0.05) == 8
+        assert sweep.recommended_batch_size(tolerance=0.0) == 16 or \
+            sweep.recommended_batch_size(tolerance=0.0) == 32
+
+    def test_validation(self):
+        with pytest.raises(ProxyError):
+            batch_size_sweep(FAST, batch_sizes=())
+        with pytest.raises(ProxyError):
+            batch_size_sweep(FAST, num_trials=0)

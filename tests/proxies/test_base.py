@@ -1,0 +1,54 @@
+"""ProxyConfig and batch helpers."""
+
+import numpy as np
+
+from repro.proxies.base import ProxyConfig, resize_batch
+
+
+class TestProxyConfig:
+    def test_defaults_match_paper(self):
+        cfg = ProxyConfig()
+        assert cfg.ntk_batch_size == 32  # paper's recommended batch (Fig. 2b)
+
+    def test_macro_config_reduced(self):
+        cfg = ProxyConfig(init_channels=8, cells_per_stage=1, input_size=16)
+        macro = cfg.macro_config()
+        assert macro.init_channels == 8
+        assert macro.cells_per_stage == 1
+        assert macro.image_size == 16
+
+    def test_macro_config_class_override(self):
+        assert ProxyConfig().macro_config(num_classes=100).num_classes == 100
+
+    def test_with_batch_size(self):
+        cfg = ProxyConfig().with_batch_size(16)
+        assert cfg.ntk_batch_size == 16
+
+    def test_with_seed(self):
+        assert ProxyConfig().with_seed(5).seed == 5
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ProxyConfig().seed = 3
+
+
+class TestResizeBatch:
+    def test_noop_at_target_size(self):
+        x = np.zeros((2, 3, 16, 16))
+        assert resize_batch(x, 16) is x
+
+    def test_downsample_shape(self):
+        x = np.zeros((2, 3, 32, 32))
+        assert resize_batch(x, 16).shape == (2, 3, 16, 16)
+
+    def test_upsample_shape(self):
+        x = np.zeros((2, 3, 8, 8))
+        assert resize_batch(x, 16).shape == (2, 3, 16, 16)
+
+    def test_downsample_takes_strided_pixels(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = resize_batch(x, 2)
+        assert out[0, 0, 0, 0] == x[0, 0, 0, 0]
+        assert out[0, 0, 1, 1] == x[0, 0, 2, 2]

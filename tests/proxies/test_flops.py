@@ -1,0 +1,76 @@
+"""Analytic FLOPs/params vs built networks; scale checks vs the paper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.proxies.flops import count_flops, count_params
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig, build_network
+from repro.searchspace.ops import CANDIDATE_OPS, NUM_EDGES
+
+ops_strategy = st.tuples(*[st.sampled_from(CANDIDATE_OPS) for _ in range(NUM_EDGES)])
+
+
+class TestParamsMatchBuiltNetworks:
+    @pytest.mark.parametrize("arch", [
+        ("none",) * 6,
+        ("skip_connect",) * 6,
+        ("nor_conv_3x3",) * 6,
+        ("nor_conv_1x1",) * 6,
+        ("avg_pool_3x3",) * 6,
+        ("nor_conv_3x3", "skip_connect", "nor_conv_1x1",
+         "avg_pool_3x3", "none", "nor_conv_3x3"),
+    ])
+    def test_exact_match_tiny_config(self, arch, tiny_macro_config):
+        genotype = Genotype(arch)
+        net = build_network(genotype, tiny_macro_config, rng=0)
+        assert count_params(genotype, tiny_macro_config) == net.num_parameters()
+
+    @given(ops_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_exact_match_property(self, ops):
+        config = MacroConfig(init_channels=4, cells_per_stage=1, image_size=8)
+        genotype = Genotype(ops)
+        net = build_network(genotype, config, rng=0)
+        assert count_params(genotype, config) == net.num_parameters()
+
+
+class TestPaperScale:
+    def test_all_conv3x3_near_nasbench_numbers(self):
+        # NAS-Bench-201's conv-dense CIFAR-10 architectures report
+        # ~1.0-1.5 M params and ~150-220 MFLOPs; TE-NAS's Table I entry is
+        # 1.317 M / 188.66 M.
+        g = Genotype(("nor_conv_3x3",) * 6)
+        params = count_params(g, MacroConfig.full())
+        flops = count_flops(g, MacroConfig.full())
+        assert 1.0e6 < params < 1.6e6
+        assert 150e6 < flops < 230e6
+
+    def test_disconnected_has_fixed_cost_only(self):
+        g = Genotype(("none",) * 6)
+        flops = count_flops(g, MacroConfig.full())
+        assert 0 < flops < 30e6  # stem + reductions + head only
+
+
+class TestMonotonicity:
+    @given(ops_strategy, st.integers(min_value=0, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_upgrading_edge_to_conv3x3_never_decreases_cost(self, ops, edge):
+        g = Genotype(ops)
+        upgraded = g.with_op(edge, "nor_conv_3x3")
+        cfg = MacroConfig.full()
+        assert count_flops(upgraded, cfg) >= count_flops(g, cfg)
+        assert count_params(upgraded, cfg) >= count_params(g, cfg)
+
+    def test_flops_scale_with_cells(self):
+        g = Genotype(("nor_conv_3x3",) * 6)
+        small = count_flops(g, MacroConfig(init_channels=16, cells_per_stage=1))
+        large = count_flops(g, MacroConfig(init_channels=16, cells_per_stage=5))
+        assert large > 3 * small
+
+    def test_flops_scale_quadratically_with_channels(self):
+        g = Genotype(("nor_conv_3x3",) * 6)
+        c8 = count_flops(g, MacroConfig(init_channels=8, cells_per_stage=1))
+        c16 = count_flops(g, MacroConfig(init_channels=16, cells_per_stage=1))
+        assert 3.0 < c16 / c8 < 4.5  # ~4x (cell terms quadratic in C)

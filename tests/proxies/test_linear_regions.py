@@ -1,0 +1,112 @@
+"""Linear-region proxy: pattern math and expressivity ordering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProxyError
+from repro.proxies.linear_regions import (
+    LinearRegionNetwork,
+    count_distinct_patterns,
+    count_line_regions,
+    count_linear_regions,
+    count_sample_regions,
+    supernet_line_regions,
+)
+from repro.searchspace.genotype import Genotype
+
+
+class TestPatternCounting:
+    def test_all_identical_rows(self):
+        patterns = np.ones((10, 8), dtype=bool)
+        assert count_distinct_patterns(patterns) == 1
+
+    def test_all_distinct_rows(self):
+        patterns = np.eye(8, dtype=bool)
+        assert count_distinct_patterns(patterns) == 8
+
+    def test_duplicates_collapse(self):
+        patterns = np.array([[1, 0], [1, 0], [0, 1]], dtype=bool)
+        assert count_distinct_patterns(patterns) == 2
+
+
+class TestLinearRegionNetwork:
+    def test_wrong_edge_count_rejected(self):
+        with pytest.raises(ProxyError):
+            LinearRegionNetwork([("none",)] * 5, channels=2, num_cells=1)
+
+    def test_piecewise_linearity(self, rng, heavy_genotype):
+        # A ReLU net restricted to one activation region is affine: check
+        # f(a) + f(b) == 2 f((a+b)/2) for nearby points in the same region.
+        from repro.autograd import Tensor
+        net = LinearRegionNetwork.from_genotype(heavy_genotype, channels=2,
+                                                num_cells=1, rng=0)
+        base = rng.normal(size=(1, 3, 4, 4))
+        eps = 1e-6 * rng.normal(size=(1, 3, 4, 4))
+        fa = net(Tensor(base + eps)).data
+        fb = net(Tensor(base - eps)).data
+        fm = net(Tensor(base)).data
+        assert np.allclose(fa + fb, 2 * fm, atol=1e-9)
+
+    def test_deterministic_construction(self, rng, heavy_genotype):
+        from repro.autograd import Tensor
+        x = Tensor(rng.normal(size=(2, 3, 4, 4)))
+        a = LinearRegionNetwork.from_genotype(heavy_genotype, 2, 1, rng=5)(x).data
+        b = LinearRegionNetwork.from_genotype(heavy_genotype, 2, 1, rng=5)(x).data
+        assert np.array_equal(a, b)
+
+
+class TestLineRegions:
+    def test_deterministic(self, tiny_proxy_config, heavy_genotype):
+        a = count_line_regions(heavy_genotype, tiny_proxy_config)
+        b = count_line_regions(heavy_genotype, tiny_proxy_config)
+        assert a == b
+
+    def test_conv_heavy_beats_skip_only(self, tiny_proxy_config, heavy_genotype,
+                                        skip_only_genotype):
+        heavy = count_line_regions(heavy_genotype, tiny_proxy_config)
+        trivial = count_line_regions(skip_only_genotype, tiny_proxy_config)
+        assert heavy > trivial
+
+    def test_disconnected_has_minimal_regions(self, tiny_proxy_config,
+                                              disconnected_genotype,
+                                              heavy_genotype):
+        lonely = count_line_regions(disconnected_genotype, tiny_proxy_config)
+        heavy = count_line_regions(heavy_genotype, tiny_proxy_config)
+        assert lonely < heavy
+
+    def test_count_bounded_by_samples(self, tiny_proxy_config, heavy_genotype):
+        count = count_line_regions(heavy_genotype, tiny_proxy_config)
+        assert 1.0 <= count <= tiny_proxy_config.lr_num_samples
+
+    def test_default_alias(self, tiny_proxy_config, heavy_genotype):
+        assert count_linear_regions(heavy_genotype, tiny_proxy_config) == \
+            count_line_regions(heavy_genotype, tiny_proxy_config)
+
+
+class TestSampleRegions:
+    def test_bounded_by_batch(self, tiny_proxy_config, heavy_genotype):
+        count = count_sample_regions(heavy_genotype, tiny_proxy_config)
+        assert 1.0 <= count <= tiny_proxy_config.lr_num_samples
+
+    def test_skip_only_cell_still_counts_stem(self, tiny_proxy_config,
+                                              skip_only_genotype):
+        # The stem ReLU alone already separates random inputs.
+        count = count_sample_regions(skip_only_genotype, tiny_proxy_config)
+        assert count >= 1.0
+
+
+class TestSupernetRegions:
+    def test_full_supernet_counts(self, tiny_proxy_config):
+        from repro.searchspace.ops import CANDIDATE_OPS
+        sets = [CANDIDATE_OPS] * 6
+        count = supernet_line_regions(sets, tiny_proxy_config)
+        assert count > 1.0
+
+    def test_matches_genotype_for_singletons_semantics(self, tiny_proxy_config,
+                                                       heavy_genotype):
+        # Singleton supernet is the same function class; counts should be
+        # in a comparable range (not exactly equal: different init streams).
+        single = supernet_line_regions([(op,) for op in heavy_genotype.ops],
+                                       tiny_proxy_config)
+        concrete = count_line_regions(heavy_genotype, tiny_proxy_config)
+        assert single > 1.0 and concrete > 1.0

@@ -1,0 +1,99 @@
+"""Rank aggregation: directions, ties, weights, property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProxyError
+from repro.proxies.ranking import combine_ranks, rank_array
+
+
+class TestRankArray:
+    def test_lower_is_better_direction(self):
+        ranks = rank_array([3.0, 1.0, 2.0], higher_is_better=False)
+        assert list(ranks) == [2.0, 0.0, 1.0]
+
+    def test_higher_is_better_direction(self):
+        ranks = rank_array([3.0, 1.0, 2.0], higher_is_better=True)
+        assert list(ranks) == [0.0, 2.0, 1.0]
+
+    def test_ties_share_mean_rank(self):
+        ranks = rank_array([1.0, 1.0, 5.0], higher_is_better=False)
+        assert ranks[0] == ranks[1] == 0.5
+        assert ranks[2] == 2.0
+
+    def test_infinity_ranks_worst(self):
+        ranks = rank_array([np.inf, 1.0, 2.0], higher_is_better=False)
+        assert ranks[0] == 2.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ProxyError):
+            rank_array([np.nan, 1.0], higher_is_better=False)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_ranks_are_permutation_mean(self, values):
+        ranks = rank_array(values, higher_is_better=False)
+        # Rank sum is invariant: n(n-1)/2 regardless of ties.
+        n = len(values)
+        assert np.isclose(ranks.sum(), n * (n - 1) / 2)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
+                    max_size=20, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_direction_flip_reverses_order(self, values):
+        lo = rank_array(values, higher_is_better=False)
+        hi = rank_array(values, higher_is_better=True)
+        n = len(values)
+        assert np.allclose(lo + hi, n - 1)
+
+
+class TestCombineRanks:
+    def test_single_indicator(self):
+        combined = combine_ranks(
+            {"ntk": [5.0, 1.0, 3.0]}, {"ntk": False}
+        )
+        assert list(combined) == [2.0, 0.0, 1.0]
+
+    def test_two_indicators_agree(self):
+        combined = combine_ranks(
+            {"a": [1.0, 2.0, 3.0], "b": [10.0, 20.0, 30.0]},
+            {"a": False, "b": False},
+        )
+        assert combined[0] < combined[1] < combined[2]
+
+    def test_weights_scale_contribution(self):
+        # b prefers index 1 strongly if weighted up.
+        base = combine_ranks(
+            {"a": [1.0, 2.0], "b": [2.0, 1.0]},
+            {"a": False, "b": False},
+        )
+        assert base[0] == base[1]  # symmetric
+        weighted = combine_ranks(
+            {"a": [1.0, 2.0], "b": [2.0, 1.0]},
+            {"a": False, "b": False},
+            weights={"b": 3.0},
+        )
+        assert weighted[1] < weighted[0]
+
+    def test_zero_weight_ignores_indicator(self):
+        combined = combine_ranks(
+            {"a": [1.0, 2.0], "b": [2.0, 1.0]},
+            {"a": False, "b": False},
+            weights={"b": 0.0},
+        )
+        assert combined[0] < combined[1]
+
+    def test_missing_direction_rejected(self):
+        with pytest.raises(ProxyError):
+            combine_ranks({"a": [1.0, 2.0]}, {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ProxyError):
+            combine_ranks({"a": [1.0], "b": [1.0, 2.0]},
+                          {"a": False, "b": False})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProxyError):
+            combine_ranks({}, {})

@@ -1,0 +1,121 @@
+"""Random-search and evolutionary baselines."""
+
+import pytest
+
+from repro.benchdata.surrogate import SurrogateModel
+from repro.errors import SearchError
+from repro.search.constraints import HardwareConstraints
+from repro.search.evolutionary import ConstrainedEvolutionarySearch, EvolutionConfig
+from repro.search.objective import HybridObjective, ObjectiveWeights
+from repro.search.random_search import ZeroShotRandomSearch
+from repro.searchspace.network import MacroConfig
+
+
+class TestRandomSearch:
+    @pytest.fixture()
+    def objective(self, tiny_proxy_config, shared_latency_estimator):
+        return HybridObjective(
+            proxy_config=tiny_proxy_config,
+            weights=ObjectiveWeights(latency=0.5),
+            latency_estimator=shared_latency_estimator,
+        )
+
+    def test_returns_result_with_cost(self, objective):
+        result = ZeroShotRandomSearch(objective, num_samples=6, seed=0).search()
+        assert result.algorithm == "random-zeroshot"
+        assert result.ledger.counts["random_candidates"] == 6
+        assert result.wall_seconds > 0
+
+    def test_deterministic(self, objective, tiny_proxy_config,
+                           shared_latency_estimator):
+        a = ZeroShotRandomSearch(objective, num_samples=5, seed=3).search().genotype
+        fresh = HybridObjective(proxy_config=tiny_proxy_config,
+                                weights=ObjectiveWeights(latency=0.5),
+                                latency_estimator=shared_latency_estimator)
+        b = ZeroShotRandomSearch(fresh, num_samples=5, seed=3).search().genotype
+        assert a == b
+
+    def test_invalid_sample_count(self, objective):
+        with pytest.raises(SearchError):
+            ZeroShotRandomSearch(objective, num_samples=0)
+
+    def test_constraint_filtering(self, objective, shared_latency_estimator):
+        constraints = HardwareConstraints(max_latency_ms=500.0)
+        result = ZeroShotRandomSearch(objective, num_samples=8, seed=1).search(
+            constraints=constraints
+        )
+        latency = shared_latency_estimator.estimate_ms(result.genotype)
+        # Either feasible, or everything sampled was infeasible and the
+        # least-violating genotype was returned.
+        assert latency < 500.0 or result.history[0]["num_samples"] == 1
+
+
+class TestEvolutionarySearch:
+    def test_finds_good_architecture(self):
+        search = ConstrainedEvolutionarySearch(
+            EvolutionConfig(population_size=20, sample_size=5, cycles=150),
+            seed=0,
+        )
+        result = search.search()
+        acc = SurrogateModel().accuracy(result.genotype, "cifar10")
+        assert acc > 90.0  # unconstrained evolution should find strong cells
+
+    def test_charges_training_time(self):
+        search = ConstrainedEvolutionarySearch(
+            EvolutionConfig(population_size=10, sample_size=3, cycles=20), seed=0
+        )
+        result = search.search()
+        evaluations = 10 + 20
+        assert result.ledger.counts["simulated_training"] == evaluations
+        assert result.simulated_gpu_seconds > 0
+        assert result.search_gpu_hours > result.wall_seconds / 3600.0
+
+    def test_deterministic(self):
+        cfg = EvolutionConfig(population_size=10, sample_size=3, cycles=30)
+        a = ConstrainedEvolutionarySearch(cfg, seed=7).search().genotype
+        b = ConstrainedEvolutionarySearch(cfg, seed=7).search().genotype
+        assert a == b
+
+    def test_constraints_respected(self):
+        constraints = HardwareConstraints(max_params=0.5e6)
+        search = ConstrainedEvolutionarySearch(
+            EvolutionConfig(population_size=20, sample_size=5, cycles=150),
+            constraints=constraints,
+            seed=0,
+        )
+        result = search.search()
+        from repro.proxies.flops import count_params
+        assert count_params(result.genotype, MacroConfig.full()) <= 0.5e6
+
+    def test_constrained_accuracy_lower_than_unconstrained(self):
+        cfg = EvolutionConfig(population_size=20, sample_size=5, cycles=150)
+        free = ConstrainedEvolutionarySearch(cfg, seed=0).search()
+        tight = ConstrainedEvolutionarySearch(
+            cfg, constraints=HardwareConstraints(max_params=0.2e6), seed=0
+        ).search()
+        sur = SurrogateModel()
+        assert sur.accuracy(tight.genotype) <= sur.accuracy(free.genotype)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(SearchError):
+            ConstrainedEvolutionarySearch(EvolutionConfig(population_size=1))
+
+    def test_reduced_epochs_cheaper(self):
+        full = ConstrainedEvolutionarySearch(
+            EvolutionConfig(population_size=5, sample_size=2, cycles=5), seed=0
+        ).search()
+        cheap = ConstrainedEvolutionarySearch(
+            EvolutionConfig(population_size=5, sample_size=2, cycles=5,
+                            reduced_epochs=20),
+            seed=0,
+        ).search()
+        assert cheap.simulated_gpu_seconds < full.simulated_gpu_seconds
+
+
+class TestSearchResult:
+    def test_summary_format(self):
+        from repro.search.result import SearchResult
+        from repro.searchspace.genotype import Genotype
+        result = SearchResult(genotype=Genotype(("none",) * 6), algorithm="x")
+        assert "x:" in result.summary()
+        assert result.search_gpu_hours == 0.0

@@ -1,0 +1,79 @@
+"""Hardware constraint checking."""
+
+import pytest
+
+from repro.proxies.flops import count_flops, count_params
+from repro.search.constraints import ConstraintChecker, HardwareConstraints
+from repro.searchspace.network import MacroConfig
+
+
+class TestHardwareConstraints:
+    def test_empty_constrains_nothing(self):
+        assert not HardwareConstraints().constrains_anything
+
+    def test_any_bound_counts(self):
+        assert HardwareConstraints(max_flops=1e6).constrains_anything
+        assert HardwareConstraints(max_sram_bytes=1).constrains_anything
+
+
+class TestChecker:
+    @pytest.fixture(scope="class")
+    def macro(self):
+        return MacroConfig.full()
+
+    def test_flops_violation_reported(self, macro, heavy_genotype):
+        flops = count_flops(heavy_genotype, macro)
+        checker = ConstraintChecker(
+            HardwareConstraints(max_flops=flops / 2), macro_config=macro
+        )
+        violations = checker.violations(heavy_genotype)
+        assert violations["flops"] == pytest.approx(1.0)
+        assert not checker.satisfied(heavy_genotype)
+
+    def test_satisfied_when_under_bounds(self, macro, heavy_genotype):
+        flops = count_flops(heavy_genotype, macro)
+        params = count_params(heavy_genotype, macro)
+        checker = ConstraintChecker(
+            HardwareConstraints(max_flops=flops * 2, max_params=params * 2),
+            macro_config=macro,
+        )
+        assert checker.satisfied(heavy_genotype)
+        assert checker.total_violation(heavy_genotype) == 0.0
+
+    def test_latency_constraint(self, macro, heavy_genotype,
+                                shared_latency_estimator):
+        latency = shared_latency_estimator.estimate_ms(heavy_genotype)
+        checker = ConstraintChecker(
+            HardwareConstraints(max_latency_ms=latency * 0.5),
+            macro_config=macro,
+            latency_estimator=shared_latency_estimator,
+        )
+        assert "latency" in checker.violations(heavy_genotype)
+
+    def test_memory_constraints(self, macro, heavy_genotype):
+        checker = ConstraintChecker(
+            HardwareConstraints(max_sram_bytes=1, max_flash_bytes=1),
+            macro_config=macro,
+        )
+        violations = checker.violations(heavy_genotype)
+        assert "sram" in violations and "flash" in violations
+
+    def test_total_violation_sums(self, macro, heavy_genotype):
+        flops = count_flops(heavy_genotype, macro)
+        params = count_params(heavy_genotype, macro)
+        checker = ConstraintChecker(
+            HardwareConstraints(max_flops=flops / 2, max_params=params / 4),
+            macro_config=macro,
+        )
+        assert checker.total_violation(heavy_genotype) == pytest.approx(1.0 + 3.0)
+
+    def test_relative_overshoot_unit_free(self, macro, heavy_genotype):
+        # Same relative bound in different units -> same violation value.
+        flops = count_flops(heavy_genotype, macro)
+        params = count_params(heavy_genotype, macro)
+        checker = ConstraintChecker(
+            HardwareConstraints(max_flops=flops / 2, max_params=params / 2),
+            macro_config=macro,
+        )
+        v = checker.violations(heavy_genotype)
+        assert v["flops"] == pytest.approx(v["params"])

@@ -1,0 +1,238 @@
+"""Secondary-stage (macro) search over cells-per-stage and channel width."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.hardware.device import NUCLEO_F411RE, NUCLEO_F746ZG
+from repro.proxies.flops import count_flops, count_params
+from repro.search.constraints import HardwareConstraints
+from repro.search.macro import (
+    DeploymentPlan,
+    MacroCandidate,
+    MacroSearchSpace,
+    MacroStageSearch,
+    device_constraints,
+    plan_deployment,
+)
+from repro.searchspace.network import MacroConfig
+
+SMALL_SPACE = MacroSearchSpace(channel_choices=(4, 8, 16), cell_choices=(1, 2, 3))
+
+
+@pytest.fixture(scope="module")
+def search(heavy_genotype):
+    return MacroStageSearch(heavy_genotype, device=NUCLEO_F746ZG, space=SMALL_SPACE)
+
+
+class TestMacroSearchSpace:
+    def test_grid_size(self):
+        assert len(SMALL_SPACE) == 9
+        assert len(SMALL_SPACE.configs()) == 9
+
+    def test_configs_cover_grid(self):
+        seen = {(c.init_channels, c.cells_per_stage) for c in SMALL_SPACE.configs()}
+        assert seen == {(c, n) for c in (4, 8, 16) for n in (1, 2, 3)}
+
+    def test_default_grid_includes_nb201_full(self):
+        space = MacroSearchSpace()
+        assert any(
+            c.init_channels == 16 and c.cells_per_stage == 5
+            for c in space.configs()
+        )
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(SearchError):
+            MacroSearchSpace(channel_choices=())
+
+    def test_rejects_nonpositive_choices(self):
+        with pytest.raises(SearchError):
+            MacroSearchSpace(channel_choices=(0, 8))
+        with pytest.raises(SearchError):
+            MacroSearchSpace(cell_choices=(0,))
+
+    def test_rejects_indivisible_image_size(self):
+        with pytest.raises(SearchError):
+            MacroSearchSpace(image_size=30)
+
+
+class TestEvaluate:
+    def test_metrics_match_analytic_counts(self, search, heavy_genotype):
+        config = MacroConfig(init_channels=8, cells_per_stage=2)
+        cand = search.evaluate(config)
+        assert cand.flops == count_flops(heavy_genotype, config)
+        assert cand.params == count_params(heavy_genotype, config)
+        assert cand.latency_ms > 0
+        assert cand.peak_sram_bytes > 0
+        assert cand.flash_bytes > cand.params  # weights + code footprint
+
+    def test_latency_monotone_in_width(self, search):
+        narrow = search.evaluate(MacroConfig(init_channels=4, cells_per_stage=2))
+        wide = search.evaluate(MacroConfig(init_channels=16, cells_per_stage=2))
+        assert wide.latency_ms > narrow.latency_ms
+
+    def test_latency_monotone_in_depth(self, search):
+        shallow = search.evaluate(MacroConfig(init_channels=8, cells_per_stage=1))
+        deep = search.evaluate(MacroConfig(init_channels=8, cells_per_stage=3))
+        assert deep.latency_ms > shallow.latency_ms
+
+    def test_capacity_monotone_in_width(self, search):
+        narrow = search.evaluate(MacroConfig(init_channels=4, cells_per_stage=2))
+        wide = search.evaluate(MacroConfig(init_channels=16, cells_per_stage=2))
+        assert wide.capacity > narrow.capacity
+
+    def test_unconstrained_is_feasible(self, search):
+        cand = search.evaluate(MacroConfig(init_channels=8, cells_per_stage=2))
+        assert cand.feasible
+        assert cand.violations == {}
+
+    def test_violations_reported_relative(self, search):
+        config = MacroConfig(init_channels=8, cells_per_stage=2)
+        base = search.evaluate(config)
+        constrained = search.evaluate(
+            config, HardwareConstraints(max_latency_ms=base.latency_ms / 2)
+        )
+        assert constrained.violations["latency"] == pytest.approx(1.0, rel=1e-6)
+        assert not constrained.feasible
+
+    def test_cache_returns_consistent_metrics(self, search):
+        config = MacroConfig(init_channels=4, cells_per_stage=1)
+        first = search.evaluate(config)
+        second = search.evaluate(config)
+        assert first.latency_ms == second.latency_ms
+        assert first.flops == second.flops
+
+    def test_describe_mentions_violations(self, search):
+        config = MacroConfig(init_channels=16, cells_per_stage=3)
+        cand = search.evaluate(config, HardwareConstraints(max_flops=1.0))
+        assert "violates" in cand.describe()
+        assert "flops" in cand.describe()
+
+
+class TestSelect:
+    def test_unbounded_budget_selects_largest(self, search):
+        plan = search.select(HardwareConstraints())
+        assert plan.config.init_channels == 16
+        assert plan.config.cells_per_stage == 3
+        assert plan.alternatives_considered == len(SMALL_SPACE)
+
+    def test_latency_budget_caps_capacity(self, search):
+        widest = search.evaluate(MacroConfig(init_channels=16, cells_per_stage=3))
+        budget = widest.latency_ms * 0.5
+        plan = search.select(HardwareConstraints(max_latency_ms=budget))
+        assert plan.candidate.latency_ms <= budget
+        assert plan.candidate.capacity < widest.capacity
+
+    def test_selected_is_max_capacity_feasible(self, search):
+        constraints = HardwareConstraints(max_latency_ms=50.0)
+        plan = search.select(constraints)
+        feasible = [c for c in search.evaluate_all(constraints) if c.feasible]
+        assert plan.candidate.capacity == max(c.capacity for c in feasible)
+
+    def test_impossible_budget_raises(self, search):
+        with pytest.raises(SearchError, match="no macro skeleton"):
+            search.select(HardwareConstraints(max_latency_ms=1e-6))
+
+    def test_plan_to_dict_round_trips_fields(self, search):
+        plan = search.select(HardwareConstraints())
+        record = plan.to_dict()
+        assert record["device"] == NUCLEO_F746ZG.name
+        assert record["init_channels"] == plan.config.init_channels
+        assert record["latency_ms"] == plan.candidate.latency_ms
+        assert record["arch_index"] == plan.genotype.to_index()
+
+
+class TestParetoFrontier:
+    def test_frontier_sorted_and_dominating(self, search):
+        frontier = search.pareto_frontier()
+        assert frontier
+        latencies = [c.latency_ms for c in frontier]
+        capacities = [c.capacity for c in frontier]
+        assert latencies == sorted(latencies)
+        assert capacities == sorted(capacities)
+
+    def test_frontier_points_not_dominated(self, search):
+        frontier = search.pareto_frontier()
+        everyone = search.evaluate_all()
+        for point in frontier:
+            dominators = [
+                c for c in everyone
+                if c.latency_ms <= point.latency_ms and c.capacity > point.capacity
+            ]
+            assert not dominators
+
+    def test_frontier_contains_fastest(self, search):
+        everyone = search.evaluate_all()
+        fastest = min(everyone, key=lambda c: c.latency_ms)
+        frontier = search.pareto_frontier()
+        assert frontier[0].latency_ms == fastest.latency_ms
+
+
+class TestDeviceConstraints:
+    def test_budgets_from_device(self):
+        constraints = device_constraints(NUCLEO_F746ZG, max_latency_ms=100.0)
+        assert constraints.max_latency_ms == 100.0
+        assert constraints.max_sram_bytes == NUCLEO_F746ZG.sram_bytes
+        assert constraints.max_flash_bytes == NUCLEO_F746ZG.flash_bytes
+
+    def test_margin_scales_memories(self):
+        constraints = device_constraints(NUCLEO_F746ZG, memory_margin=0.5)
+        assert constraints.max_sram_bytes == NUCLEO_F746ZG.sram_bytes * 0.5
+
+    def test_invalid_margin_rejected(self):
+        with pytest.raises(SearchError):
+            device_constraints(NUCLEO_F746ZG, memory_margin=0.0)
+        with pytest.raises(SearchError):
+            device_constraints(NUCLEO_F746ZG, memory_margin=1.5)
+
+
+class TestPlanDeployment:
+    def test_end_to_end_float32(self, light_genotype):
+        plan = plan_deployment(
+            light_genotype,
+            device=NUCLEO_F746ZG,
+            space=SMALL_SPACE,
+        )
+        assert isinstance(plan, DeploymentPlan)
+        assert plan.candidate.peak_sram_bytes <= NUCLEO_F746ZG.sram_bytes
+        assert plan.candidate.flash_bytes <= NUCLEO_F746ZG.flash_bytes
+
+    def test_int8_fits_more_than_float32(self, heavy_genotype):
+        """int8 halves/quarters footprints, so capacity can only grow."""
+        f32 = plan_deployment(heavy_genotype, device=NUCLEO_F411RE,
+                              space=SMALL_SPACE, element_bytes=4)
+        i8 = plan_deployment(heavy_genotype, device=NUCLEO_F411RE,
+                             space=SMALL_SPACE, element_bytes=1)
+        assert i8.candidate.capacity >= f32.candidate.capacity
+
+    def test_smaller_device_gets_smaller_plan(self, heavy_genotype):
+        big = plan_deployment(heavy_genotype, device=NUCLEO_F746ZG,
+                              space=SMALL_SPACE)
+        small = plan_deployment(heavy_genotype, device=NUCLEO_F411RE,
+                                space=SMALL_SPACE)
+        assert small.candidate.capacity <= big.candidate.capacity
+
+    def test_latency_budget_respected(self, light_genotype):
+        plan = plan_deployment(
+            light_genotype, device=NUCLEO_F746ZG, space=SMALL_SPACE,
+            max_latency_ms=30.0,
+        )
+        assert plan.candidate.latency_ms <= 30.0
+
+
+class TestCandidateValue:
+    def test_capacity_is_log_sum(self):
+        cand = MacroCandidate(
+            config=MacroConfig(init_channels=8, cells_per_stage=2),
+            latency_ms=1.0, flops=1000, params=100,
+            peak_sram_bytes=1, flash_bytes=1,
+        )
+        assert cand.capacity == pytest.approx(np.log(100) + np.log(1000))
+
+    def test_zero_params_capacity_finite(self):
+        cand = MacroCandidate(
+            config=MacroConfig(init_channels=8, cells_per_stage=2),
+            latency_ms=1.0, flops=0, params=0,
+            peak_sram_bytes=1, flash_bytes=1,
+        )
+        assert np.isfinite(cand.capacity)

@@ -1,0 +1,175 @@
+"""Multi-objective Pareto zero-shot search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SearchError
+from repro.proxies.base import ProxyConfig
+from repro.search import HybridObjective, ObjectiveWeights
+from repro.search.pareto import (
+    ParetoPoint,
+    ParetoZeroShotSearch,
+    crowding_distance,
+    dominates,
+    non_dominated_sort,
+)
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+
+FAST_PROXY = ProxyConfig(init_channels=4, cells_per_stage=1, input_size=8,
+                         ntk_batch_size=8, lr_num_samples=32, lr_input_size=4,
+                         lr_channels=2, seed=9)
+
+objective_vectors = st.lists(
+    st.tuples(st.floats(0, 100), st.floats(0, 100)),
+    min_size=2, max_size=30,
+)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([1, 1], [2, 2])
+        assert dominates([1, 2], [1, 3])
+
+    def test_no_self_domination(self):
+        assert not dominates([1, 2], [1, 2])
+
+    def test_incomparable(self):
+        assert not dominates([1, 3], [2, 2])
+        assert not dominates([2, 2], [1, 3])
+
+    def test_length_mismatch(self):
+        with pytest.raises(SearchError):
+            dominates([1], [1, 2])
+
+
+class TestNonDominatedSort:
+    def test_simple_fronts(self):
+        points = np.array([[1, 1], [2, 2], [1, 3], [3, 3]])
+        fronts = non_dominated_sort(points)
+        assert fronts[0] == [0]          # (1,1) dominates everything
+        assert set(fronts[1]) == {1, 2}  # (2,2) and (1,3) incomparable
+        assert fronts[2] == [3]
+
+    def test_all_equal_points_one_front(self):
+        points = np.array([[1.0, 1.0]] * 5)
+        fronts = non_dominated_sort(points)
+        assert len(fronts) == 1
+        assert sorted(fronts[0]) == list(range(5))
+
+    @settings(max_examples=50, deadline=None)
+    @given(vectors=objective_vectors)
+    def test_fronts_partition_population(self, vectors):
+        points = np.array(vectors)
+        fronts = non_dominated_sort(points)
+        flat = sorted(i for front in fronts for i in front)
+        assert flat == list(range(len(points)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(vectors=objective_vectors)
+    def test_first_front_mutually_non_dominated(self, vectors):
+        points = np.array(vectors)
+        first = non_dominated_sort(points)[0]
+        for i in first:
+            for j in first:
+                assert not dominates(points[i], points[j])
+
+    @settings(max_examples=50, deadline=None)
+    @given(vectors=objective_vectors)
+    def test_nothing_dominates_first_front(self, vectors):
+        points = np.array(vectors)
+        first = set(non_dominated_sort(points)[0])
+        for i in range(len(points)):
+            for j in first:
+                assert not dominates(points[i], points[j])
+
+
+class TestCrowdingDistance:
+    def test_extremes_infinite(self):
+        points = np.array([[0, 10], [5, 5], [10, 0]])
+        distance = crowding_distance(points)
+        assert np.isinf(distance[0])
+        assert np.isinf(distance[2])
+        assert np.isfinite(distance[1])
+
+    def test_small_fronts_all_infinite(self):
+        assert np.all(np.isinf(crowding_distance(np.array([[1, 2]]))))
+        assert np.all(np.isinf(crowding_distance(np.array([[1, 2], [2, 1]]))))
+
+    def test_denser_point_smaller_distance(self):
+        # Point 1 sits between near neighbours (0,10) and (1.2,8.8);
+        # point 2's neighbourhood spans all the way to (10,0).
+        points = np.array([[0, 10.0], [1, 9.0], [1.2, 8.8], [10, 0.0]])
+        distance = crowding_distance(points)
+        assert distance[1] < distance[2]
+
+    def test_degenerate_axis_no_nan(self):
+        points = np.array([[1.0, 0], [1.0, 5], [1.0, 10]])
+        distance = crowding_distance(points)
+        assert not np.any(np.isnan(distance))
+
+
+class TestParetoSearch:
+    @pytest.fixture(scope="class")
+    def result(self, shared_latency_estimator):
+        objective = HybridObjective(
+            proxy_config=FAST_PROXY,
+            weights=ObjectiveWeights(latency=0.5),
+            latency_estimator=shared_latency_estimator,
+        )
+        return ParetoZeroShotSearch(objective, num_samples=16, seed=2).search()
+
+    def test_front_non_empty_and_sorted(self, result):
+        assert result.front
+        latencies = [p.latency_ms for p in result.front]
+        assert latencies == sorted(latencies)
+
+    def test_front_mutually_non_dominated(self, result):
+        for a in result.front:
+            for b in result.front:
+                assert not dominates(a.objectives(False), b.objectives(False))
+
+    def test_quality_decreases_along_front(self, result):
+        """Sorted by latency, quality rank must be non-increasing-better:
+        each slower point must buy strictly better (lower) quality."""
+        qualities = [p.quality_rank for p in result.front]
+        assert qualities == sorted(qualities, reverse=True)
+
+    def test_named_picks(self, result):
+        assert result.fastest().latency_ms == result.front[0].latency_ms
+        assert result.best_quality().quality_rank == min(
+            p.quality_rank for p in result.front)
+        knee = result.knee_point()
+        assert knee in result.front
+
+    def test_bookkeeping(self, result):
+        assert result.population_size == 16
+        assert result.num_fronts >= 1
+        assert result.wall_seconds > 0
+
+    def test_rejects_tiny_population(self, shared_latency_estimator):
+        objective = HybridObjective(proxy_config=FAST_PROXY,
+                                    latency_estimator=shared_latency_estimator)
+        with pytest.raises(SearchError):
+            ParetoZeroShotSearch(objective, num_samples=1)
+
+    def test_knee_point_of_empty_front(self):
+        from repro.search.pareto import ParetoResult
+        with pytest.raises(SearchError):
+            ParetoResult(front=[], population_size=0, wall_seconds=0,
+                         num_fronts=0).knee_point()
+
+    def test_flops_objective_supported(self, shared_latency_estimator):
+        objective = HybridObjective(
+            proxy_config=FAST_PROXY,
+            weights=ObjectiveWeights(latency=0.5),
+            latency_estimator=shared_latency_estimator,
+        )
+        result = ParetoZeroShotSearch(objective, num_samples=10, seed=4,
+                                      include_flops=True).search()
+        assert result.front
+        for a in result.front:
+            for b in result.front:
+                assert not dominates(a.objectives(True), b.objectives(True))

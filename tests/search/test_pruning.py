@@ -1,0 +1,124 @@
+"""MicroNAS pruning search (slow-ish: uses the tiny proxy config)."""
+
+import pytest
+
+from repro.search.constraints import ConstraintChecker, HardwareConstraints
+from repro.search.objective import HybridObjective, ObjectiveWeights
+from repro.search.pruning import MicroNASSearch
+from repro.search.tenas import TENASSearch
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.searchspace.ops import CANDIDATE_OPS
+from repro.errors import SearchError
+
+
+@pytest.fixture()
+def objective(tiny_proxy_config, shared_latency_estimator):
+    return HybridObjective(
+        proxy_config=tiny_proxy_config,
+        weights=ObjectiveWeights(latency=0.5),
+        macro_config=MacroConfig.full(),
+        latency_estimator=shared_latency_estimator,
+    )
+
+
+@pytest.fixture(scope="module")
+def micronas_result(tiny_proxy_config, shared_latency_estimator):
+    objective = HybridObjective(
+        proxy_config=tiny_proxy_config,
+        weights=ObjectiveWeights(latency=0.5),
+        macro_config=MacroConfig.full(),
+        latency_estimator=shared_latency_estimator,
+    )
+    return MicroNASSearch(objective, seed=0).search()
+
+
+class TestSearchMechanics:
+    def test_returns_concrete_genotype(self, micronas_result):
+        assert isinstance(micronas_result.genotype, Genotype)
+        assert len(micronas_result.genotype.ops) == 6
+
+    def test_history_records_rounds(self, micronas_result):
+        rounds = [h for h in micronas_result.history if "round" in h]
+        assert len(rounds) == len(CANDIDATE_OPS) - 1  # 4 pruning rounds
+        assert rounds[0]["num_candidates"] == 6 * len(CANDIDATE_OPS)
+        assert rounds[-1]["num_candidates"] == 6 * 2
+
+    def test_each_round_removes_one_op_per_edge(self, micronas_result):
+        rounds = [h for h in micronas_result.history if "round" in h]
+        for h in rounds:
+            assert set(h["removed"].keys()) == set(range(6))
+
+    def test_cost_ledger_populated(self, micronas_result):
+        assert micronas_result.ledger.counts["pruning_candidates"] == 30 + 24 + 18 + 12
+        assert micronas_result.ledger.seconds["ntk_eval"] > 0
+        assert micronas_result.wall_seconds > 0
+
+    def test_indicators_reported(self, micronas_result):
+        assert "ntk" in micronas_result.indicators
+        assert micronas_result.indicators["flops"] > 0
+
+    def test_weights_recorded(self, micronas_result):
+        assert micronas_result.weights_used["latency"] == 0.5
+
+    def test_deterministic_given_seed(self, objective):
+        a = MicroNASSearch(objective, seed=0).search().genotype
+        b = MicroNASSearch(objective.with_weights(objective.weights),
+                           seed=0).search().genotype
+        assert a == b
+
+    def test_too_few_ops_rejected(self, objective):
+        with pytest.raises(SearchError):
+            MicroNASSearch(objective, candidate_ops=("none",))
+
+    def test_restricted_op_set(self, tiny_proxy_config):
+        obj = HybridObjective(proxy_config=tiny_proxy_config)
+        result = MicroNASSearch(
+            obj, candidate_ops=("none", "skip_connect", "nor_conv_1x1"), seed=0
+        ).search()
+        assert set(result.genotype.ops) <= {"none", "skip_connect", "nor_conv_1x1"}
+
+
+class TestHardwareAwareness:
+    def test_latency_weight_reduces_latency(self, tiny_proxy_config,
+                                            shared_latency_estimator):
+        proxy_only = TENASSearch(proxy_config=tiny_proxy_config, seed=0).search()
+        hw = HybridObjective(
+            proxy_config=tiny_proxy_config,
+            weights=ObjectiveWeights(latency=2.0),
+            latency_estimator=shared_latency_estimator,
+        )
+        hw_result = MicroNASSearch(hw, seed=0).search()
+        lat_proxy = shared_latency_estimator.estimate_ms(proxy_only.genotype)
+        lat_hw = shared_latency_estimator.estimate_ms(hw_result.genotype)
+        assert lat_hw < lat_proxy
+
+    def test_constraint_adaptation_reaches_feasibility(self, tiny_proxy_config,
+                                                       shared_latency_estimator):
+        # A latency bound the proxy-only result would violate.
+        constraints = HardwareConstraints(max_latency_ms=400.0)
+        objective = HybridObjective(
+            proxy_config=tiny_proxy_config,
+            weights=ObjectiveWeights(),  # hardware weights start at zero
+            latency_estimator=shared_latency_estimator,
+        )
+        searcher = MicroNASSearch(objective, seed=0)
+        checker = ConstraintChecker(constraints,
+                                    latency_estimator=shared_latency_estimator)
+        result = searcher.search_with_constraints(constraints, checker=checker,
+                                                  max_outer_rounds=3)
+        outer = [h for h in result.history if "outer_round" in h]
+        assert outer, "outer adaptation history missing"
+        assert checker.total_violation(result.genotype) < 0.5  # near-feasible
+
+
+class TestTENAS:
+    def test_tenas_ignores_hardware(self, tiny_proxy_config):
+        search = TENASSearch(proxy_config=tiny_proxy_config, seed=0)
+        assert search.objective.weights.flops == 0.0
+        assert search.objective.weights.latency == 0.0
+        assert search.algorithm_name == "tenas"
+
+    def test_tenas_from_existing_objective(self, objective):
+        search = TENASSearch(objective=objective)
+        assert search.objective.weights.latency == 0.0

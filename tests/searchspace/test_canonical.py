@@ -1,0 +1,93 @@
+"""Functional canonicalisation and rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchdata.surrogate import SurrogateModel
+from repro.searchspace.canonical import (
+    canonicalize,
+    functionally_equal,
+    is_canonical,
+    live_edges,
+)
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.ops import CANDIDATE_OPS, NUM_EDGES
+from repro.searchspace.render import render_cell
+
+ops_strategy = st.tuples(*[st.sampled_from(CANDIDATE_OPS) for _ in range(NUM_EDGES)])
+
+
+class TestLiveEdges:
+    def test_all_none_has_no_live_edges(self):
+        assert live_edges(Genotype(("none",) * 6)) == set()
+
+    def test_fully_connected_all_live(self):
+        assert live_edges(Genotype(("nor_conv_3x3",) * 6)) == set(range(6))
+
+    def test_dead_branch_detected(self):
+        # Only edge 0->1 carries an op: node 1 never reaches the output.
+        ops = ["none"] * 6
+        ops[0] = "nor_conv_3x3"
+        assert live_edges(Genotype(tuple(ops))) == set()
+
+    def test_unreachable_source_detected(self):
+        # Edge 2->3 without anything feeding node 2.
+        ops = ["none"] * 6
+        ops[5] = "nor_conv_3x3"
+        assert live_edges(Genotype(tuple(ops))) == set()
+
+
+class TestCanonicalize:
+    def test_dead_conv_replaced_by_none(self):
+        ops = ["none"] * 6
+        ops[0] = "nor_conv_3x3"   # dead: node 1 goes nowhere
+        ops[3] = "skip_connect"   # live: direct 0->3
+        canon = canonicalize(Genotype(tuple(ops)))
+        assert canon.ops[0] == "none"
+        assert canon.ops[3] == "skip_connect"
+
+    def test_idempotent(self):
+        ops = ["none"] * 6
+        ops[0] = "avg_pool_3x3"
+        g = canonicalize(Genotype(tuple(ops)))
+        assert canonicalize(g) == g
+        assert is_canonical(g)
+
+    def test_functional_equality(self):
+        a = ["none"] * 6
+        a[3] = "skip_connect"
+        b = list(a)
+        b[0] = "nor_conv_3x3"  # dead edge difference only
+        assert functionally_equal(Genotype(tuple(a)), Genotype(tuple(b)))
+
+    @given(ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_idempotence_property(self, ops):
+        g = Genotype(ops)
+        assert canonicalize(canonicalize(g)) == canonicalize(g)
+
+    @given(ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_surrogate_invariant_under_canonicalisation(self, ops):
+        """Path-based accuracy must not see dead edges."""
+        g = Genotype(ops)
+        model = SurrogateModel()
+        assert model.quality(g) == pytest.approx(model.quality(canonicalize(g)))
+
+
+class TestRender:
+    def test_renders_all_nodes(self, heavy_genotype):
+        text = render_cell(heavy_genotype)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0] == "node 0 (input)"
+        assert "(output)" in lines[3]
+
+    def test_shows_op_abbreviations(self, heavy_genotype):
+        text = render_cell(heavy_genotype)
+        assert "3x3(0)" in text
+        assert "skip(0)" in text
+
+    def test_none_rendered_as_dot(self, disconnected_genotype):
+        assert "·(0)" in render_cell(disconnected_genotype)

@@ -1,0 +1,90 @@
+"""Cell and SuperCell forward semantics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import SearchSpaceError
+from repro.searchspace.cell import Cell, EdgeSpec, SuperCell
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.ops import CANDIDATE_OPS
+
+
+@pytest.fixture
+def x(rng):
+    return Tensor(rng.normal(size=(2, 4, 6, 6)))
+
+
+class TestCell:
+    def test_all_skip_cell_is_scaled_identity(self, x):
+        # node1 = x; node2 = x + node1 = 2x; node3 = x + node1 + node2 = 4x.
+        cell = Cell(Genotype(("skip_connect",) * 6), channels=4)
+        assert np.allclose(cell(x).data, 4.0 * x.data)
+
+    def test_all_none_cell_outputs_zeros(self, x):
+        cell = Cell(Genotype(("none",) * 6), channels=4)
+        assert np.allclose(cell(x).data, 0.0)
+
+    def test_only_direct_edge(self, x):
+        ops = ["none"] * 6
+        ops[3] = "skip_connect"  # edge 0->3
+        cell = Cell(Genotype(tuple(ops)), channels=4)
+        assert np.allclose(cell(x).data, x.data)
+
+    def test_shape_preserved(self, x, heavy_genotype):
+        assert Cell(heavy_genotype, channels=4, rng=0)(x).shape == x.shape
+
+    def test_deterministic_init(self, x, heavy_genotype):
+        a = Cell(heavy_genotype, channels=4, rng=9)(x).data
+        b = Cell(heavy_genotype, channels=4, rng=9)(x).data
+        assert np.array_equal(a, b)
+
+    def test_gradient_reaches_conv_weights(self, x, heavy_genotype):
+        cell = Cell(heavy_genotype, channels=4, rng=0)
+        cell(x).sum().backward()
+        assert all(p.grad is not None for p in cell.parameters())
+
+
+class TestEdgeSpec:
+    def test_without_removes(self):
+        spec = EdgeSpec(0, CANDIDATE_OPS)
+        pruned = spec.without("none")
+        assert "none" not in pruned.alive_ops
+        assert len(pruned.alive_ops) == len(CANDIDATE_OPS) - 1
+
+    def test_without_missing_raises(self):
+        with pytest.raises(SearchSpaceError):
+            EdgeSpec(0, ("none",)).without("skip_connect")
+
+    def test_decided(self):
+        assert EdgeSpec(0, ("none",)).decided
+        assert not EdgeSpec(0, CANDIDATE_OPS).decided
+
+
+class TestSuperCell:
+    def test_full_supernet_forward_shape(self, x):
+        specs = [EdgeSpec(i, CANDIDATE_OPS) for i in range(6)]
+        assert SuperCell(specs, channels=4, rng=0)(x).shape == x.shape
+
+    def test_singleton_specs_match_concrete_cell(self, x, heavy_genotype):
+        specs = [EdgeSpec(i, (op,)) for i, op in enumerate(heavy_genotype.ops)]
+        super_cell = SuperCell(specs, channels=4, rng=11)
+        cell = Cell(heavy_genotype, channels=4, rng=11)
+        assert np.allclose(super_cell(x).data, cell(x).data)
+
+    def test_edge_averaging(self, x):
+        # Edge 0->3 with {skip, none}: expect x/2 at the output via that path.
+        specs = [EdgeSpec(i, ("none",)) for i in range(6)]
+        specs[3] = EdgeSpec(3, ("skip_connect", "none"))
+        out = SuperCell(specs, channels=4, rng=0)(x)
+        assert np.allclose(out.data, 0.5 * x.data)
+
+    def test_empty_edge_contributes_nothing(self, x):
+        specs = [EdgeSpec(i, ()) for i in range(6)]
+        specs[3] = EdgeSpec(3, ("skip_connect",))
+        out = SuperCell(specs, channels=4, rng=0)(x)
+        assert np.allclose(out.data, x.data)
+
+    def test_wrong_spec_count_rejected(self):
+        with pytest.raises(SearchSpaceError):
+            SuperCell([EdgeSpec(0, CANDIDATE_OPS)], channels=4)

@@ -1,0 +1,100 @@
+"""Macro network construction and forward pass."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.searchspace.cell import Cell, EdgeSpec
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import (
+    MacroConfig,
+    ReductionBlock,
+    build_network,
+    build_supernet,
+)
+from repro.searchspace.ops import CANDIDATE_OPS
+
+
+class TestMacroConfig:
+    def test_full_defaults(self):
+        cfg = MacroConfig.full()
+        assert cfg.init_channels == 16
+        assert cfg.cells_per_stage == 5
+        assert cfg.stage_channels == (16, 32, 64)
+        assert cfg.stage_sizes == (32, 16, 8)
+
+    def test_proxy_is_reduced(self):
+        proxy, full = MacroConfig.proxy(), MacroConfig.full()
+        assert proxy.init_channels < full.init_channels
+        assert proxy.cells_per_stage < full.cells_per_stage
+        assert proxy.image_size < full.image_size
+
+    def test_custom_classes(self):
+        assert MacroConfig.full(num_classes=100).num_classes == 100
+
+
+class TestReductionBlock:
+    def test_halves_resolution_doubles_channels(self, rng):
+        block = ReductionBlock(4, 8, rng=0)
+        out = block(Tensor(rng.normal(size=(2, 4, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_has_residual_path(self, rng):
+        # Zeroing the main branch's convs must not zero the output.
+        block = ReductionBlock(4, 8, rng=0)
+        for name, p in block.main.named_parameters():
+            if "weight" in name and p.ndim == 4:
+                p.data[...] = 0.0
+        x = Tensor(rng.normal(size=(1, 4, 8, 8)))
+        assert np.abs(block(x).data).max() > 0.0
+
+
+class TestBuildNetwork:
+    def test_forward_shape(self, rng, heavy_genotype, tiny_macro_config):
+        net = build_network(heavy_genotype, tiny_macro_config, rng=0)
+        out = net(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 10)
+
+    def test_cell_count(self, heavy_genotype):
+        cfg = MacroConfig(init_channels=4, cells_per_stage=2, image_size=8)
+        net = build_network(heavy_genotype, cfg, rng=0)
+        assert len(net.cells()) == 6  # 3 stages x 2 cells
+
+    def test_body_structure(self, heavy_genotype, tiny_macro_config):
+        net = build_network(heavy_genotype, tiny_macro_config, rng=0)
+        kinds = [type(m).__name__ for m in net.body]
+        assert kinds == ["Cell", "ReductionBlock", "Cell", "ReductionBlock", "Cell"]
+
+    def test_deterministic_build(self, rng, heavy_genotype, tiny_macro_config):
+        x = Tensor(rng.normal(size=(1, 3, 8, 8)))
+        a = build_network(heavy_genotype, tiny_macro_config, rng=3)(x).data
+        b = build_network(heavy_genotype, tiny_macro_config, rng=3)(x).data
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, rng, heavy_genotype, tiny_macro_config):
+        x = Tensor(rng.normal(size=(1, 3, 8, 8)))
+        a = build_network(heavy_genotype, tiny_macro_config, rng=3)(x).data
+        b = build_network(heavy_genotype, tiny_macro_config, rng=4)(x).data
+        assert not np.allclose(a, b)
+
+    def test_disconnected_arch_still_classifies(self, rng, disconnected_genotype,
+                                                tiny_macro_config):
+        # Cells output zero, but stem/reductions/head keep the net defined.
+        net = build_network(disconnected_genotype, tiny_macro_config, rng=0)
+        out = net(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 10)
+        assert np.all(np.isfinite(out.data))
+
+
+class TestBuildSupernet:
+    def test_forward_shape(self, rng, tiny_macro_config):
+        specs = [EdgeSpec(i, CANDIDATE_OPS) for i in range(6)]
+        net = build_supernet(specs, tiny_macro_config, rng=0)
+        assert net(Tensor(rng.normal(size=(2, 3, 8, 8)))).shape == (2, 10)
+
+    def test_supernet_has_more_params_than_any_child(self, heavy_genotype,
+                                                     tiny_macro_config):
+        specs = [EdgeSpec(i, CANDIDATE_OPS) for i in range(6)]
+        supernet = build_supernet(specs, tiny_macro_config, rng=0)
+        child = build_network(heavy_genotype, tiny_macro_config, rng=0)
+        assert supernet.num_parameters() > child.num_parameters()

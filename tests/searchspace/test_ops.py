@@ -1,0 +1,99 @@
+"""Candidate operation semantics and cost formulas."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import SearchSpaceError
+from repro.searchspace.ops import (
+    CANDIDATE_OPS,
+    EDGES,
+    build_op,
+    op_flops,
+    op_is_parametric,
+    op_params,
+)
+
+
+@pytest.fixture
+def x(rng):
+    return Tensor(rng.normal(size=(2, 4, 6, 6)))
+
+
+class TestBuildOp:
+    def test_none_outputs_zeros(self, x):
+        out = build_op("none", 4)(x)
+        assert np.allclose(out.data, 0.0)
+        assert out.shape == x.shape
+
+    def test_skip_is_identity(self, x):
+        out = build_op("skip_connect", 4)(x)
+        assert np.allclose(out.data, x.data)
+
+    def test_pool_preserves_shape(self, x):
+        assert build_op("avg_pool_3x3", 4)(x).shape == x.shape
+
+    def test_convs_preserve_shape(self, x):
+        for op in ("nor_conv_1x1", "nor_conv_3x3"):
+            assert build_op(op, 4, rng=0)(x).shape == x.shape
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(SearchSpaceError):
+            build_op("dilated_conv", 4)
+
+    def test_conv_param_count(self):
+        op = build_op("nor_conv_3x3", 4, rng=0)
+        assert op.num_parameters() == op_params("nor_conv_3x3", 4)
+
+    def test_record_patterns_flag(self, x):
+        from repro.nn.layers.activation import ReLU
+        op = build_op("nor_conv_3x3", 4, rng=0, record_patterns=True)
+        relus = [m for m in op.modules() if isinstance(m, ReLU)]
+        assert relus and all(r.record_pattern for r in relus)
+
+
+class TestCostFormulas:
+    def test_flops_zero_for_free_ops(self):
+        assert op_flops("none", 16, 32, 32) == 0
+        assert op_flops("skip_connect", 16, 32, 32) == 0
+
+    def test_conv3x3_flops(self):
+        # MAC convention: C*C*9*H*W.
+        assert op_flops("nor_conv_3x3", 16, 32, 32) == 16 * 16 * 9 * 1024
+
+    def test_conv1x1_nine_times_cheaper(self):
+        assert op_flops("nor_conv_3x3", 8, 4, 4) == 9 * op_flops("nor_conv_1x1", 8, 4, 4)
+
+    def test_pool_flops(self):
+        assert op_flops("avg_pool_3x3", 16, 8, 8) == 9 * 16 * 64
+
+    def test_params_conv_includes_bn(self):
+        assert op_params("nor_conv_1x1", 16) == 16 * 16 + 32
+
+    def test_params_zero_for_non_parametric(self):
+        for op in ("none", "skip_connect", "avg_pool_3x3"):
+            assert op_params(op, 16) == 0
+            assert not op_is_parametric(op)
+
+    def test_parametric_flags(self):
+        assert op_is_parametric("nor_conv_3x3")
+        assert op_is_parametric("nor_conv_1x1")
+
+
+class TestDagStructure:
+    def test_six_edges_four_nodes(self):
+        assert len(EDGES) == 6
+        nodes = {n for e in EDGES for n in e}
+        assert nodes == {0, 1, 2, 3}
+
+    def test_edges_are_forward_only(self):
+        assert all(src < dst for src, dst in EDGES)
+
+    def test_every_non_input_node_has_incoming(self):
+        for node in (1, 2, 3):
+            assert any(dst == node for _, dst in EDGES)
+
+    def test_candidate_ops_canonical_order(self):
+        assert CANDIDATE_OPS == (
+            "none", "skip_connect", "nor_conv_1x1", "nor_conv_3x3", "avg_pool_3x3"
+        )

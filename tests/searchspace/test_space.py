@@ -1,0 +1,94 @@
+"""Space-level sampling, neighbourhoods, mutation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchSpaceError
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.ops import CANDIDATE_OPS, NUM_EDGES
+from repro.searchspace.space import NasBench201Space
+
+
+@pytest.fixture(scope="module")
+def space():
+    return NasBench201Space()
+
+
+class TestBasics:
+    def test_size(self, space):
+        assert len(space) == 5**6 == 15625
+
+    def test_contains(self, space):
+        assert Genotype(("none",) * 6) in space
+
+    def test_restricted_space(self):
+        sub = NasBench201Space(ops=("none", "skip_connect"))
+        assert len(sub) == 2**6
+        assert Genotype(("nor_conv_3x3",) * 6) not in sub
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SearchSpaceError):
+            NasBench201Space(ops=("none", "sep_conv_5x5"))
+
+    def test_get_by_index(self, space):
+        assert space.get(0).to_index() == 0
+
+    def test_iteration_starts_at_zero(self, space):
+        assert next(iter(space)).to_index() == 0
+
+
+class TestSampling:
+    def test_unique_sampling_no_duplicates(self, space):
+        sample = space.sample(200, rng=0)
+        assert len({g.to_index() for g in sample}) == 200
+
+    def test_sampling_deterministic(self, space):
+        a = [g.to_index() for g in space.sample(10, rng=5)]
+        b = [g.to_index() for g in space.sample(10, rng=5)]
+        assert a == b
+
+    def test_oversampling_unique_raises(self):
+        sub = NasBench201Space(ops=("none", "skip_connect"))
+        with pytest.raises(SearchSpaceError):
+            sub.sample(65, rng=0)
+
+    def test_with_replacement_allows_more(self):
+        sub = NasBench201Space(ops=("none", "skip_connect"))
+        sample = sub.sample(100, rng=0, unique=False)
+        assert len(sample) == 100
+
+    def test_sample_respects_restricted_ops(self):
+        sub = NasBench201Space(ops=("none", "skip_connect"))
+        for g in sub.sample(20, rng=1, unique=False):
+            assert set(g.ops) <= {"none", "skip_connect"}
+
+
+class TestNeighbourhood:
+    def test_neighbour_count(self, space):
+        g = Genotype(("none",) * 6)
+        neighbours = space.neighbours(g)
+        assert len(neighbours) == NUM_EDGES * (len(CANDIDATE_OPS) - 1)
+
+    def test_neighbours_at_hamming_distance_one(self, space):
+        g = Genotype(("nor_conv_3x3",) * 6)
+        for n in space.neighbours(g):
+            diff = sum(a != b for a, b in zip(g.ops, n.ops))
+            assert diff == 1
+
+    def test_mutate_changes_exactly_one_edge(self, space):
+        g = Genotype(("none",) * 6)
+        mutant = space.mutate(g, rng=3)
+        diff = sum(a != b for a, b in zip(g.ops, mutant.ops))
+        assert diff == 1
+
+    def test_mutate_deterministic(self, space):
+        g = Genotype(("none",) * 6)
+        assert space.mutate(g, rng=3) == space.mutate(g, rng=3)
+
+    def test_mutation_stays_in_space(self):
+        sub = NasBench201Space(ops=("none", "skip_connect", "nor_conv_1x1"))
+        g = Genotype(("none",) * 6)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            g = sub.mutate(g, rng=rng)
+            assert g in sub

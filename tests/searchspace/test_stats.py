@@ -1,0 +1,103 @@
+"""Search-space redundancy statistics."""
+
+import pytest
+
+from repro.errors import SearchSpaceError
+from repro.searchspace.canonical import canonicalize, is_canonical
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.space import NasBench201Space
+from repro.searchspace.stats import (
+    canonical_census,
+    class_of,
+    op_histogram,
+    space_statistics,
+    unique_sample,
+)
+
+
+@pytest.fixture(scope="module")
+def census():
+    return canonical_census()
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return space_statistics()
+
+
+class TestOpHistogram:
+    def test_counts(self, heavy_genotype, light_genotype):
+        hist = op_histogram([heavy_genotype, light_genotype])
+        assert sum(hist.values()) == 12
+        assert hist["nor_conv_3x3"] == 6  # 5 heavy + 1 light
+
+    def test_empty(self):
+        assert op_histogram([]) == {}
+
+
+class TestCensus:
+    def test_census_covers_space(self, census):
+        assert sum(census.values()) == 15_625
+
+    def test_keys_are_canonical_indices(self, census):
+        sample = list(census)[:50]
+        for index in sample:
+            assert is_canonical(Genotype.from_index(index))
+
+    def test_all_none_class_is_large(self, census):
+        """Every fully disconnected string collapses onto all-``none``."""
+        all_none = Genotype(("none",) * 6).to_index()
+        assert census[all_none] > 100
+
+
+class TestSpaceStatistics:
+    def test_counts_consistent(self, stats):
+        assert stats.total_arch_strings == 15_625
+        assert 0 < stats.canonical_classes < stats.total_arch_strings
+        assert 0.0 < stats.redundancy < 1.0
+        assert stats.singleton_classes <= stats.canonical_classes
+        assert stats.largest_class_size > 1
+
+    def test_disconnected_subset(self, stats):
+        assert 0 < stats.disconnected_arch_strings < stats.total_arch_strings
+
+    def test_known_redundancy_band(self, stats):
+        """NB201's functional-uniqueness ratio is well below 1 (literature
+        reports ~40 % of strings are functional duplicates)."""
+        assert stats.redundancy > 0.2
+
+
+class TestClassOf:
+    def test_canonical_representative(self, census, heavy_genotype):
+        canon, size = class_of(heavy_genotype, census)
+        assert canon == canonicalize(heavy_genotype)
+        assert size >= 1
+
+    def test_disconnected_class(self, census, disconnected_genotype):
+        canon, size = class_of(disconnected_genotype, census)
+        assert canon == disconnected_genotype
+        assert size > 100
+
+
+class TestUniqueSample:
+    def test_pairwise_functionally_distinct(self):
+        sample = unique_sample(30, rng=5)
+        keys = {g.to_index() for g in sample}
+        assert len(keys) == 30
+        assert all(is_canonical(g) for g in sample)
+
+    def test_deterministic(self):
+        a = unique_sample(10, rng=3)
+        b = unique_sample(10, rng=3)
+        assert [g.to_index() for g in a] == [g.to_index() for g in b]
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(SearchSpaceError):
+            unique_sample(0)
+
+    def test_exhaustion_guard(self):
+        """A space with one op has exactly one canonical class... plus the
+        disconnected one; asking for many unique forms must fail cleanly."""
+        tiny = NasBench201Space(ops=("none", "skip_connect"))
+        with pytest.raises(SearchSpaceError, match="unique"):
+            unique_sample(60, rng=0, space=tiny, max_attempts_factor=2)

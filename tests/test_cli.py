@@ -1,0 +1,143 @@
+"""CLI subcommands (invoked in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.algorithm == "micronas"
+        assert args.latency_weight == 0.5
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--algorithm", "darts"])
+
+
+class TestQuery(object):
+    def test_query_by_index(self, capsys):
+        assert main(["query", "11468"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy (cifar10)" in out
+        assert "nor_conv_3x3" in out
+
+    def test_query_by_arch_string(self, capsys, heavy_genotype):
+        assert main(["query", heavy_genotype.to_arch_str()]) == 0
+        assert "FLOPs" in capsys.readouterr().out
+
+    def test_bad_arch_string(self):
+        from repro.errors import GenotypeError
+        with pytest.raises(GenotypeError):
+            main(["query", "not-an-arch"])
+
+
+class TestProxies:
+    def test_all_proxies_listed(self, capsys, light_genotype):
+        assert main(["proxies", str(light_genotype.to_index()), "--fast"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ntk", "linear_regions", "synflow", "naswot"):
+            assert name in out
+
+
+class TestPareto:
+    def test_prints_front(self, capsys):
+        assert main(["pareto", "--samples", "8", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+        assert "knee ->" in out
+
+
+class TestSpaceStats:
+    def test_census_printed(self, capsys):
+        assert main(["space-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "15,625" in out
+        assert "redundancy" in out
+
+
+class TestDevices:
+    def test_lists_all_boards(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nucleo-f746zg", "nucleo-f411re", "nucleo-h743zi",
+                     "nucleo-l432kc", "rp2040-pico"):
+            assert name in out
+        assert "cyc/MAC int8" in out
+
+
+class TestDeploy:
+    def test_deployable_arch(self, capsys, light_genotype):
+        assert main(["deploy", str(light_genotype.to_index())]) == 0
+        out = capsys.readouterr().out
+        assert "DEPLOYABLE" in out
+        assert "int8 speedup" in out
+
+    def test_too_big_for_l432(self, capsys, heavy_genotype):
+        """64 KB SRAM / 256 KB flash cannot hold the full heavy network."""
+        code = main(["deploy", str(heavy_genotype.to_index()),
+                     "--device", "nucleo-l432kc"])
+        assert code == 1
+        assert "DOES NOT FIT" in capsys.readouterr().out
+
+
+class TestMacroSearch:
+    def test_fits_skeleton(self, capsys, light_genotype):
+        assert main(["macro-search", str(light_genotype.to_index()),
+                     "--int8"]) == 0
+        out = capsys.readouterr().out
+        assert "skeleton" in out
+        assert "grid points" in out
+
+    def test_impossible_budget_fails_cleanly(self, capsys, heavy_genotype):
+        code = main(["macro-search", str(heavy_genotype.to_index()),
+                     "--max-latency-ms", "0.001"])
+        assert code == 1
+        assert "macro search failed" in capsys.readouterr().out
+
+
+class TestMemplan:
+    def test_prints_strategies(self, capsys, heavy_genotype):
+        assert main(["memplan", str(heavy_genotype.to_index())]) == 0
+        out = capsys.readouterr().out
+        for strategy in ("no_reuse", "first_fit", "greedy_by_size"):
+            assert strategy in out
+
+    def test_layout_flag(self, capsys, light_genotype):
+        assert main(["memplan", str(light_genotype.to_index()),
+                     "--int8", "--layout", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "greedy layout" in out
+        assert "offset" in out
+
+
+class TestHardwareCommands:
+    def test_profile_prints_lut(self, capsys):
+        assert main(["profile", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "network overhead" in out
+        assert "conv" in out
+
+    def test_validate_latency_passes(self, capsys):
+        assert main(["validate-latency", "--samples", "5"]) == 0
+        assert "mean abs rel error" in capsys.readouterr().out
+
+    def test_unknown_device(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--device", "esp32"])
+
+
+class TestSearchCommand:
+    def test_random_search_fast(self, capsys):
+        code = main(["search", "--algorithm", "random", "--samples", "4",
+                     "--fast", "--latency-weight", "0.0",
+                     "--flops-weight", "0.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "architecture" in out
+        assert "surrogate CIFAR-10 acc" in out

@@ -1,0 +1,103 @@
+"""Data augmentation transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.train.augment import Augmenter, cutout, random_crop, random_flip
+
+
+@pytest.fixture()
+def batch(rng):
+    return rng.normal(size=(6, 3, 8, 8))
+
+
+class TestRandomFlip:
+    def test_always_flip(self, batch):
+        rng = np.random.default_rng(0)
+        out = random_flip(batch, rng, probability=1.0)
+        np.testing.assert_allclose(out, batch[:, :, :, ::-1])
+
+    def test_never_flip(self, batch):
+        rng = np.random.default_rng(0)
+        out = random_flip(batch, rng, probability=0.0)
+        np.testing.assert_allclose(out, batch)
+
+    def test_does_not_mutate_input(self, batch):
+        snapshot = batch.copy()
+        random_flip(batch, np.random.default_rng(1), probability=1.0)
+        np.testing.assert_allclose(batch, snapshot)
+
+    def test_invalid_probability(self, batch):
+        with pytest.raises(ReproError):
+            random_flip(batch, np.random.default_rng(0), probability=1.5)
+
+
+class TestRandomCrop:
+    def test_preserves_shape(self, batch):
+        out = random_crop(batch, np.random.default_rng(0), padding=2)
+        assert out.shape == batch.shape
+
+    def test_zero_padding_is_identity(self, batch):
+        out = random_crop(batch, np.random.default_rng(0), padding=0)
+        np.testing.assert_allclose(out, batch)
+
+    def test_content_is_shifted_window(self, batch):
+        """Every output must be a shifted copy with zero fill."""
+        out = random_crop(batch, np.random.default_rng(3), padding=2)
+        # Total mass can only shrink (pixels shifted out, zeros shifted in).
+        assert np.abs(out).sum() <= np.abs(batch).sum() + 1e-9
+
+    def test_negative_padding(self, batch):
+        with pytest.raises(ReproError):
+            random_crop(batch, np.random.default_rng(0), padding=-1)
+
+
+class TestCutout:
+    def test_zero_size_is_identity(self, batch):
+        out = cutout(batch, np.random.default_rng(0), size=0)
+        np.testing.assert_allclose(out, batch)
+
+    def test_cuts_one_square(self, batch):
+        out = cutout(batch, np.random.default_rng(0), size=3)
+        for i in range(len(batch)):
+            zeroed = (out[i] == 0) & (batch[i] != 0)
+            assert zeroed.any()  # something was cut
+
+    def test_negative_size(self, batch):
+        with pytest.raises(ReproError):
+            cutout(batch, np.random.default_rng(0), size=-2)
+
+
+class TestAugmenter:
+    def test_identity_configuration(self, batch):
+        augmenter = Augmenter(crop_padding=0, flip_probability=0.0,
+                              cutout_size=0)
+        np.testing.assert_allclose(augmenter(batch), batch)
+        assert augmenter.describe() == "identity"
+
+    def test_seeded_reproducibility(self, batch):
+        a = Augmenter(crop_padding=2, cutout_size=2, seed=42)(batch)
+        b = Augmenter(crop_padding=2, cutout_size=2, seed=42)(batch)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self, batch):
+        a = Augmenter(crop_padding=2, seed=1)(batch)
+        b = Augmenter(crop_padding=2, seed=2)(batch)
+        assert not np.allclose(a, b)
+
+    def test_describe_lists_stages(self):
+        augmenter = Augmenter(crop_padding=4, flip_probability=0.5,
+                              cutout_size=6)
+        text = augmenter.describe()
+        assert "crop" in text and "flip" in text and "cutout" in text
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_shape_invariant(self, seed):
+        rng = np.random.default_rng(7)
+        images = rng.normal(size=(3, 3, 8, 8))
+        augmenter = Augmenter(crop_padding=2, cutout_size=2, seed=seed)
+        assert augmenter(images).shape == images.shape

@@ -1,0 +1,147 @@
+"""Early stopping and checkpoint callbacks, plus trainer integration."""
+
+import numpy as np
+import pytest
+
+from repro.data import get_dataset
+from repro.errors import ReproError
+from repro.nn import Conv2d, Linear, ReLU, Sequential
+from repro.nn.layers.shape import Flatten
+from repro.train import (
+    Augmenter,
+    BestCheckpoint,
+    EarlyStopping,
+    Trainer,
+    TrainerConfig,
+)
+
+
+def tiny_model(rng=0):
+    # imagenet16-120 shapes: 3x16x16 images, 120 classes.
+    return Sequential(
+        Conv2d(3, 4, 3, stride=1, padding=1, rng=rng),
+        ReLU(),
+        Flatten(),
+        Linear(4 * 16 * 16, 120, rng=rng),
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return get_dataset("imagenet16-120", seed=3)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.update(0.5)
+        assert not stopper.update(0.4)   # stall 1
+        assert stopper.update(0.4)       # stall 2 -> stop
+        assert stopper.stopped
+
+    def test_improvement_resets(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(0.5)
+        stopper.update(0.4)
+        assert not stopper.update(0.6)   # new best
+        assert stopper.stalled == 0
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(0.5)
+        assert stopper.update(0.55)      # +0.05 < min_delta -> stall -> stop
+
+    def test_invalid_args(self):
+        with pytest.raises(ReproError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ReproError):
+            EarlyStopping(min_delta=-1.0)
+
+
+class TestBestCheckpoint:
+    def test_keeps_best_weights(self):
+        model = tiny_model()
+        checkpoint = BestCheckpoint(model)
+        assert checkpoint.update(0.5, epoch=0)
+        best_state = model.state_dict()
+        # Worse score: weights drift but the checkpoint must not follow.
+        for p in model.parameters():
+            p.data += 1.0
+        assert not checkpoint.update(0.4, epoch=1)
+        checkpoint.restore()
+        restored = model.state_dict()
+        for key, value in best_state.items():
+            np.testing.assert_allclose(restored[key], value)
+        assert checkpoint.best_epoch == 0
+
+    def test_restore_without_checkpoint(self):
+        with pytest.raises(ReproError):
+            BestCheckpoint(tiny_model()).restore()
+
+
+class TestTrainerIntegration:
+    CONFIG = TrainerConfig(epochs=4, batch_size=8, batches_per_epoch=2,
+                           lr=0.01, seed=1)
+
+    def test_augmenter_applied(self, dataset):
+        """Training with augmentation still optimises (loss finite, runs)."""
+        trainer = Trainer(tiny_model(), dataset, config=self.CONFIG,
+                          augmenter=Augmenter(crop_padding=2, seed=5))
+        history = trainer.fit()
+        assert len(history) == 4
+        assert all(np.isfinite(s.train_loss) for s in history)
+
+    def test_callbacks_require_evaluation(self, dataset):
+        trainer = Trainer(tiny_model(), dataset, config=self.CONFIG)
+        with pytest.raises(ReproError, match="evaluate_every"):
+            trainer.fit(early_stopping=EarlyStopping(patience=1))
+
+    def test_early_stopping_can_shorten_run(self, dataset):
+        trainer = Trainer(tiny_model(), dataset, config=self.CONFIG)
+        history = trainer.fit(
+            evaluate_every=1,
+            early_stopping=EarlyStopping(patience=1, min_delta=1.0),
+        )
+        # min_delta=1.0 (impossible improvement) stops after patience=1
+        # stalls, i.e. by epoch 2 of 4.
+        assert len(history) <= 2
+
+    def test_checkpoint_restores_best(self, dataset):
+        model = tiny_model()
+        trainer = Trainer(model, dataset, config=self.CONFIG)
+        checkpoint = BestCheckpoint(model)
+        trainer.fit(evaluate_every=1, checkpoint=checkpoint)
+        assert checkpoint.has_checkpoint
+        best = max(s.eval_accuracy for s in trainer.history
+                   if s.eval_accuracy is not None)
+        assert checkpoint.best == pytest.approx(best)
+
+
+class TestAdam:
+    def test_adam_reduces_loss(self, dataset):
+        from repro.autograd import Tensor, cross_entropy
+        from repro.train import Adam
+
+        model = tiny_model()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        images, labels = dataset.batch(16, rng=0)
+        first = None
+        for _ in range(8):
+            optimizer.zero_grad()
+            loss = cross_entropy(model(Tensor(images)), labels)
+            loss.backward()
+            optimizer.step()
+            loss.clear_tape_grads()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < first
+
+    def test_adam_validation(self):
+        from repro.train import Adam
+        params = tiny_model().parameters()
+        with pytest.raises(ReproError):
+            Adam(params, lr=-1.0)
+        with pytest.raises(ReproError):
+            Adam(params, betas=(1.0, 0.999))
+        with pytest.raises(ReproError):
+            Adam(params, eps=0.0)

@@ -1,0 +1,99 @@
+"""Optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.nn.module import Parameter
+from repro.train.optim import SGD
+from repro.train.schedules import ConstantLR, CosineLR, StepLR
+
+
+def make_param(value=1.0, grad=0.5):
+    p = Parameter(np.array([value]))
+    p.grad = np.array([grad])
+    return p
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param()
+        SGD([p], lr=0.1, momentum=0.0, weight_decay=0.0).step()
+        assert np.isclose(p.data[0], 1.0 - 0.1 * 0.5)
+
+    def test_weight_decay_added_to_gradient(self):
+        p = make_param(value=2.0, grad=0.0)
+        SGD([p], lr=0.1, momentum=0.0, weight_decay=0.1).step()
+        assert np.isclose(p.data[0], 2.0 - 0.1 * 0.1 * 2.0)
+
+    def test_momentum_accumulates(self):
+        p = make_param(value=0.0, grad=1.0)
+        opt = SGD([p], lr=1.0, momentum=0.5, weight_decay=0.0)
+        opt.step()          # v=1, x=-1
+        p.grad = np.array([1.0])
+        opt.step()          # v=1.5, x=-2.5
+        assert np.isclose(p.data[0], -2.5)
+
+    def test_skips_gradless_params(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_zero_grad(self):
+        p = make_param()
+        opt = SGD([p])
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SGD([], lr=0.1)
+        with pytest.raises(ReproError):
+            SGD([make_param()], lr=-1.0)
+        with pytest.raises(ReproError):
+            SGD([make_param()], momentum=1.0)
+
+    def test_descends_quadratic(self):
+        # Minimise f(x) = x^2 from x=3: must approach 0.
+        p = Parameter(np.array([3.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9, weight_decay=0.0)
+        for _ in range(100):
+            p.grad = 2.0 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantLR(0.1)
+        assert sched.lr_at(0) == sched.lr_at(100) == 0.1
+
+    def test_cosine_endpoints(self):
+        sched = CosineLR(0.1, total_epochs=10, min_lr=0.001)
+        assert sched.lr_at(0) == pytest.approx(0.1)
+        assert sched.lr_at(10) == pytest.approx(0.001)
+        assert sched.lr_at(5) == pytest.approx((0.1 + 0.001) / 2)
+
+    def test_cosine_monotone_decreasing(self):
+        sched = CosineLR(0.1, total_epochs=20)
+        lrs = [sched.lr_at(e) for e in range(21)]
+        assert all(b <= a + 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_step_decay(self):
+        sched = StepLR(1.0, step_size=2, gamma=0.1)
+        assert sched.lr_at(0) == 1.0
+        assert sched.lr_at(2) == pytest.approx(0.1)
+        assert sched.lr_at(4) == pytest.approx(0.01)
+
+    def test_apply_sets_optimizer_lr(self):
+        opt = SGD([make_param()], lr=1.0)
+        CosineLR(0.1, 10).apply(opt, 0)
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ConstantLR(0.0)
+        with pytest.raises(ReproError):
+            CosineLR(0.1, 0)
+        with pytest.raises(ReproError):
+            StepLR(0.1, 0)
