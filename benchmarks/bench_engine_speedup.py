@@ -1,0 +1,148 @@
+"""Engine-path vs pre-PR per-candidate objective evaluation.
+
+Times a 64-candidate ``HybridObjective`` population evaluation two ways:
+
+* **old path** — the seed implementation's shape: every candidate pays an
+  inline reference-mode evaluation (one backward per NTK sample, one
+  forward per probe line), no canonical deduplication, no cache.
+* **engine path** — ``HybridObjective.score_genotypes``, i.e. the batched
+  evaluation engine: vectorized kernels + canonicalization-aware cache.
+
+Also validates the vectorization: batched proxies must match the
+reference-mode values within 1e-6 relative tolerance on the whole
+population.  Results land in ``BENCH_engine.json`` at the repo root so the
+perf trajectory is tracked from this PR onward.
+
+Run directly (``python benchmarks/bench_engine_speedup.py``) or via pytest
+(``pytest benchmarks/bench_engine_speedup.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.eval.benchconfig import bench_scale, search_proxy_config
+from repro.eval.correlation import kendall_tau
+from repro.proxies.flops import count_flops
+from repro.proxies.linear_regions import count_line_regions
+from repro.proxies.ntk import ntk_condition_number
+from repro.search.objective import HybridObjective, ObjectiveWeights
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.searchspace.space import NasBench201Space
+from repro.utils.timing import Timer, format_duration
+
+POPULATION_SIZE = 64
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _old_path_rows(population: List[Genotype], proxy_config,
+                   macro_config: MacroConfig) -> List[Dict[str, float]]:
+    """The seed code's per-candidate loop: inline, uncached, reference-mode."""
+    reference = proxy_config.reference()
+    rows = []
+    for genotype in population:
+        rows.append({
+            "ntk": ntk_condition_number(genotype, reference),
+            "linear_regions": count_line_regions(genotype, reference),
+            "flops": float(count_flops(genotype, macro_config)),
+            "latency": 0.0,
+        })
+    return rows
+
+
+def run_engine_speedup() -> Dict:
+    proxy_config = search_proxy_config()
+    macro_config = MacroConfig.full()
+    weights = ObjectiveWeights(flops=0.5)
+    population = NasBench201Space().sample(POPULATION_SIZE, rng=42)
+
+    objective = HybridObjective(proxy_config=proxy_config, weights=weights,
+                                macro_config=macro_config)
+
+    with Timer() as old_timer:
+        old_rows = _old_path_rows(population, proxy_config, macro_config)
+        old_scores = objective.combined_ranks(old_rows)
+
+    with Timer() as engine_timer:
+        engine_scores = objective.score_genotypes(population)
+
+    # Warm repeat: a search loop revisiting the same population (mutation
+    # neighbourhoods, outer constraint rounds) pays only cache lookups.
+    with Timer() as warm_timer:
+        objective.score_genotypes(population)
+
+    # Vectorization equivalence on the full population.  The engine seeds
+    # proxies from the *canonical* index, so compare like for like: batched
+    # vs reference values of each canonical form.
+    table = objective.evaluate_population(population)
+    max_ntk_rel = 0.0
+    ntk_nonfinite_agree = True
+    lr_exact = True
+    reference_engine = HybridObjective(proxy_config=proxy_config.reference(),
+                                       weights=weights,
+                                       macro_config=macro_config)
+    reference_table = reference_engine.evaluate_population(population)
+    for batched, reference in zip(table.rows(), reference_table.rows()):
+        ref_k, bat_k = reference["ntk"], batched["ntk"]
+        if np.isfinite(ref_k) and ref_k != 0.0:
+            max_ntk_rel = max(max_ntk_rel, abs(bat_k - ref_k) / abs(ref_k))
+        else:
+            ntk_nonfinite_agree &= (ref_k == bat_k)
+        lr_exact &= (batched["linear_regions"] == reference["linear_regions"])
+
+    stats = objective.engine.cache.stats
+    result = {
+        "bench_scale": bench_scale(),
+        "population_size": POPULATION_SIZE,
+        "unique_canonical": table.unique_canonical,
+        "old_path_seconds": old_timer.elapsed,
+        "engine_seconds": engine_timer.elapsed,
+        "warm_engine_seconds": warm_timer.elapsed,
+        "speedup": old_timer.elapsed / engine_timer.elapsed,
+        "warm_speedup": old_timer.elapsed / max(warm_timer.elapsed, 1e-9),
+        "max_ntk_rel_err": max_ntk_rel,
+        "ntk_nonfinite_agree": bool(ntk_nonfinite_agree),
+        "lr_bit_identical": bool(lr_exact),
+        # Engine values are canonical-seeded, so old/engine scores differ
+        # for non-canonical genotypes; ranks must still correlate strongly.
+        "score_kendall_tau": float(kendall_tau(old_scores, engine_scores)),
+        "cache": {"hits": stats.hits, "misses": stats.misses,
+                  "entries": stats.entries},
+    }
+    OUTPUT_PATH.write_text(json.dumps(result, indent=2) + "\n",
+                           encoding="utf-8")
+    return result
+
+
+def test_engine_speedup(benchmark):
+    result = benchmark.pedantic(run_engine_speedup, rounds=1, iterations=1)
+    _report(result)
+    assert result["speedup"] >= 2.0
+    assert result["max_ntk_rel_err"] < 1e-6
+    assert result["ntk_nonfinite_agree"]
+    assert result["lr_bit_identical"]
+
+
+def _report(result: Dict) -> None:
+    print()
+    print(f"population            : {result['population_size']} "
+          f"({result['unique_canonical']} unique canonical)")
+    print(f"old path (per-candidate): "
+          f"{format_duration(result['old_path_seconds'])}")
+    print(f"engine path (cold)    : {format_duration(result['engine_seconds'])}"
+          f"  -> {result['speedup']:.2f}x")
+    print(f"engine path (warm)    : "
+          f"{format_duration(result['warm_engine_seconds'])}"
+          f"  -> {result['warm_speedup']:.0f}x")
+    print(f"max NTK rel error     : {result['max_ntk_rel_err']:.2e}")
+    print(f"LR bit-identical      : {result['lr_bit_identical']}")
+    print(f"written               : {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    _report(run_engine_speedup())

@@ -10,6 +10,10 @@ searchspace
     The NAS-Bench-201 cell space: genotypes, cells, supernets, networks.
 proxies
     Zero-cost indicators: NTK condition numbers, linear regions, FLOPs.
+engine
+    Batched trainless-evaluation engine: vectorized proxy kernels, the
+    canonicalization-aware indicator cache, and the population API every
+    search algorithm evaluates through.
 hardware
     MCU device registry, precision-aware cycle cost model (float32/int8),
     latency LUT profiler/estimator plus alternative latency models,
@@ -43,6 +47,7 @@ __all__ = [
     "nn",
     "searchspace",
     "proxies",
+    "engine",
     "hardware",
     "search",
     "benchdata",

@@ -335,7 +335,9 @@ def conv2d(
     kernel = kh
     cols, (oh, ow) = _im2col(x.data, kernel, stride, padding)
     w_mat = weight.data.reshape(c_out, c_in * kernel * kernel)
-    out_data = np.einsum("ok,nkp->nop", w_mat, cols).reshape(n, c_out, oh, ow)
+    # Batched BLAS matmul ((o,k) broadcast against (n,k,p)) — measurably
+    # faster than the equivalent einsum, which bypasses BLAS.
+    out_data = np.matmul(w_mat, cols).reshape(n, c_out, oh, ow)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
     out = Tensor(out_data)
@@ -343,12 +345,12 @@ def conv2d(
     def backward(grad: np.ndarray) -> None:
         grad_mat = grad.reshape(n, c_out, oh * ow)
         if weight.requires_grad:
-            grad_w = np.einsum("nop,nkp->ok", grad_mat, cols)
+            grad_w = np.tensordot(grad_mat, cols, axes=([0, 2], [0, 2]))
             weight._accumulate(grad_w.reshape(weight.data.shape))
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)))
         if x.requires_grad:
-            grad_cols = np.einsum("ok,nop->nkp", w_mat, grad_mat)
+            grad_cols = np.matmul(w_mat.T, grad_mat)
             x._accumulate(_col2im(grad_cols, x.data.shape, kernel, stride, padding))
 
     parents = (x, weight) if bias is None else (x, weight, bias)

@@ -1,0 +1,66 @@
+"""Batched trainless-evaluation engine.
+
+Every search algorithm in :mod:`repro.search` obtains indicator values
+(NTK condition number κ, linear-region count LR, FLOPs F, latency L)
+through one :class:`~repro.engine.core.Engine` instead of re-deriving them
+inline.  The engine has three layers:
+
+1. **Vectorized kernels** (:mod:`repro.engine.kernels`) — the full NTK
+   Jacobian from ONE batched forward + ONE backward (per-sample gradients
+   reconstructed layer-locally), and all probe lines of the region count
+   in a single stacked ``no_grad`` forward.  The original per-sample /
+   per-line loops remain available as ``mode="reference"`` for validation.
+2. **Canonicalization-aware cache** (:mod:`repro.engine.cache`) — memoizes
+   every indicator across repeats, search cycles and algorithms.
+3. **Population API** (:meth:`Engine.evaluate_population`) — deduplicates
+   a population by canonical form and returns an
+   :class:`~repro.engine.table.IndicatorTable` in request order.
+
+Cache-key contract
+------------------
+Indicator values are properties of the **canonical cell function**, not of
+the raw genotype: every evaluation first applies
+:func:`repro.searchspace.canonical.canonicalize` (dead edges → ``none``)
+and both computes on and keys by the canonical form.  Consequences callers
+rely on:
+
+* Functionally-equal genotypes (``canonicalize(a) == canonicalize(b)``)
+  share one cache entry and return **bit-identical** values — including
+  the proxy RNG streams, which are seeded from the *canonical* index.
+* Keys embed everything the value depends on, so differing configurations
+  can never alias: proxy values are keyed by
+  ``(indicator, canonical_index, astuple(ProxyConfig))`` (covering sizes,
+  seeds, repeats and the ``ntk_mode``/``lr_mode`` kernel selection, plus
+  ``k_index`` for κ); FLOPs/params by
+  ``(indicator, canonical_index, astuple(MacroConfig))``; latency by
+  ``(indicator, canonical_index, device name, precision,
+  astuple(MacroConfig))``.  Supernet states replace the canonical index
+  with the tuple of alive-op sets in edge order.
+* :class:`~repro.hardware.latency.LatencyEstimator` writes the same
+  latency keys, so an estimator sharing the engine's
+  :class:`~repro.engine.cache.IndicatorCache` contributes to (and benefits
+  from) the same memo.  A direct ``estimate_ms`` call does *not*
+  canonicalize — dead edges are billed, matching the on-board ground
+  truth; the engine's ``latency_ms`` prices the canonical network an
+  optimising deployment runtime would compile.
+"""
+
+from repro.engine.cache import CacheStats, IndicatorCache
+from repro.engine.table import IndicatorTable
+from repro.engine.kernels import (
+    batched_count_line_regions,
+    batched_line_patterns,
+    batched_ntk_jacobian,
+)
+from repro.engine.core import INDICATOR_NAMES, Engine
+
+__all__ = [
+    "Engine",
+    "IndicatorCache",
+    "IndicatorTable",
+    "CacheStats",
+    "INDICATOR_NAMES",
+    "batched_ntk_jacobian",
+    "batched_line_patterns",
+    "batched_count_line_regions",
+]

@@ -1,0 +1,85 @@
+"""The canonicalization-aware indicator cache.
+
+One :class:`IndicatorCache` memoizes every expensive indicator the
+evaluation engine computes — NTK condition numbers, linear-region counts,
+FLOPs, parameter counts and LUT latencies — across repeats, search cycles
+and algorithms.  Keys are plain hashable tuples built by the caller; the
+engine's key contract is documented in :mod:`repro.engine`.
+
+The cache is deliberately dumb: no eviction (the NAS-Bench-201 space tops
+out at 15,625 architectures × a handful of indicators, far below memory
+pressure), no locking (the library is single-threaded), and values are
+opaque.  ``float('inf')`` and ``nan`` are legal cached values, so presence
+is tracked explicitly rather than via ``get(...) is None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one :class:`IndicatorCache`."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class IndicatorCache:
+    """Memoizes indicator values under caller-supplied hashable keys."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Peek without touching the hit/miss counters."""
+        return self._data.get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        self._data[key] = value
+        return value
+
+    def lookup(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on first use."""
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            return value
+        self.misses += 1
+        return self.put(key, compute())
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it existed."""
+        return self._data.pop(key, _MISSING) is not _MISSING
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          entries=len(self._data))
+
+    def counters(self) -> Tuple[int, int]:
+        """Current ``(hits, misses)`` snapshot (for delta accounting)."""
+        return (self.hits, self.misses)

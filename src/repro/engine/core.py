@@ -1,0 +1,303 @@
+"""The batched trainless-evaluation engine (layers 2 and 3).
+
+:class:`Engine` is the single path through which search algorithms obtain
+indicator values.  It owns
+
+* the **canonicalization-aware cache** — indicators are properties of the
+  canonical cell function, so every value is computed on (and keyed by)
+  ``canonicalize(genotype)``; see :mod:`repro.engine` for the key contract,
+* the **vectorized proxy kernels** — genotype evaluations dispatch to the
+  batched NTK / line-counting paths via ``ProxyConfig.ntk_mode``/``lr_mode``,
+* the **population API** — :meth:`evaluate_population` deduplicates a
+  population by canonical form, evaluates only the unique survivors and
+  returns an :class:`~repro.engine.table.IndicatorTable` in request order.
+
+Latency estimators are built lazily per macro configuration and share the
+engine's cache (the per-estimator memo that used to live in
+``hardware/latency.py`` now writes the same keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import astuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.cache import IndicatorCache
+from repro.engine.table import IndicatorTable
+from repro.proxies.base import ProxyConfig
+from repro.proxies.flops import count_flops, count_params
+from repro.proxies.linear_regions import count_line_regions, supernet_line_regions
+from repro.proxies.ntk import ntk_condition_number, supernet_ntk_condition_number
+from repro.searchspace.canonical import canonicalize
+from repro.searchspace.cell import EdgeSpec
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.utils.timing import CostLedger, Timer
+
+#: Indicator columns a full genotype evaluation produces.
+INDICATOR_NAMES = ("ntk", "linear_regions", "flops", "latency")
+
+
+def _supernet_key(edge_specs: Sequence[EdgeSpec]) -> Tuple:
+    """Hashable identity of a supernet state (alive-op sets in edge order)."""
+    return tuple(tuple(spec.alive_ops) for spec in edge_specs)
+
+
+class Engine:
+    """Batched, cached indicator evaluation for populations of genotypes."""
+
+    def __init__(
+        self,
+        proxy_config: Optional[ProxyConfig] = None,
+        macro_config: Optional[MacroConfig] = None,
+        latency_estimator=None,
+        device=None,
+        profiler=None,
+        cache: Optional[IndicatorCache] = None,
+        ledger: Optional[CostLedger] = None,
+    ) -> None:
+        self.proxy_config = proxy_config or ProxyConfig()
+        self.macro_config = macro_config or MacroConfig.full()
+        self.cache = cache if cache is not None else IndicatorCache()
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self._device = device
+        self._profiler = profiler
+        self._latency_estimator = latency_estimator
+        self._estimators: Dict[Tuple, object] = {}
+        if latency_estimator is not None:
+            self._estimators[astuple(latency_estimator.config)] = latency_estimator
+        self._proxy_key = astuple(self.proxy_config)
+
+    # ------------------------------------------------------------------
+    # Latency estimator plumbing
+    # ------------------------------------------------------------------
+    @property
+    def latency_estimator(self):
+        """Lazily profiled estimator for the engine's deployment config."""
+        if self._latency_estimator is None:
+            self._latency_estimator = self._estimator_for(self.macro_config)
+        return self._latency_estimator
+
+    def device(self):
+        """The MCU this engine prices latency for (resolved lazily)."""
+        if self._device is not None:
+            return self._device
+        if self._latency_estimator is not None:
+            return self._latency_estimator.device
+        from repro.hardware.device import NUCLEO_F746ZG
+
+        return NUCLEO_F746ZG  # what _estimator_for would default to
+
+    def for_device(self, device, profiler=None) -> "Engine":
+        """This engine if it already prices ``device``, else a sibling.
+
+        The sibling shares the cache and ledger (latency keys embed the
+        device name, so entries never alias) but builds its own estimators
+        — callers like :class:`~repro.search.macro.MacroStageSearch` must
+        never silently receive another board's latencies.
+        """
+        if self.device().name == device.name:
+            return self
+        return Engine(
+            proxy_config=self.proxy_config,
+            macro_config=self.macro_config,
+            device=device,
+            profiler=profiler,
+            cache=self.cache,
+            ledger=self.ledger,
+        )
+
+    def _estimator_for(self, config: MacroConfig):
+        """One shared LUT estimator per macro configuration.
+
+        Estimators built here write into the engine's own cache, folding
+        the old per-estimator latency memo into the canonical one.
+        """
+        key = astuple(config)
+        if key not in self._estimators:
+            from repro.hardware.latency import LatencyEstimator
+
+            kwargs = {"config": config, "cache": self.cache}
+            device = self._device
+            profiler = self._profiler
+            if self._latency_estimator is not None:
+                device = device or self._latency_estimator.device
+                profiler = profiler or self._latency_estimator.profiler
+            if device is not None:
+                kwargs["device"] = device
+            if profiler is not None:
+                kwargs["profiler"] = profiler
+            self._estimators[key] = LatencyEstimator(**kwargs)
+        return self._estimators[key]
+
+    # ------------------------------------------------------------------
+    # Single-indicator accessors (all canonicalization-aware and cached)
+    # ------------------------------------------------------------------
+    def ntk(self, genotype: Genotype, k_index: int = 1) -> float:
+        """Cached NTK condition number of the canonical form."""
+        canon = canonicalize(genotype)
+        key = ("ntk", canon.to_index(), k_index, self._proxy_key)
+
+        def compute() -> float:
+            with Timer() as timer:
+                value = ntk_condition_number(canon, self.proxy_config,
+                                             k_index=k_index)
+            self.ledger.add("ntk_eval", timer.elapsed)
+            return value
+
+        return self._lookup(key, compute, "ntk")
+
+    def linear_regions(self, genotype: Genotype) -> float:
+        """Cached linear-region count of the canonical form."""
+        canon = canonicalize(genotype)
+        key = ("linear_regions", canon.to_index(), self._proxy_key)
+
+        def compute() -> float:
+            with Timer() as timer:
+                value = count_line_regions(canon, self.proxy_config)
+            self.ledger.add("lr_eval", timer.elapsed)
+            return value
+
+        return self._lookup(key, compute, "lr")
+
+    def flops(self, genotype: Genotype,
+              config: Optional[MacroConfig] = None) -> float:
+        """Cached deployment FLOPs of the canonical form."""
+        config = config or self.macro_config
+        canon = canonicalize(genotype)
+        key = ("flops", canon.to_index(), astuple(config))
+        return self._lookup(key, lambda: float(count_flops(canon, config)),
+                            "flops")
+
+    def params(self, genotype: Genotype,
+               config: Optional[MacroConfig] = None) -> int:
+        """Cached learnable-parameter count of the canonical form."""
+        config = config or self.macro_config
+        canon = canonicalize(genotype)
+        key = ("params", canon.to_index(), astuple(config))
+        return self._lookup(key, lambda: count_params(canon, config), "params")
+
+    def latency_ms(self, genotype: Genotype,
+                   config: Optional[MacroConfig] = None) -> float:
+        """Cached LUT latency of the canonical form (what a deployment
+        runtime that elides dead edges would actually pay).
+
+        Note the asymmetry with :meth:`LatencyEstimator.estimate_ms` and
+        :class:`~repro.search.constraints.ConstraintChecker`, which price
+        genotypes *as given* (dead edges billed, matching the on-board
+        ground truth) — see the cache-key contract in :mod:`repro.engine`.
+        """
+        estimator = (self.latency_estimator if config is None
+                     else self._estimator_for(config))
+        canon = canonicalize(genotype)
+        key = ("latency", canon.to_index(), estimator.device.name,
+               estimator.precision, astuple(estimator.config))
+        if estimator.cache is self.cache:
+            # The estimator memoizes under the identical key in the same
+            # cache; a second engine-side lookup would double-count misses.
+            hit = key in self.cache
+            with Timer() as timer:
+                value = estimator.estimate_ms(canon)
+            if hit:
+                self.ledger.add("latency_cache_hit", count=1)
+            else:
+                self.ledger.add("latency_eval", timer.elapsed)
+            return value
+
+        def compute() -> float:
+            with Timer() as timer:
+                value = estimator.estimate_ms(canon)
+            self.ledger.add("latency_eval", timer.elapsed)
+            return value
+
+        return self._lookup(key, compute, "latency")
+
+    def _lookup(self, key, compute, tag: str):
+        before = self.cache.hits
+        value = self.cache.lookup(key, compute)
+        if self.cache.hits > before:
+            self.ledger.add(f"{tag}_cache_hit", count=1)
+        return value
+
+    # ------------------------------------------------------------------
+    # Genotype evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, genotype: Genotype,
+                 with_latency: bool = False) -> Dict[str, float]:
+        """All four indicator values for one architecture.
+
+        ``latency`` is reported as 0.0 unless requested — profiling a
+        device is only worth paying for when the objective weights it.
+        """
+        return {
+            "ntk": self.ntk(genotype),
+            "linear_regions": self.linear_regions(genotype),
+            "flops": self.flops(genotype),
+            "latency": self.latency_ms(genotype) if with_latency else 0.0,
+        }
+
+    def evaluate_population(
+        self,
+        genotypes: Sequence[Genotype],
+        with_latency: bool = False,
+    ) -> IndicatorTable:
+        """Indicator table for a population, deduplicated canonically.
+
+        Rows come back in request order (duplicates included); each unique
+        canonical form is evaluated at most once, and repeat populations
+        hit the cache outright.
+        """
+        genotypes = list(genotypes)
+        hits0, misses0 = self.cache.counters()
+        unique_rows: Dict[int, Dict[str, float]] = {}
+        canon_indices: List[int] = []
+        for genotype in genotypes:
+            index = canonicalize(genotype).to_index()
+            canon_indices.append(index)
+            if index not in unique_rows:
+                unique_rows[index] = self.evaluate(genotype,
+                                                   with_latency=with_latency)
+        hits1, misses1 = self.cache.counters()
+        columns = {
+            name: np.array([unique_rows[idx][name] for idx in canon_indices],
+                           dtype=float)
+            for name in INDICATOR_NAMES
+        }
+        return IndicatorTable(
+            genotypes=genotypes,
+            columns=columns,
+            cache_hits=hits1 - hits0,
+            cache_misses=misses1 - misses0,
+            unique_canonical=len(unique_rows),
+        )
+
+    # ------------------------------------------------------------------
+    # Supernet states (the pruning search's comparison unit)
+    # ------------------------------------------------------------------
+    def supernet_ntk(self, edge_specs: Sequence[EdgeSpec]) -> float:
+        """Cached NTK condition number of a pruning-supernet state."""
+        key = ("supernet_ntk", _supernet_key(edge_specs), self._proxy_key)
+
+        def compute() -> float:
+            with Timer() as timer:
+                value = supernet_ntk_condition_number(edge_specs,
+                                                      self.proxy_config)
+            self.ledger.add("ntk_eval", timer.elapsed)
+            return value
+
+        return self._lookup(key, compute, "ntk")
+
+    def supernet_linear_regions(self, edge_specs: Sequence[EdgeSpec]) -> float:
+        """Cached line-region count of a pruning-supernet state."""
+        key = ("supernet_lr", _supernet_key(edge_specs), self._proxy_key)
+
+        def compute() -> float:
+            edge_op_sets = [spec.alive_ops for spec in edge_specs]
+            with Timer() as timer:
+                value = supernet_line_regions(edge_op_sets, self.proxy_config)
+            self.ledger.add("lr_eval", timer.elapsed)
+            return value
+
+        return self._lookup(key, compute, "lr")

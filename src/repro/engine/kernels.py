@@ -1,0 +1,238 @@
+"""Vectorized proxy kernels (layer 1 of the evaluation engine).
+
+Two hot loops dominate trainless evaluation, and both collapse to single
+batched passes:
+
+* **NTK Jacobian** — the reference path runs one forward/backward per
+  sample (batch-size-1 tapes).  With BatchNorm statistics frozen, no
+  operation in the proxy network mixes batch entries, so the per-sample
+  gradient of every *intermediate* tensor survives a single batched
+  backward intact; only the contraction into parameter gradients sums over
+  the batch.  :func:`batched_ntk_jacobian` therefore runs ONE batched
+  forward + ONE backward seeded with ones, captures each parameterised
+  layer's input activation and output gradient via forward hooks, and
+  reconstructs the per-sample parameter gradients layer-locally
+  (Goodfellow, 2015): an outer product for ``Linear``, an im2col
+  contraction for ``Conv2d``, and channel-wise reductions for the affine
+  ``BatchNorm2d`` terms.  The result is the exact ``(B, P)`` Jacobian the
+  per-sample loop produces, at ~1/B of the Python/tape overhead.
+
+* **Line-region counting** — the reference path runs one forward per probe
+  line.  :func:`batched_line_patterns` stacks all lines' sample points
+  into one ``(L·P, C, H, W)`` batch and runs a single ``no_grad`` forward;
+  per-line boundary crossings are then counted on the reshaped pattern
+  matrix.  Per-sample arithmetic is bit-identical to the per-line path.
+
+Both kernels assume (and assert) per-sample independence: networks must be
+in eval mode with frozen normalisation statistics.  The engine's cache and
+population layers live in :mod:`repro.engine.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd.functional import _im2col
+from repro.errors import ProxyError
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.module import Module
+
+#: Layer types whose per-sample parameter gradients the kernel can
+#: reconstruct layer-locally.  Everything parameterised in this library is
+#: composed of these three leaves.
+_CAPTURED_TYPES = (Conv2d, Linear, BatchNorm2d)
+
+
+def _param_slices(params) -> Dict[int, List[slice]]:
+    """Flat-Jacobian column slices per parameter id, in collection order.
+
+    Matches the layout of ``_collect_param_grads`` in the reference path:
+    parameters are concatenated in ``network.parameters()`` order.
+    """
+    slices: Dict[int, List[slice]] = {}
+    offset = 0
+    for p in params:
+        slices.setdefault(id(p), []).append(slice(offset, offset + p.size))
+        offset += p.size
+    return slices
+
+
+def _per_sample_grads(module: Module, x: Tensor, grad: np.ndarray,
+                      batch: int) -> List[Tuple[int, np.ndarray]]:
+    """``(param id, (B, size) gradient)`` pairs for one captured layer call."""
+    out: List[Tuple[int, np.ndarray]] = []
+    if isinstance(module, Conv2d):
+        n, c_out, oh, ow = grad.shape
+        cols, _ = _im2col(x.data, module.kernel_size, module.stride,
+                          module.padding)
+        grad_mat = grad.reshape(n, c_out, oh * ow)
+        grad_w = np.matmul(grad_mat, cols.transpose(0, 2, 1))
+        out.append((id(module.weight), grad_w.reshape(batch, -1)))
+        if module.bias is not None:
+            out.append((id(module.bias), grad.sum(axis=(2, 3))))
+    elif isinstance(module, Linear):
+        if x.ndim != 2 or grad.ndim != 2:
+            raise ProxyError(
+                f"batched NTK supports 2-D Linear activations, got input "
+                f"{x.shape} / grad {grad.shape}"
+            )
+        grad_w = grad[:, :, None] * x.data[:, None, :]
+        out.append((id(module.weight), grad_w.reshape(batch, -1)))
+        if module.bias is not None:
+            out.append((id(module.bias), grad))
+    elif isinstance(module, BatchNorm2d):
+        if not module.affine:
+            return out
+        if module.training:
+            raise ProxyError(
+                "batched NTK requires frozen BatchNorm statistics "
+                "(eval mode); use mode='reference' or 'coupled' instead"
+            )
+        inv_std = 1.0 / np.sqrt(module.running_var + module.eps)
+        normalised = (x.data - module.running_mean.reshape(1, -1, 1, 1)) \
+            * inv_std.reshape(1, -1, 1, 1)
+        out.append((id(module.weight), (grad * normalised).sum(axis=(2, 3))))
+        out.append((id(module.bias), grad.sum(axis=(2, 3))))
+    return out
+
+
+def batched_ntk_jacobian(network: Module, images: np.ndarray,
+                         freeze_stats: bool = True) -> np.ndarray:
+    """Exact per-sample summed-logit Jacobian in one forward + one backward.
+
+    With ``freeze_stats=True`` (the default) every BatchNorm computes this
+    batch's statistics on the fly and normalises with them as constants —
+    numerically identical to the reference path's separate momentum-1.0
+    freeze pass, without paying a second forward.  The network must be in
+    eval mode.  Returns the ``(B, P)`` matrix whose rows are
+    ``∂ Σ_c f_c(x_i) / ∂θ`` in ``network.parameters()`` order — the same
+    layout as the reference per-sample loop, up to float summation order.
+    """
+    params = network.parameters()
+    if not params:
+        raise ProxyError("network has no parameters; NTK undefined")
+    batch = images.shape[0]
+    slices = _param_slices(params)
+
+    captures: List[Tuple[Module, Tensor, Tensor]] = []
+    handles: List[Tuple[Module, int]] = []
+
+    def capture(module: Module, inputs: Tuple, output: Tensor) -> None:
+        captures.append((module, inputs[0], output))
+
+    batchnorms = []
+    for module in network.modules():
+        if module._parameters and not isinstance(module, _CAPTURED_TYPES):
+            raise ProxyError(
+                f"{type(module).__name__} carries parameters the batched NTK "
+                "kernel cannot capture; use mode='reference'"
+            )
+        if isinstance(module, _CAPTURED_TYPES):
+            handles.append((module, module.register_forward_hook(capture)))
+        if isinstance(module, BatchNorm2d):
+            batchnorms.append(module)
+
+    # Route gradient flow through the *input* and detach the parameters:
+    # the kernel only consumes intermediate activation gradients, so the
+    # total parameter gradients the backward closures would otherwise
+    # produce (one tensordot per conv) are pure waste here.
+    saved_flags = [p.requires_grad for p in params]
+    try:
+        if freeze_stats:
+            network.train(False)
+            for bn in batchnorms:
+                bn.freeze_stats_on_forward = True
+        for p in params:
+            p.requires_grad = False
+        output = network(Tensor(images, requires_grad=True))
+        if output.ndim != 2:
+            raise ProxyError(
+                f"expected (batch, classes) logits, got {output.shape}"
+            )
+        output.backward(np.ones_like(output.data))
+    finally:
+        for module, handle in handles:
+            module.remove_forward_hook(handle)
+        for p, flag in zip(params, saved_flags):
+            p.requires_grad = flag
+        if freeze_stats:
+            for bn in batchnorms:
+                bn.freeze_stats_on_forward = False
+
+    jacobian = np.zeros((batch, sum(p.size for p in params)))
+    for module, x, out in captures:
+        grad = out.grad
+        if grad is None:
+            # Layer output never reached the logits (dead branch): the
+            # reference loop leaves these parameter gradients at zero too.
+            continue
+        for pid, per_sample in _per_sample_grads(module, x, grad, batch):
+            for column_slice in slices[pid]:
+                jacobian[:, column_slice] += per_sample
+    output.clear_tape_grads()
+    return jacobian
+
+
+def batched_line_patterns(
+    network: Module,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    num_points: int,
+) -> np.ndarray:
+    """ReLU patterns for every point of every probe line in ONE forward.
+
+    ``starts``/``stops`` are ``(L, C, H, W)`` segment endpoints.  Returns a
+    ``(L, num_points, units)`` boolean array; per-sample values are
+    bit-identical to running each line separately (no op mixes the batch
+    axis in the BN-free expressivity network).
+    """
+    from repro.proxies.linear_regions import _forward_patterns
+
+    starts = np.asarray(starts, dtype=float)
+    stops = np.asarray(stops, dtype=float)
+    if starts.shape != stops.shape or starts.ndim != 4:
+        raise ProxyError(
+            f"need matching (L, C, H, W) endpoints, got {starts.shape} "
+            f"and {stops.shape}"
+        )
+    num_lines = starts.shape[0]
+    ts = np.linspace(0.0, 1.0, num_points).reshape(1, -1, 1, 1, 1)
+    lines = starts[:, None] * (1.0 - ts) + stops[:, None] * ts
+    stacked = lines.reshape(num_lines * num_points, *starts.shape[1:])
+    patterns = _forward_patterns(network, stacked)
+    return patterns.reshape(num_lines, num_points, -1)
+
+
+def count_regions_per_line(patterns: np.ndarray) -> np.ndarray:
+    """Region count per line from stacked ``(L, P, units)`` patterns.
+
+    A region boundary lies between consecutive points whose activation
+    patterns differ; each line crosses ``#boundaries + 1`` regions.
+    """
+    changed = (patterns[:, 1:] != patterns[:, :-1]).any(axis=2)
+    return changed.sum(axis=1) + 1
+
+
+def batched_count_line_regions(
+    network: Module,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    num_points: int,
+) -> np.ndarray:
+    """Per-line region counts for all probe lines in one forward pass."""
+    return count_regions_per_line(
+        batched_line_patterns(network, starts, stops, num_points)
+    )
+
+
+__all__ = [
+    "batched_ntk_jacobian",
+    "batched_line_patterns",
+    "batched_count_line_regions",
+    "count_regions_per_line",
+]

@@ -7,7 +7,8 @@ measurements in ``benchmarks/bench_latency_model_accuracy.py``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import astuple
+from typing import TYPE_CHECKING, Optional
 
 from repro.hardware.costmodel import CycleCostModel
 from repro.hardware.device import MCUDevice, NUCLEO_F746ZG
@@ -16,13 +17,23 @@ from repro.hardware.profiler import LatencyLUT, OnDeviceProfiler
 from repro.searchspace.genotype import Genotype
 from repro.searchspace.network import MacroConfig
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see __init__)
+    from repro.engine.cache import IndicatorCache
+
 
 class LatencyEstimator:
     """Estimates MCU inference latency of any genotype from a profiled LUT.
 
     Construction profiles the device once (building the LUT for the given
     deployment macro config); estimates are then pure table composition and
-    are cached per genotype.
+    memoized.  The memo is a pluggable
+    :class:`~repro.engine.cache.IndicatorCache` — pass the evaluation
+    engine's cache to fold per-estimator results into the shared indicator
+    memo (the key layout matches :meth:`repro.engine.Engine.latency_ms`).
+
+    Note ``estimate_ms`` prices the genotype *as given*: dead edges are
+    billed exactly like the on-board ground-truth measurement bills them.
+    Canonicalization-aware pricing lives in the engine layer.
     """
 
     def __init__(
@@ -32,12 +43,20 @@ class LatencyEstimator:
         profiler: Optional[OnDeviceProfiler] = None,
         lut: Optional[LatencyLUT] = None,
         precision: str = "float32",
+        cache: Optional["IndicatorCache"] = None,
     ) -> None:
+        # Deferred import: repro.engine transitively imports this module
+        # (engine → proxies → benchdata → hardware), so binding at class
+        # construction time breaks the cycle.
+        from repro.engine.cache import IndicatorCache
+
         self.device = device
         self.config = config or MacroConfig.full()
         self.profiler = profiler or OnDeviceProfiler(device, precision=precision)
         self.lut = lut if lut is not None else self.profiler.build_lut(self.config)
-        self._cache: Dict[int, float] = {}
+        self.cache = cache if cache is not None else IndicatorCache()
+        self._key_suffix = (self.device.name, self.precision,
+                            astuple(self.config))
 
     @property
     def precision(self) -> str:
@@ -46,12 +65,14 @@ class LatencyEstimator:
 
     def estimate_ms(self, genotype: Genotype) -> float:
         """Estimated single-image inference latency in milliseconds."""
-        index = genotype.to_index()
-        if index not in self._cache:
+        key = ("latency", genotype.to_index()) + self._key_suffix
+
+        def compute() -> float:
             layers = network_layers(genotype, self.config)
             total = sum(self.lut.lookup(layer) for layer in layers)
-            self._cache[index] = total + self.lut.network_overhead_ms
-        return self._cache[index]
+            return total + self.lut.network_overhead_ms
+
+        return self.cache.lookup(key, compute)
 
     def ground_truth_ms(self, genotype: Genotype) -> float:
         """Full on-board measurement (validation reference, not cached)."""

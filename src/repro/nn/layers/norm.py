@@ -26,6 +26,12 @@ class BatchNorm2d(Module):
         self.eps = eps
         self.momentum = momentum
         self.affine = affine
+        #: Eval-mode fast path for the frozen-BN NTK: when set, the next
+        #: forward computes this batch's statistics out-of-tape, stores them
+        #: as the running estimates and normalises with them as constants —
+        #: equivalent to a momentum-1.0 training pass followed by an eval
+        #: pass, in a single forward.
+        self.freeze_stats_on_forward = False
         if affine:
             self.weight = Parameter(np.ones(num_features), name="bn.weight")
             self.bias = Parameter(np.zeros(num_features), name="bn.bias")
@@ -35,6 +41,12 @@ class BatchNorm2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
             raise ValueError(f"BatchNorm2d expects NCHW input, got {x.shape}")
+        if not self.training and self.freeze_stats_on_forward:
+            mean = x.data.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x.data - mean
+            var = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+            self.running_mean[...] = mean.reshape(-1)
+            self.running_var[...] = var.reshape(-1)
         if self.training:
             mean = x.mean(axis=(0, 2, 3), keepdims=True)
             centered = x - mean

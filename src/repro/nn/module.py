@@ -8,8 +8,9 @@ matters for reproducible NTK Jacobian layouts).
 
 from __future__ import annotations
 
+import itertools
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
 import numpy as np
 
@@ -26,10 +27,13 @@ class Parameter(Tensor):
 class Module:
     """Base class for all layers and networks."""
 
+    _hook_ids = itertools.count()
+
     def __init__(self) -> None:
         self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
         self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._forward_hooks: "OrderedDict[int, Callable]" = OrderedDict()
         self.training = True
 
     # ------------------------------------------------------------------
@@ -119,8 +123,29 @@ class Module:
     def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def register_forward_hook(
+        self, hook: Callable[["Module", Tuple, Tensor], None]
+    ) -> int:
+        """Attach ``hook(module, inputs, output)`` to run after each forward.
+
+        The batched NTK kernel uses hooks to capture per-layer activations
+        for per-sample gradient reconstruction.  Returns a handle for
+        :meth:`remove_forward_hook`.
+        """
+        handle = next(Module._hook_ids)
+        self.__dict__.setdefault("_forward_hooks", OrderedDict())[handle] = hook
+        return handle
+
+    def remove_forward_hook(self, handle: int) -> None:
+        self.__dict__.get("_forward_hooks", {}).pop(handle, None)
+
     def __call__(self, *args, **kwargs) -> Tensor:
-        return self.forward(*args, **kwargs)
+        out = self.forward(*args, **kwargs)
+        hooks = self.__dict__.get("_forward_hooks")
+        if hooks:
+            for hook in tuple(hooks.values()):
+                hook(self, args, out)
+        return out
 
     def extra_repr(self) -> str:
         return ""

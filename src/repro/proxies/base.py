@@ -17,6 +17,12 @@ class ProxyConfig:
     fewer cells per stage and narrower channels than the deployment network,
     with a small input resolution.  ``ntk_batch_size=32`` is the paper's
     recommended operating point (Fig. 2b).
+
+    ``ntk_mode``/``lr_mode`` select the proxy kernels: ``"batched"`` (the
+    vectorized single-pass kernels in :mod:`repro.engine.kernels`) or
+    ``"reference"`` (the original per-sample / per-line loops, kept for
+    validating the batched paths).  Both fields are part of the engine's
+    cache key, so switching modes never aliases cached values.
     """
 
     init_channels: int = 8
@@ -30,6 +36,8 @@ class ProxyConfig:
     lr_num_cells: int = 1
     repeats: int = 1
     seed: int = 0
+    ntk_mode: str = "batched"
+    lr_mode: str = "batched"
 
     def macro_config(self, num_classes: int = None) -> MacroConfig:
         """The reduced macro skeleton proxies are measured on."""
@@ -46,6 +54,18 @@ class ProxyConfig:
 
     def with_seed(self, seed: int) -> "ProxyConfig":
         return replace(self, seed=seed)
+
+    def with_modes(self, ntk_mode: str = None, lr_mode: str = None) -> "ProxyConfig":
+        """Copy with different proxy kernel modes (None keeps the current)."""
+        return replace(
+            self,
+            ntk_mode=ntk_mode if ntk_mode is not None else self.ntk_mode,
+            lr_mode=lr_mode if lr_mode is not None else self.lr_mode,
+        )
+
+    def reference(self) -> "ProxyConfig":
+        """Copy running both proxies on the pre-vectorization paths."""
+        return self.with_modes(ntk_mode="reference", lr_mode="reference")
 
 
 def resize_batch(images: np.ndarray, target_size: int) -> np.ndarray:

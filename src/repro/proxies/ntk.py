@@ -89,29 +89,43 @@ def _collect_param_grads(params) -> np.ndarray:
 
 
 def compute_ntk_gram(
-    network: Module, images: np.ndarray, coupled: bool = False
+    network: Module,
+    images: np.ndarray,
+    coupled: bool = False,
+    mode: Optional[str] = None,
 ) -> np.ndarray:
     """Compute the empirical NTK Gram matrix over an NCHW batch.
 
-    Two modes:
+    Three modes (``coupled=True`` forces ``"coupled"`` for backward
+    compatibility; otherwise ``mode`` defaults to ``"batched"``):
 
-    * ``coupled=False`` (default, fast): BatchNorm statistics are frozen to
-      this batch's statistics, then each sample gets its own batch-size-1
-      forward/backward pass.  This treats the normalisation constants as
-      fixed w.r.t. the other samples — the standard frozen-BN NTK.
-    * ``coupled=True`` (exact TE-NAS semantics): one batched forward in
+    * ``"batched"`` (default, fastest): BatchNorm statistics are frozen to
+      this batch's statistics, then ONE batched forward + ONE backward
+      reconstructs the full per-sample Jacobian layer-locally (see
+      :func:`repro.engine.kernels.batched_ntk_jacobian`).  Exact frozen-BN
+      NTK, identical to ``"reference"`` up to float summation order.
+    * ``"reference"``: frozen BatchNorm statistics, one batch-size-1
+      forward/backward per sample.  The pre-vectorization path, kept for
+      validating the batched kernel.
+    * ``"coupled"`` (exact TE-NAS semantics): one batched forward in
       training mode, then one backward per sample with a one-hot output
       seed, so gradients include the cross-sample BatchNorm coupling.
       ~B× slower; kept for validation.
 
-    Both modes return the (B, B) Gram of per-sample summed-logit gradients.
+    All modes return the (B, B) Gram of per-sample summed-logit gradients.
     """
+    if coupled:
+        mode = "coupled"
+    elif mode is None:
+        mode = "batched"
+    if mode not in ("batched", "reference", "coupled"):
+        raise ProxyError(f"unknown NTK mode {mode!r}")
     batch_size = images.shape[0]
     params = network.parameters()
     if not params:
         raise ProxyError("network has no parameters; NTK undefined")
 
-    if coupled:
+    if mode == "coupled":
         network.train(True)
         output = network(Tensor(images))
         if output.ndim != 2:
@@ -127,6 +141,16 @@ def compute_ntk_gram(
         output.clear_tape_grads()
         return jacobian @ jacobian.T
 
+    if mode == "batched":
+        # Deferred import: the engine package imports this module at load
+        # time, so the kernel layer is resolved lazily at first use.  The
+        # kernel freezes BatchNorm statistics inside its single forward,
+        # so the separate freeze pass is skipped entirely.
+        from repro.engine.kernels import batched_ntk_jacobian
+
+        network.train(False)
+        jacobian = batched_ntk_jacobian(network, images, freeze_stats=True)
+        return jacobian @ jacobian.T
     _freeze_batch_stats(network, images)
     jacobian = np.empty((batch_size, sum(p.size for p in params)))
     for i in range(batch_size):
@@ -146,12 +170,15 @@ def ntk_spectrum(
     config: Optional[ProxyConfig] = None,
     images: Optional[np.ndarray] = None,
     rng: SeedLike = None,
+    network: Optional[Module] = None,
 ) -> NtkResult:
     """Build the reduced proxy network for ``genotype`` and measure its NTK.
 
     ``images`` may be supplied (e.g. from a dataset); otherwise a standard
     normal batch is drawn.  Network initialisation is seeded from the
-    config seed and the genotype so results are deterministic.
+    config seed and the genotype so results are deterministic.  A pre-built
+    ``network`` may be passed to skip construction (its BatchNorm running
+    statistics are re-frozen to the new batch inside the Gram computation).
     """
     config = config or ProxyConfig()
     generator = new_rng(
@@ -163,8 +190,9 @@ def ntk_spectrum(
         )
     else:
         images = resize_batch(images, config.input_size)
-    network = build_network(genotype, config.macro_config(), rng=generator)
-    gram = compute_ntk_gram(network, images)
+    if network is None:
+        network = build_network(genotype, config.macro_config(), rng=generator)
+    gram = compute_ntk_gram(network, images, mode=config.ntk_mode)
     eigenvalues = np.linalg.eigvalsh(gram)[::-1].copy()
     return NtkResult(eigenvalues=eigenvalues, batch_size=images.shape[0])
 
@@ -178,19 +206,42 @@ def ntk_condition_number(
 ) -> float:
     """Condition number ``K_{k_index}`` of the genotype's proxy NTK.
 
-    Averages over ``config.repeats`` independent initialisations when
-    ``repeats > 1`` (infinite values propagate: an untrainable repeat marks
-    the architecture untrainable).
+    Averages over ``config.repeats`` evaluations when ``repeats > 1``
+    (infinite values propagate: an untrainable repeat marks the
+    architecture untrainable).  When batches are drawn internally the
+    proxy network is built once and shared across repeats — each repeat
+    draws a fresh input batch and re-freezes the BatchNorm statistics to
+    it, rather than paying a full rebuild.  With user-supplied ``images``
+    the batch is fixed, so each repeat keeps its own independently seeded
+    network (otherwise repeats would average identical evaluations).
     """
     config = config or ProxyConfig()
     values = []
+    network: Optional[Module] = None
     for repeat in range(config.repeats):
         rep_rng = new_rng(
             stable_seed("ntk", config.seed, repeat, genotype.to_index())
             if rng is None
             else rng
         )
-        result = ntk_spectrum(genotype, config, images=images, rng=rep_rng)
+        if images is not None:
+            batch = resize_batch(images, config.input_size)
+            network = build_network(genotype, config.macro_config(), rng=rep_rng)
+        elif network is None:
+            # First repeat also builds the shared network (drawing images
+            # first matches the historical seed stream exactly).
+            batch = rep_rng.normal(
+                size=(config.ntk_batch_size, 3,
+                      config.input_size, config.input_size)
+            )
+            network = build_network(genotype, config.macro_config(), rng=rep_rng)
+        else:
+            batch = rep_rng.normal(
+                size=(config.ntk_batch_size, 3,
+                      config.input_size, config.input_size)
+            )
+        result = ntk_spectrum(genotype, config, images=batch, rng=rep_rng,
+                              network=network)
         values.append(result.k(k_index))
     return float(np.mean(values))
 
@@ -230,7 +281,7 @@ def supernet_ntk_condition_number(
             size=(config.ntk_batch_size, 3, config.input_size, config.input_size)
         )
         network = build_supernet(edge_specs, config.macro_config(), rng=generator)
-        gram = compute_ntk_gram(network, images)
+        gram = compute_ntk_gram(network, images, mode=config.ntk_mode)
         eigenvalues = np.linalg.eigvalsh(gram)[::-1].copy()
         values.append(NtkResult(eigenvalues, images.shape[0]).k(k_index))
     return float(np.mean(values))

@@ -10,8 +10,14 @@
   proxy budget,
 * :class:`ConstrainedEvolutionarySearch` — the µNAS-style train-based
   baseline (aging evolution; every candidate pays simulated training time),
+* :class:`TrainlessEvolutionarySearch` — the same aging-evolution loop
+  driven by the batched trainless engine (no training, cache-backed),
 * :class:`MacroStageSearch` — the secondary stage: fit the discovered cell
   onto a device by searching cells-per-stage and channel width.
+
+All indicator values flow through :class:`repro.engine.Engine` — the
+batched, canonicalization-aware evaluation layer — rather than being
+re-derived inline by each algorithm.
 """
 
 from repro.search.objective import HybridObjective, ObjectiveWeights
@@ -20,7 +26,11 @@ from repro.search.result import SearchResult
 from repro.search.pruning import MicroNASSearch
 from repro.search.tenas import TENASSearch
 from repro.search.random_search import ZeroShotRandomSearch
-from repro.search.evolutionary import ConstrainedEvolutionarySearch, EvolutionConfig
+from repro.search.evolutionary import (
+    ConstrainedEvolutionarySearch,
+    EvolutionConfig,
+    TrainlessEvolutionarySearch,
+)
 from repro.search.pareto import (
     ParetoPoint,
     ParetoResult,
@@ -47,6 +57,7 @@ __all__ = [
     "TENASSearch",
     "ZeroShotRandomSearch",
     "ConstrainedEvolutionarySearch",
+    "TrainlessEvolutionarySearch",
     "EvolutionConfig",
     "DeploymentPlan",
     "MacroCandidate",

@@ -36,7 +36,15 @@ class HardwareConstraints:
 
 
 class ConstraintChecker:
-    """Evaluates :class:`HardwareConstraints` against concrete genotypes."""
+    """Evaluates :class:`HardwareConstraints` against concrete genotypes.
+
+    Bounds are checked on the genotype *as given* (dead edges billed),
+    matching the on-board ground-truth measurements the bounds are
+    calibrated against.  The evaluation engine's indicator values are
+    canonical (dead edges elided), so a dead-conv candidate can rank
+    better on the latency indicator than the checker's as-built number —
+    the checker is deliberately the stricter, deployment-honest view.
+    """
 
     def __init__(
         self,

@@ -19,6 +19,7 @@ from repro.benchdata.cost import TrainingCostModel
 from repro.benchdata.surrogate import SurrogateModel
 from repro.errors import SearchError
 from repro.search.constraints import ConstraintChecker, HardwareConstraints
+from repro.search.objective import HybridObjective
 from repro.search.result import SearchResult
 from repro.searchspace.genotype import Genotype
 from repro.searchspace.network import MacroConfig
@@ -137,4 +138,109 @@ class ConstrainedEvolutionarySearch:
             ledger=ledger,
             wall_seconds=timer.elapsed,
             simulated_gpu_seconds=ledger.seconds.get("simulated_training", 0.0),
+        )
+
+
+class TrainlessEvolutionarySearch:
+    """Aging evolution driven by the batched trainless engine.
+
+    Same µNAS-style loop shape as :class:`ConstrainedEvolutionarySearch`,
+    but fitness comes from the hybrid objective instead of (simulated)
+    training: the initial population is evaluated in one
+    ``evaluate_population`` call, and each cycle's parent selection and the
+    final winner are rank-combinations over engine-cached indicator rows.
+    Mutation revisits architectures constantly — every revisit (and every
+    canonically-equal sibling) resolves from the cache, so the marginal
+    cost per cycle is one proxy evaluation at most.
+    """
+
+    algorithm_name = "evolutionary-trainless"
+
+    def __init__(
+        self,
+        objective: HybridObjective,
+        config: Optional[EvolutionConfig] = None,
+        constraints: Optional[HardwareConstraints] = None,
+        space: Optional[NasBench201Space] = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.config = config or EvolutionConfig()
+        if self.config.population_size < 2 or self.config.sample_size < 1:
+            raise SearchError("population_size >= 2 and sample_size >= 1 required")
+        self.objective = objective
+        self.constraints = constraints
+        self.space = space or NasBench201Space()
+        self.seed = seed
+        self._checker = (
+            ConstraintChecker(
+                constraints,
+                macro_config=objective.macro_config,
+                latency_estimator=objective._latency_estimator,
+            )
+            if constraints is not None and constraints.constrains_anything
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def search(self) -> SearchResult:
+        """Run trainless aging evolution; returns the best-ranked candidate."""
+        rng = new_rng(self.seed)
+        history: List[Dict] = []
+        seen: Dict[int, Genotype] = {}
+
+        def note(genotype: Genotype) -> None:
+            seen.setdefault(genotype.to_index(), genotype)
+
+        with Timer() as timer:
+            initial = self.space.sample(self.config.population_size, rng=rng,
+                                        unique=False)
+            # Population API: one batched, canonically-deduplicated call.
+            self.objective.evaluate_population(initial)
+            self.objective.ledger.add("evolution_candidates",
+                                      count=len(initial))
+            population: Deque[Genotype] = deque(initial,
+                                                maxlen=self.config.population_size)
+            for genotype in initial:
+                note(genotype)
+            for cycle in range(self.config.cycles):
+                contender_ids = rng.integers(0, len(population),
+                                             size=self.config.sample_size)
+                contenders = [population[int(i)] for i in contender_ids]
+                rows = [self.objective.genotype_indicators(g)
+                        for g in contenders]
+                ranks = self.objective.combined_ranks(rows)
+                parent = contenders[int(ranks.argmin())]
+                child = self.space.mutate(parent, rng=rng)
+                self.objective.genotype_indicators(child)  # warm the cache
+                self.objective.ledger.add("evolution_candidates", count=1)
+                population.append(child)
+                note(child)
+                if cycle % 100 == 0:
+                    stats = self.objective.engine.cache.stats
+                    history.append({
+                        "cycle": cycle,
+                        "distinct_seen": len(seen),
+                        "cache_hit_rate": stats.hit_rate,
+                    })
+
+            candidates = list(seen.values())
+            if self._checker is not None:
+                feasible = [g for g in candidates if self._checker.satisfied(g)]
+                if feasible:
+                    candidates = feasible
+                else:
+                    candidates = [min(candidates,
+                                      key=self._checker.total_violation)]
+            table = self.objective.evaluate_population(candidates)
+            scores = self.objective.combined_ranks(table.rows())
+            genotype = candidates[table.argbest(scores)]
+
+        return SearchResult(
+            genotype=genotype,
+            algorithm=self.algorithm_name,
+            indicators=self.objective.genotype_indicators(genotype),
+            history=history,
+            ledger=self.objective.ledger,
+            wall_seconds=timer.elapsed,
+            weights_used=vars(self.objective.weights).copy(),
         )

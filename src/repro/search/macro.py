@@ -18,16 +18,15 @@ units either indicator is expressed in.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.engine.core import Engine
 from repro.errors import SearchError
 from repro.hardware.device import MCUDevice, NUCLEO_F746ZG
-from repro.hardware.latency import LatencyEstimator
 from repro.hardware.memory import MemoryEstimator
 from repro.hardware.profiler import OnDeviceProfiler
-from repro.proxies.flops import count_flops, count_params
 from repro.search.constraints import HardwareConstraints
 from repro.searchspace.genotype import Genotype
 from repro.searchspace.network import MacroConfig
@@ -169,7 +168,10 @@ class MacroStageSearch:
 
     The grid is small (tens of points), so exhaustive evaluation with the
     LUT estimator is cheap — exactly why the paper's latency model makes
-    the secondary stage tractable.  Results are cached per config.
+    the secondary stage tractable.  Latency / FLOPs / params route through
+    the shared evaluation engine (one LUT estimator per grid point, all
+    writing the same indicator cache); composed candidates are additionally
+    memoized per config.
     """
 
     def __init__(
@@ -179,12 +181,20 @@ class MacroStageSearch:
         space: Optional[MacroSearchSpace] = None,
         element_bytes: int = 4,
         profiler: Optional[OnDeviceProfiler] = None,
+        engine: Optional[Engine] = None,
     ) -> None:
         self.genotype = genotype
         self.device = device
         self.space = space or MacroSearchSpace()
         self.element_bytes = element_bytes
         self.profiler = profiler or OnDeviceProfiler(device)
+        if engine is None:
+            self.engine = Engine(device=device, profiler=self.profiler)
+        else:
+            # A shared engine is only honoured if it prices this search's
+            # board; otherwise a sibling (same cache, own estimators) is
+            # built so grid latencies never come from the wrong device.
+            self.engine = engine.for_device(device, profiler=self.profiler)
         self._cache: Dict[Tuple[int, int], MacroCandidate] = {}
 
     # ------------------------------------------------------------------
@@ -216,12 +226,9 @@ class MacroStageSearch:
         """Latency / memory / complexity of the cell at one skeleton."""
         key = (config.init_channels, config.cells_per_stage)
         if key not in self._cache:
-            estimator = LatencyEstimator(
-                device=self.device, config=config, profiler=self.profiler
-            )
-            latency_ms = estimator.estimate_ms(self.genotype)
-            flops = count_flops(self.genotype, config)
-            params = count_params(self.genotype, config)
+            latency_ms = self.engine.latency_ms(self.genotype, config)
+            flops = int(self.engine.flops(self.genotype, config))
+            params = int(self.engine.params(self.genotype, config))
             memory = MemoryEstimator(config, element_bytes=self.element_bytes)
             report = memory.report(self.genotype)
             self._cache[key] = MacroCandidate(

@@ -8,6 +8,12 @@ indicator, and ranks are summed with tunable weights::
 
 Lower combined score is better.  ``w_F``/``w_L`` are the paper's "tunable
 weight factors for precise control over the contributions of F and L".
+
+Indicator values come from the batched evaluation engine
+(:class:`repro.engine.Engine`): one canonicalization-aware cache shared
+across repeats, search cycles and algorithms, with vectorized proxy
+kernels underneath.  The objective layer owns only weighting, rank
+combination and the supernet *expectation* terms.
 """
 
 from __future__ import annotations
@@ -17,18 +23,19 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.core import Engine
+from repro.engine.table import IndicatorTable
+from repro.errors import SearchError
 from repro.hardware.latency import LatencyEstimator
 from repro.hardware.layers import op_layer
 from repro.proxies.base import ProxyConfig
 from repro.proxies.flops import count_flops
-from repro.proxies.linear_regions import count_line_regions, supernet_line_regions
-from repro.proxies.ntk import ntk_condition_number, supernet_ntk_condition_number
 from repro.proxies.ranking import combine_ranks
 from repro.searchspace.cell import EdgeSpec
 from repro.searchspace.genotype import Genotype
 from repro.searchspace.network import MacroConfig
 from repro.searchspace.ops import EDGES, NUM_NODES, op_flops
-from repro.utils.timing import CostLedger, Timer
+from repro.utils.timing import CostLedger
 
 #: A large-but-finite stand-in for infinite condition numbers so ranking
 #: never sees NaN/inf arithmetic surprises.
@@ -77,72 +84,87 @@ class HybridObjective:
         macro_config: Optional[MacroConfig] = None,
         latency_estimator: Optional[LatencyEstimator] = None,
         ledger: Optional[CostLedger] = None,
+        engine: Optional[Engine] = None,
     ) -> None:
-        self.proxy_config = proxy_config or ProxyConfig()
         self.weights = weights or ObjectiveWeights()
-        self.macro_config = macro_config or MacroConfig.full()
-        self._latency_estimator = latency_estimator
-        self.ledger = ledger if ledger is not None else CostLedger()
+        if engine is None:
+            engine = Engine(
+                proxy_config=proxy_config,
+                macro_config=macro_config,
+                latency_estimator=latency_estimator,
+                ledger=ledger,
+            )
+        elif any(arg is not None for arg in
+                 (proxy_config, macro_config, latency_estimator, ledger)):
+            raise SearchError(
+                "pass either a pre-built engine or its configuration, not "
+                "both — the engine's config would silently win"
+            )
+        self.engine = engine
+        self.proxy_config = engine.proxy_config
+        self.macro_config = engine.macro_config
 
     # ------------------------------------------------------------------
     @property
+    def ledger(self) -> CostLedger:
+        """The engine's cost ledger (shared across objective clones)."""
+        return self.engine.ledger
+
+    @property
     def latency_estimator(self) -> LatencyEstimator:
         """Lazily profiled latency estimator (built on first use)."""
-        if self._latency_estimator is None:
-            self._latency_estimator = LatencyEstimator(config=self.macro_config)
-        return self._latency_estimator
+        return self.engine.latency_estimator
+
+    @property
+    def _latency_estimator(self) -> Optional[LatencyEstimator]:
+        """The estimator if already built, else None (no profiling cost)."""
+        return self.engine._latency_estimator
 
     def with_weights(self, weights: ObjectiveWeights) -> "HybridObjective":
-        """Same estimators and ledger, different indicator weights."""
-        clone = HybridObjective(
-            proxy_config=self.proxy_config,
-            weights=weights,
-            macro_config=self.macro_config,
-            latency_estimator=self._latency_estimator,
-            ledger=self.ledger,
-        )
-        return clone
+        """Same engine (estimators, cache, ledger), different weights."""
+        return HybridObjective(weights=weights, engine=self.engine)
 
     # ------------------------------------------------------------------
-    # Genotype-level indicators
+    # Genotype-level indicators (engine-cached, canonicalization-aware)
     # ------------------------------------------------------------------
     def genotype_indicators(self, genotype: Genotype) -> Dict[str, float]:
         """All four raw indicator values for a concrete architecture."""
-        out: Dict[str, float] = {}
-        with Timer() as t_ntk:
-            out["ntk"] = ntk_condition_number(genotype, self.proxy_config)
-        self.ledger.add("ntk_eval", t_ntk.elapsed)
-        with Timer() as t_lr:
-            out["linear_regions"] = count_line_regions(genotype, self.proxy_config)
-        self.ledger.add("lr_eval", t_lr.elapsed)
-        out["flops"] = float(count_flops(genotype, self.macro_config))
-        if self.weights.uses_latency:
-            with Timer() as t_lat:
-                out["latency"] = self.latency_estimator.estimate_ms(genotype)
-            self.ledger.add("latency_eval", t_lat.elapsed)
-        else:
-            out["latency"] = 0.0
-        return out
+        return self.engine.evaluate(genotype,
+                                    with_latency=self.weights.uses_latency)
+
+    def evaluate_population(
+        self, genotypes: Sequence[Genotype]
+    ) -> IndicatorTable:
+        """Indicator table for a population (the search loops' entry point)."""
+        return self.engine.evaluate_population(
+            genotypes, with_latency=self.weights.uses_latency
+        )
 
     # ------------------------------------------------------------------
     # Supernet-level indicators (for the pruning search)
     # ------------------------------------------------------------------
     def supernet_indicators(self, edge_specs: Sequence[EdgeSpec]) -> Dict[str, float]:
         """Indicator values for a supernet state (alive-op sets)."""
-        out: Dict[str, float] = {}
-        with Timer() as t_ntk:
-            out["ntk"] = supernet_ntk_condition_number(edge_specs, self.proxy_config)
-        self.ledger.add("ntk_eval", t_ntk.elapsed)
-        edge_op_sets = [spec.alive_ops for spec in edge_specs]
-        with Timer() as t_lr:
-            out["linear_regions"] = supernet_line_regions(edge_op_sets, self.proxy_config)
-        self.ledger.add("lr_eval", t_lr.elapsed)
-        out["flops"] = self.expected_flops(edge_specs)
+        out: Dict[str, float] = {
+            "ntk": self.engine.supernet_ntk(edge_specs),
+            "linear_regions": self.engine.supernet_linear_regions(edge_specs),
+            "flops": self.expected_flops(edge_specs),
+        }
         if self.weights.uses_latency:
             out["latency"] = self.expected_latency_ms(edge_specs)
         else:
             out["latency"] = 0.0
         return out
+
+    def supernet_population(
+        self, spec_lists: Sequence[Sequence[EdgeSpec]]
+    ) -> List[Dict[str, float]]:
+        """Indicator rows for a batch of supernet states (pruning rounds).
+
+        Repeated states — e.g. identical candidate prunings re-scored by
+        the constraint-adaptation outer loop — resolve from the cache.
+        """
+        return [self.supernet_indicators(specs) for specs in spec_lists]
 
     def expected_flops(self, edge_specs: Sequence[EdgeSpec]) -> float:
         """Expected deployment FLOPs under a uniform op choice per edge."""
@@ -214,6 +236,10 @@ class HybridObjective:
         return combine_ranks(columns, _DIRECTIONS, weights)
 
     def score_genotypes(self, genotypes: Sequence[Genotype]) -> np.ndarray:
-        """Combined rank score for a batch of architectures."""
-        rows = [self.genotype_indicators(g) for g in genotypes]
-        return self.combined_ranks(rows)
+        """Combined rank score for a batch of architectures.
+
+        Routed through the engine's population API: the batch is
+        deduplicated canonically and every indicator comes from (or lands
+        in) the shared cache.
+        """
+        return self.combined_ranks(self.evaluate_population(genotypes).rows())

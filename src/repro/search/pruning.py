@@ -71,14 +71,19 @@ class MicroNASSearch:
                     if not spec.decided
                     for op in spec.alive_ops
                 ]
-                indicator_rows = []
-                for edge_index, op in candidates:
-                    pruned = [
+                # The whole round goes through the engine-backed population
+                # API; revisited supernet states (e.g. in the constraint
+                # adaptation outer loop) resolve from the indicator cache.
+                pruned_states = [
+                    [
                         spec.without(op) if spec.edge_index == edge_index else spec
                         for spec in specs
                     ]
-                    indicator_rows.append(self.objective.supernet_indicators(pruned))
-                    self.objective.ledger.add("pruning_candidates", count=1)
+                    for edge_index, op in candidates
+                ]
+                indicator_rows = self.objective.supernet_population(pruned_states)
+                self.objective.ledger.add("pruning_candidates",
+                                          count=len(candidates))
                 ranks = self.objective.combined_ranks(indicator_rows)
 
                 removed: Dict[int, str] = {}

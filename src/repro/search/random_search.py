@@ -62,15 +62,23 @@ class ZeroShotRandomSearch:
                     samples = feasible
                 else:
                     samples = [min(samples, key=checker.total_violation)]
-            scores = self.objective.score_genotypes(samples)
+            # One engine call for the whole population: canonical dedupe +
+            # cached indicators instead of per-candidate inline evaluation.
+            table = self.objective.evaluate_population(samples)
+            scores = self.objective.combined_ranks(table.rows())
             self.objective.ledger.add("random_candidates", count=len(samples))
-            best_idx = int(scores.argmin())
+            best_idx = table.argbest(scores)
         genotype = samples[best_idx]
         return SearchResult(
             genotype=genotype,
             algorithm=self.algorithm_name,
             indicators=self.objective.genotype_indicators(genotype),
-            history=[{"num_samples": len(samples), "best_rank": float(scores[best_idx])}],
+            history=[{
+                "num_samples": len(samples),
+                "best_rank": float(scores[best_idx]),
+                "unique_canonical": table.unique_canonical,
+                "cache_hits": table.cache_hits,
+            }],
             ledger=self.objective.ledger,
             wall_seconds=timer.elapsed,
             weights_used=vars(self.objective.weights).copy(),
