@@ -4,6 +4,9 @@ Subcommands
 -----------
 search
     Run a NAS algorithm (micronas / tenas / random) and print the result.
+runtime
+    Run any registered algorithm on the parallel evaluation runtime
+    (process-pool workers + persistent indicator/LUT store).
 pareto
     Zero-shot quality/latency Pareto front over a sampled population.
 profile
@@ -52,17 +55,14 @@ from repro.utils import format_table
 
 def _resolve_arch(text: str) -> Genotype:
     """Accept either an integer index or an architecture string."""
-    try:
-        return Genotype.from_index(int(text))
-    except ValueError:
-        return Genotype.from_arch_str(text)
+    return Genotype.resolve(text)
 
 
 def _proxy_config(args: argparse.Namespace) -> ProxyConfig:
     if args.fast:
-        return ProxyConfig(init_channels=4, cells_per_stage=1, input_size=8,
-                           ntk_batch_size=16, lr_num_samples=64,
-                           lr_input_size=4, lr_channels=3, seed=args.seed)
+        from repro.eval.benchconfig import reduced_proxy_config
+
+        return reduced_proxy_config(seed=args.seed)
     return ProxyConfig(seed=args.seed)
 
 
@@ -111,6 +111,58 @@ def cmd_search(args: argparse.Namespace) -> int:
     if estimator is not None:
         rows.insert(5, ["est. latency", f"{estimator.estimate_ms(result.genotype):.1f} ms"])
     print(format_table(rows, title=f"{args.algorithm} search result"))
+    return 0
+
+
+def cmd_runtime(args: argparse.Namespace) -> int:
+    """Run a search on the parallel evaluation runtime (pool + store)."""
+    from repro.errors import ReproError
+    from repro.runtime import RunHarness, RuntimeConfig
+
+    config = RuntimeConfig(
+        algorithm=args.algorithm,
+        n_workers=args.workers,
+        chunk_size=args.chunk_size,
+        store_dir=args.store,
+        device=args.device,
+        samples=args.samples,
+        population_size=args.population,
+        cycles=args.cycles,
+        latency_weight=args.latency_weight,
+        flops_weight=args.flops_weight,
+        arch=args.arch,
+        seed=args.seed,
+        fast=not args.full_scale,
+    )
+    try:
+        report = RunHarness(config).run()
+    except ReproError as exc:
+        # Config-level errors (unknown algorithm/device, missing --arch
+        # for macro) are user mistakes, not tracebacks.
+        raise SystemExit(str(exc))
+    rows = [
+        ["algorithm", report.algorithm],
+        ["architecture", report.arch_str],
+        ["workers (mode)", f"{config.n_workers} ({report.pool['mode']})"],
+        ["pool tasks / chunks", f"{report.pool['tasks']} / "
+                               f"{report.pool['chunks']}"],
+        ["cache warm-start", f"{report.cache['warm_start_entries']} entries"],
+        ["cache hits / misses", f"{report.cache['hits']} / "
+                                f"{report.cache['misses']}"],
+        ["store", args.store or "(none: in-memory only)"],
+        ["wall time", f"{report.wall_seconds:.2f} s"],
+    ]
+    if args.store:
+        rows.insert(7, ["cache persisted", f"{report.store['cache_saved']} "
+                                           f"entries"])
+        rows.insert(8, ["LUTs in store (all runs)",
+                        str(len(report.store["luts"]))])
+    for name, value in sorted(report.indicators.items()):
+        rows.append([f"indicator: {name}", f"{value:.6g}"])
+    print(format_table(rows, title="parallel-runtime search run"))
+    if args.report:
+        report.save_json(args.report)
+        print(f"run report written to {args.report}")
     return 0
 
 
@@ -344,10 +396,30 @@ def cmd_proxies(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+_RUNTIME_EXAMPLES = """\
+parallel evaluation runtime examples:
+  # fan population evaluation out over 8 worker processes
+  micronas runtime --algorithm random --samples 256 --workers 8
+
+  # persist the indicator cache + latency LUTs; re-runs warm-start
+  micronas runtime --algorithm pruning --latency-weight 0.5 \\
+      --store ~/.cache/micronas
+
+  # multi-board secondary stage against the same store: each device's
+  # LUT is profiled once, ever
+  micronas runtime --algorithm macro --arch 1462 \\
+      --device nucleo-l432kc --store ~/.cache/micronas
+  micronas runtime --algorithm macro --arch 1462 \\
+      --device rp2040-pico --store ~/.cache/micronas
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="micronas",
         description="MicroNAS: zero-shot hardware-aware NAS for MCUs",
+        epilog=_RUNTIME_EXAMPLES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -363,6 +435,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--fast", action="store_true",
                           help="reduced proxy scale (quick demo)")
     p_search.set_defaults(fn=cmd_search)
+
+    p_runtime = sub.add_parser(
+        "runtime",
+        help="run a search on the parallel evaluation runtime",
+        description="Run any registered search algorithm through the "
+                    "parallel evaluation runtime: unique candidates fan "
+                    "out over worker processes, and a --store directory "
+                    "persists the indicator cache and per-device latency "
+                    "LUTs so repeated runs warm-start.",
+        epilog=_RUNTIME_EXAMPLES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_runtime.add_argument("--algorithm", default="random",
+                           help="registered algorithm: random, "
+                                "trainless-evolutionary, pruning, macro, or "
+                                "evolutionary (train-based surrogate "
+                                "baseline; ignores indicator weights and "
+                                "the pool)")
+    p_runtime.add_argument("--workers", type=int, default=1,
+                           help="worker processes (1 = serial)")
+    p_runtime.add_argument("--chunk-size", type=int, default=8,
+                           help="candidates per worker task")
+    p_runtime.add_argument("--store", default=None,
+                           help="directory for the persistent indicator/LUT "
+                                "store (created if missing)")
+    p_runtime.add_argument("--device", default="nucleo-f746zg")
+    p_runtime.add_argument("--samples", type=int, default=64,
+                           help="population for random search")
+    p_runtime.add_argument("--population", type=int, default=20,
+                           help="population for evolutionary search")
+    p_runtime.add_argument("--cycles", type=int, default=100,
+                           help="cycles for evolutionary search")
+    p_runtime.add_argument("--latency-weight", type=float, default=0.0)
+    p_runtime.add_argument("--flops-weight", type=float, default=0.0)
+    p_runtime.add_argument("--arch", default=None,
+                           help="cell for --algorithm macro "
+                                "(arch string or index)")
+    p_runtime.add_argument("--seed", type=int, default=0)
+    p_runtime.add_argument("--full-scale", action="store_true",
+                           help="paper-scale proxies (default: fast/reduced)")
+    p_runtime.add_argument("--report", default=None,
+                           help="also write the structured run report "
+                                "(JSON) to this path")
+    p_runtime.set_defaults(fn=cmd_runtime)
 
     p_profile = sub.add_parser("profile", help="build and print a latency LUT")
     p_profile.add_argument("--device", default="nucleo-f746zg")

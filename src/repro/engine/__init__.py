@@ -48,11 +48,13 @@ rely on:
 from repro.engine.cache import CacheStats, IndicatorCache
 from repro.engine.table import IndicatorTable
 from repro.engine.kernels import (
+    batched_condition_numbers,
     batched_count_line_regions,
+    batched_eigvalsh,
     batched_line_patterns,
     batched_ntk_jacobian,
 )
-from repro.engine.core import INDICATOR_NAMES, Engine
+from repro.engine.core import INDICATOR_NAMES, Engine, supernet_state_key
 
 __all__ = [
     "Engine",
@@ -63,4 +65,7 @@ __all__ = [
     "batched_ntk_jacobian",
     "batched_line_patterns",
     "batched_count_line_regions",
+    "batched_eigvalsh",
+    "batched_condition_numbers",
+    "supernet_state_key",
 ]

@@ -53,6 +53,10 @@ class IndicatorCache:
         """Peek without touching the hit/miss counters."""
         return self._data.get(key, default)
 
+    def items(self) -> list:
+        """Snapshot of ``(key, value)`` pairs (for persistence layers)."""
+        return list(self._data.items())
+
     def put(self, key: Hashable, value: Any) -> Any:
         self._data[key] = value
         return value

@@ -25,11 +25,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine.cache import IndicatorCache
+from repro.engine.kernels import batched_condition_numbers
 from repro.engine.table import IndicatorTable
 from repro.proxies.base import ProxyConfig
 from repro.proxies.flops import count_flops, count_params
 from repro.proxies.linear_regions import count_line_regions, supernet_line_regions
-from repro.proxies.ntk import ntk_condition_number, supernet_ntk_condition_number
+from repro.proxies.ntk import (
+    ntk_condition_number,
+    ntk_grams,
+    supernet_ntk_condition_number,
+)
 from repro.searchspace.canonical import canonicalize
 from repro.searchspace.cell import EdgeSpec
 from repro.searchspace.genotype import Genotype
@@ -40,9 +45,16 @@ from repro.utils.timing import CostLedger, Timer
 INDICATOR_NAMES = ("ntk", "linear_regions", "flops", "latency")
 
 
-def _supernet_key(edge_specs: Sequence[EdgeSpec]) -> Tuple:
-    """Hashable identity of a supernet state (alive-op sets in edge order)."""
+def supernet_state_key(edge_specs: Sequence[EdgeSpec]) -> Tuple:
+    """Hashable identity of a supernet state (alive-op sets in edge order).
+
+    Exposed for composing layers (the parallel runtime builds the same
+    cache keys the engine does when merging worker results back in).
+    """
     return tuple(tuple(spec.alive_ops) for spec in edge_specs)
+
+
+_supernet_key = supernet_state_key
 
 
 class Engine:
@@ -57,11 +69,13 @@ class Engine:
         profiler=None,
         cache: Optional[IndicatorCache] = None,
         ledger: Optional[CostLedger] = None,
+        lut_store=None,
     ) -> None:
         self.proxy_config = proxy_config or ProxyConfig()
         self.macro_config = macro_config or MacroConfig.full()
         self.cache = cache if cache is not None else IndicatorCache()
         self.ledger = ledger if ledger is not None else CostLedger()
+        self.lut_store = lut_store
         self._device = device
         self._profiler = profiler
         self._latency_estimator = latency_estimator
@@ -107,6 +121,7 @@ class Engine:
             profiler=profiler,
             cache=self.cache,
             ledger=self.ledger,
+            lut_store=self.lut_store,
         )
 
     def _estimator_for(self, config: MacroConfig):
@@ -120,6 +135,8 @@ class Engine:
             from repro.hardware.latency import LatencyEstimator
 
             kwargs = {"config": config, "cache": self.cache}
+            if self.lut_store is not None:
+                kwargs["lut_store"] = self.lut_store
             device = self._device
             profiler = self._profiler
             if self._latency_estimator is not None:
@@ -238,23 +255,84 @@ class Engine:
             "latency": self.latency_ms(genotype) if with_latency else 0.0,
         }
 
+    def ntk_population(self, genotypes: Sequence[Genotype],
+                       k_index: int = 1) -> None:
+        """Warm the NTK cache for a population with ONE stacked eigensolve.
+
+        All missing unique canonical forms have their Gram matrices
+        computed, stacked into an ``(N·repeats, B, B)`` array and
+        eigendecomposed in a single ``np.linalg.eigvalsh`` gufunc dispatch
+        (bit-identical per matrix to the per-candidate path — see
+        :func:`repro.engine.kernels.batched_eigvalsh`).  Subsequent
+        :meth:`ntk` calls resolve from the cache.
+        """
+        self._warm_ntk_canonical([canonicalize(g) for g in genotypes],
+                                 k_index=k_index)
+
+    def _warm_ntk_canonical(self, canons: Sequence[Genotype],
+                            k_index: int = 1) -> None:
+        """:meth:`ntk_population` for already-canonical genotypes."""
+        missing: Dict[Tuple, Genotype] = {}
+        for canon in canons:
+            key = ("ntk", canon.to_index(), k_index, self._proxy_key)
+            if key not in self.cache and key not in missing:
+                missing[key] = canon
+        if not missing:
+            return
+        grams: List[np.ndarray] = []
+        spans: List[int] = []
+        with Timer() as timer:
+            for canon in missing.values():
+                candidate_grams = ntk_grams(canon, self.proxy_config)
+                spans.append(len(candidate_grams))
+                grams.extend(candidate_grams)
+            values = batched_condition_numbers(np.stack(grams),
+                                               k_index=k_index)
+        self.ledger.add("ntk_eval", timer.elapsed, count=len(missing))
+        offset = 0
+        for key, span in zip(missing, spans):
+            self.cache.misses += 1  # computed here, not via lookup()
+            self.cache.put(key, float(np.mean(values[offset:offset + span])))
+            offset += span
+
     def evaluate_population(
         self,
         genotypes: Sequence[Genotype],
         with_latency: bool = False,
+        executor=None,
     ) -> IndicatorTable:
         """Indicator table for a population, deduplicated canonically.
 
         Rows come back in request order (duplicates included); each unique
         canonical form is evaluated at most once, and repeat populations
         hit the cache outright.
+
+        ``executor`` is the composition seam for the parallel runtime: any
+        object with a ``warm_population(engine, genotypes, with_latency=...)``
+        method (e.g. :class:`repro.runtime.pool.PopulationExecutor`) may
+        pre-compute missing indicator rows — in worker processes, from a
+        persisted store, in any completion order — and merge them into
+        :attr:`cache` before the serial pass below assembles the table.
+        The hook receives the population's *canonical* forms (computed
+        once below), so executors need not re-canonicalize.
+        Because assembly always happens here, in request order against the
+        shared cache, the resulting table is identical no matter how (or
+        whether) an executor warmed it.
         """
         genotypes = list(genotypes)
+        # One canonicalization pass serves the executor hook, the stacked
+        # eigensolve and the dedupe below (canonicalize builds a cell
+        # graph per call — repeating it would dominate the warm path).
+        canons = [canonicalize(g) for g in genotypes]
         hits0, misses0 = self.cache.counters()
+        if executor is not None:
+            executor.warm_population(self, canons, with_latency=with_latency)
+        # Whatever κ values are still missing get one stacked eigensolve.
+        self._warm_ntk_canonical(canons)
         unique_rows: Dict[int, Dict[str, float]] = {}
         canon_indices: List[int] = []
-        for genotype in genotypes:
-            index = canonicalize(genotype).to_index()
+        for genotype, canon in zip(genotypes, canons):
+            index = canon.to_index()
             canon_indices.append(index)
             if index not in unique_rows:
                 unique_rows[index] = self.evaluate(genotype,

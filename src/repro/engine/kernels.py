@@ -230,9 +230,49 @@ def batched_count_line_regions(
     )
 
 
+def batched_eigvalsh(grams: np.ndarray) -> np.ndarray:
+    """Eigenvalues (ascending) of a stack of symmetric matrices.
+
+    ``np.linalg.eigvalsh`` is a gufunc: stacking population NTK Grams into
+    one ``(N, B, B)`` array dispatches a single LAPACK loop instead of N
+    Python-level calls, and each matrix goes through the identical
+    ``syevd`` routine — per-matrix results are bit-identical to separate
+    calls (pinned by ``tests/engine/test_kernels.py``).
+    """
+    grams = np.asarray(grams, dtype=float)
+    if grams.ndim != 3 or grams.shape[-1] != grams.shape[-2]:
+        raise ProxyError(
+            f"expected a stacked (N, B, B) Gram array, got {grams.shape}"
+        )
+    return np.linalg.eigvalsh(grams)
+
+
+def batched_condition_numbers(grams: np.ndarray, k_index: int = 1) -> np.ndarray:
+    """``K_{k_index} = λ_max / λ_(k-th smallest)`` per Gram, one eigensolve.
+
+    Vectorized twin of :meth:`repro.proxies.ntk.NtkResult.k` over an
+    ``(N, B, B)`` stack: singular kernels (λ below the shared epsilon)
+    produce ``inf`` exactly as the per-candidate path does.
+    """
+    from repro.proxies.ntk import _EIG_EPS
+
+    eigenvalues = batched_eigvalsh(grams)
+    num_eigs = eigenvalues.shape[1]
+    if not 1 <= k_index <= num_eigs:
+        raise ProxyError(f"K index {k_index} outside [1, {num_eigs}]")
+    lam_max = eigenvalues[:, -1]
+    lam_k = eigenvalues[:, k_index - 1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        values = lam_max / lam_k
+    values[(lam_max <= _EIG_EPS) | (lam_k <= _EIG_EPS)] = np.inf
+    return values
+
+
 __all__ = [
     "batched_ntk_jacobian",
     "batched_line_patterns",
     "batched_count_line_regions",
+    "batched_eigvalsh",
+    "batched_condition_numbers",
     "count_regions_per_line",
 ]

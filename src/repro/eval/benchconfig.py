@@ -19,13 +19,25 @@ def bench_scale() -> str:
     return os.environ.get("REPRO_BENCH_SCALE", "reduced")
 
 
+def reduced_proxy_config(seed: int = 0) -> ProxyConfig:
+    """THE fast/reduced proxy operating point.
+
+    Single definition shared by the CLI's ``--fast`` flag, the runtime
+    harness's ``fast=True`` and the benchmark default scale — the
+    persistent store fingerprints ``astuple(proxy_config)``, so every
+    consumer must agree bit-for-bit or warm-starts silently stop working
+    across entry points.
+    """
+    return ProxyConfig(init_channels=4, cells_per_stage=1, input_size=8,
+                       ntk_batch_size=16, lr_num_samples=64, lr_input_size=4,
+                       lr_channels=3, seed=seed)
+
+
 def search_proxy_config() -> ProxyConfig:
     """Proxy configuration used inside search benchmarks."""
     if bench_scale() == "paper":
         return ProxyConfig()  # batch 32, 8 channels, 16x16 input
-    return ProxyConfig(init_channels=4, cells_per_stage=1, input_size=8,
-                       ntk_batch_size=16, lr_num_samples=64, lr_input_size=4,
-                       lr_channels=3, seed=0)
+    return reduced_proxy_config()
 
 
 def correlation_proxy_config() -> ProxyConfig:

@@ -34,6 +34,14 @@ class LatencyEstimator:
     Note ``estimate_ms`` prices the genotype *as given*: dead edges are
     billed exactly like the on-board ground-truth measurement bills them.
     Canonicalization-aware pricing lives in the engine layer.
+
+    A duck-typed ``lut_store`` (anything with
+    ``lut_get(device_name, precision, config)`` /
+    ``lut_put(lut, precision, config)``, e.g.
+    :class:`repro.runtime.store.RuntimeStore`) turns profiling into a
+    once-per-board cost: construction first asks the store for a matching
+    LUT and only profiles — then persists the result — on a store miss.
+    ``lut_from_store`` records which path was taken.
     """
 
     def __init__(
@@ -44,6 +52,7 @@ class LatencyEstimator:
         lut: Optional[LatencyLUT] = None,
         precision: str = "float32",
         cache: Optional["IndicatorCache"] = None,
+        lut_store=None,
     ) -> None:
         # Deferred import: repro.engine transitively imports this module
         # (engine → proxies → benchdata → hardware), so binding at class
@@ -53,7 +62,16 @@ class LatencyEstimator:
         self.device = device
         self.config = config or MacroConfig.full()
         self.profiler = profiler or OnDeviceProfiler(device, precision=precision)
-        self.lut = lut if lut is not None else self.profiler.build_lut(self.config)
+        self.lut_from_store = False
+        if lut is None and lut_store is not None:
+            lut = lut_store.lut_get(device.name, self.profiler.precision,
+                                    self.config)
+            self.lut_from_store = lut is not None
+        if lut is None:
+            lut = self.profiler.build_lut(self.config)
+            if lut_store is not None:
+                lut_store.lut_put(lut, self.profiler.precision, self.config)
+        self.lut = lut
         self.cache = cache if cache is not None else IndicatorCache()
         self._key_suffix = (self.device.name, self.precision,
                             astuple(self.config))

@@ -14,7 +14,7 @@ the classic condition number.  Lower is better (more trainable).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -197,26 +197,28 @@ def ntk_spectrum(
     return NtkResult(eigenvalues=eigenvalues, batch_size=images.shape[0])
 
 
-def ntk_condition_number(
+def ntk_grams(
     genotype: Genotype,
     config: Optional[ProxyConfig] = None,
     images: Optional[np.ndarray] = None,
     rng: SeedLike = None,
-    k_index: int = 1,
-) -> float:
-    """Condition number ``K_{k_index}`` of the genotype's proxy NTK.
+) -> List[np.ndarray]:
+    """One ``(B, B)`` NTK Gram matrix per configured repeat.
 
-    Averages over ``config.repeats`` evaluations when ``repeats > 1``
-    (infinite values propagate: an untrainable repeat marks the
-    architecture untrainable).  When batches are drawn internally the
-    proxy network is built once and shared across repeats — each repeat
-    draws a fresh input batch and re-freezes the BatchNorm statistics to
-    it, rather than paying a full rebuild.  With user-supplied ``images``
-    the batch is fixed, so each repeat keeps its own independently seeded
-    network (otherwise repeats would average identical evaluations).
+    Reproduces :func:`ntk_condition_number`'s seed stream exactly: when
+    batches are drawn internally the proxy network is built once and shared
+    across repeats — each repeat draws a fresh input batch and re-freezes
+    the BatchNorm statistics to it, rather than paying a full rebuild.
+    With user-supplied ``images`` the batch is fixed, so each repeat keeps
+    its own independently seeded network (otherwise repeats would average
+    identical evaluations).
+
+    Returning the Grams *before* eigendecomposition lets population-level
+    callers stack them and run one batched ``eigvalsh`` over the whole
+    population (see :func:`repro.engine.kernels.batched_condition_numbers`).
     """
     config = config or ProxyConfig()
-    values = []
+    grams: List[np.ndarray] = []
     network: Optional[Module] = None
     for repeat in range(config.repeats):
         rep_rng = new_rng(
@@ -240,9 +242,30 @@ def ntk_condition_number(
                 size=(config.ntk_batch_size, 3,
                       config.input_size, config.input_size)
             )
-        result = ntk_spectrum(genotype, config, images=batch, rng=rep_rng,
-                              network=network)
-        values.append(result.k(k_index))
+        grams.append(compute_ntk_gram(network, batch, mode=config.ntk_mode))
+    return grams
+
+
+def ntk_condition_number(
+    genotype: Genotype,
+    config: Optional[ProxyConfig] = None,
+    images: Optional[np.ndarray] = None,
+    rng: SeedLike = None,
+    k_index: int = 1,
+) -> float:
+    """Condition number ``K_{k_index}`` of the genotype's proxy NTK.
+
+    Averages over ``config.repeats`` evaluations when ``repeats > 1``
+    (infinite values propagate: an untrainable repeat marks the
+    architecture untrainable).  Gram construction is shared with
+    :func:`ntk_grams`; this per-candidate path eigendecomposes each Gram
+    individually.
+    """
+    config = config or ProxyConfig()
+    values = []
+    for gram in ntk_grams(genotype, config, images=images, rng=rng):
+        eigenvalues = np.linalg.eigvalsh(gram)[::-1].copy()
+        values.append(NtkResult(eigenvalues, gram.shape[0]).k(k_index))
     return float(np.mean(values))
 
 

@@ -1,0 +1,54 @@
+"""The parallel evaluation runtime.
+
+:mod:`repro.engine` owns *what* trainless evaluation computes (vectorized
+proxy kernels, the canonicalization-aware cache, the population API).
+This package owns *how* populations get evaluated at scale — without the
+engine ever importing it:
+
+1. **Process-pool executor** (:mod:`repro.runtime.pool`) —
+   :class:`PopulationExecutor` maps proxy evaluation over the unique
+   canonical genotypes (or supernet states) of a population with
+   pure-NumPy worker processes, then merges the returned indicator rows
+   back into the shared :class:`~repro.engine.cache.IndicatorCache` under
+   the engine's exact cache keys.  Workers are deterministic because every
+   proxy seeds from the canonical key, so pool results are bit-identical
+   to serial evaluation regardless of worker count or completion order.
+2. **Persistent store** (:mod:`repro.runtime.store`) —
+   :class:`RuntimeStore` serialises the indicator cache (JSON round-trip
+   with fingerprint validation, so stale proxy/macro configurations never
+   poison results) and keeps a device-keyed latency-LUT store built on
+   :meth:`~repro.hardware.profiler.LatencyLUT.save_json`, so repeated
+   runs, multi-device Pareto searches and CI all warm-start.
+3. **Run harness** (:mod:`repro.runtime.harness`) — one
+   :class:`RuntimeConfig` configures engine + pool + store, runs any
+   registered search algorithm against them and emits a structured
+   :class:`RunReport`.
+
+The composition seam is deliberately thin: ``Engine.evaluate_population``
+and every search loop accept an optional ``executor=`` object they only
+duck-type (``warm_population`` / ``warm_supernets``), and the engine/
+estimator accept a duck-typed ``lut_store``.  Future scaling work (async
+evaluators, remote workers, sharding) plugs into the same two hooks.
+"""
+
+from repro.runtime.pool import PoolStats, PopulationExecutor
+from repro.runtime.store import RuntimeStore, cache_fingerprint
+from repro.runtime.harness import (
+    ALGORITHMS,
+    RunHarness,
+    RunReport,
+    RuntimeConfig,
+    register_algorithm,
+)
+
+__all__ = [
+    "PopulationExecutor",
+    "PoolStats",
+    "RuntimeStore",
+    "cache_fingerprint",
+    "RuntimeConfig",
+    "RunHarness",
+    "RunReport",
+    "ALGORITHMS",
+    "register_algorithm",
+]

@@ -1,0 +1,332 @@
+"""The run harness: one config wires engine + pool + store + algorithm.
+
+:class:`RuntimeConfig` is the single declarative description of an
+evaluation run — which search algorithm, how many worker processes, which
+device, which store directory to warm-start from.  :class:`RunHarness`
+materialises it: builds the :class:`~repro.engine.Engine` (loading any
+persisted indicator cache and letting latency estimators pull profiled
+LUTs from the store), builds the :class:`~repro.runtime.pool.\
+PopulationExecutor`, runs the selected algorithm from :data:`ALGORITHMS`
+and emits a structured :class:`RunReport` (optionally persisting the
+warmed cache back).
+
+New algorithms register with :func:`register_algorithm`; the builder
+receives the harness and returns a
+:class:`~repro.search.result.SearchResult`, so external search loops plug
+in without touching this module.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SearchError
+from repro.proxies.base import ProxyConfig
+from repro.runtime.pool import PopulationExecutor
+from repro.runtime.store import RuntimeStore, cache_fingerprint
+from repro.search.result import SearchResult
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import MacroConfig
+from repro.utils.timing import Timer
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Everything a reproducible evaluation run needs, in one place."""
+
+    algorithm: str = "random"
+    n_workers: int = 1
+    chunk_size: int = 8
+    store_dir: Optional[str] = None
+    device: str = "nucleo-f746zg"
+    samples: int = 64          # random / pareto population size
+    population_size: int = 20  # evolutionary population
+    cycles: int = 100          # evolutionary cycles
+    sample_size: int = 5       # evolutionary tournament size
+    latency_weight: float = 0.0
+    flops_weight: float = 0.0
+    arch: Optional[str] = None  # cell for the macro stage (str or index)
+    seed: int = 0
+    fast: bool = True           # reduced proxy scale (quick demo / CI)
+    save_store: bool = True     # persist the warmed cache after the run
+
+    def proxy_config(self) -> ProxyConfig:
+        from repro.eval.benchconfig import reduced_proxy_config
+
+        if self.fast:
+            return reduced_proxy_config(seed=self.seed)
+        return ProxyConfig(seed=self.seed)
+
+    def macro_config(self) -> MacroConfig:
+        return MacroConfig.full()
+
+
+@dataclass
+class RunReport:
+    """Structured record of one harness run (JSON-serialisable)."""
+
+    config: RuntimeConfig
+    algorithm: str
+    arch_str: str
+    arch_index: int
+    indicators: Dict[str, float]
+    wall_seconds: float
+    num_evaluations: int
+    cache: Dict[str, float]
+    pool: Dict[str, object]
+    store: Dict[str, object]
+    weights_used: Optional[Dict[str, float]] = None
+    history: List[Dict] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        payload = asdict(self)
+        payload["config"] = asdict(self.config)
+        return payload
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, default=str)
+
+
+# ----------------------------------------------------------------------
+# Algorithm registry
+# ----------------------------------------------------------------------
+ALGORITHMS: Dict[str, Callable[["RunHarness"], SearchResult]] = {}
+
+
+def register_algorithm(name: str):
+    """Decorator registering a harness-runnable search algorithm."""
+
+    def wrap(builder: Callable[["RunHarness"], SearchResult]):
+        ALGORITHMS[name] = builder
+        return builder
+
+    return wrap
+
+
+@register_algorithm("random")
+def _run_random(harness: "RunHarness") -> SearchResult:
+    from repro.search.random_search import ZeroShotRandomSearch
+
+    return ZeroShotRandomSearch(
+        harness.objective(),
+        num_samples=harness.config.samples,
+        seed=harness.config.seed,
+        executor=harness.executor,
+    ).search()
+
+
+@register_algorithm("evolutionary")
+def _run_evolutionary(harness: "RunHarness") -> SearchResult:
+    """µNAS-style train-based aging evolution (surrogate benchmark).
+
+    Fitness queries the surrogate — no engine indicators — so the pool
+    and indicator store have nothing to accelerate here; the algorithm is
+    registered so cost-accounting comparisons run under the same harness.
+    Indicator weights would be silently meaningless, so they are rejected
+    rather than ignored (use ``trainless-evolutionary`` for weighted
+    indicator-driven evolution).
+    """
+    from repro.search.evolutionary import (
+        ConstrainedEvolutionarySearch,
+        EvolutionConfig,
+    )
+
+    if harness.config.latency_weight or harness.config.flops_weight:
+        raise SearchError(
+            "the train-based 'evolutionary' algorithm scores candidates by "
+            "surrogate accuracy only and ignores indicator weights; drop "
+            "--latency-weight/--flops-weight or use trainless-evolutionary"
+        )
+
+    return ConstrainedEvolutionarySearch(
+        EvolutionConfig(
+            population_size=harness.config.population_size,
+            sample_size=harness.config.sample_size,
+            cycles=harness.config.cycles,
+        ),
+        macro_config=harness.macro_config,
+        seed=harness.config.seed,
+    ).search()
+
+
+@register_algorithm("trainless-evolutionary")
+def _run_trainless_evolutionary(harness: "RunHarness") -> SearchResult:
+    from repro.search.evolutionary import (
+        EvolutionConfig,
+        TrainlessEvolutionarySearch,
+    )
+
+    return TrainlessEvolutionarySearch(
+        harness.objective(),
+        EvolutionConfig(
+            population_size=harness.config.population_size,
+            sample_size=harness.config.sample_size,
+            cycles=harness.config.cycles,
+        ),
+        seed=harness.config.seed,
+        executor=harness.executor,
+    ).search()
+
+
+@register_algorithm("pruning")
+def _run_pruning(harness: "RunHarness") -> SearchResult:
+    from repro.search.pruning import MicroNASSearch
+
+    return MicroNASSearch(
+        harness.objective(),
+        seed=harness.config.seed,
+        executor=harness.executor,
+    ).search()
+
+
+@register_algorithm("macro")
+def _run_macro(harness: "RunHarness") -> SearchResult:
+    """Secondary stage: fit ``config.arch`` onto the configured board."""
+    from repro.search.macro import (
+        MacroSearchSpace,
+        MacroStageSearch,
+        device_constraints,
+    )
+
+    if harness.config.arch is None:
+        raise SearchError(
+            "the macro algorithm needs a discovered cell: set "
+            "RuntimeConfig.arch to an architecture string or index"
+        )
+    genotype = Genotype.resolve(harness.config.arch)
+    search = MacroStageSearch(genotype, device=harness.device,
+                              space=MacroSearchSpace(),
+                              engine=harness.engine)
+    plan = search.select(device_constraints(harness.device))
+    candidate = plan.candidate
+    return SearchResult(
+        genotype=genotype,
+        algorithm="macro-stage",
+        indicators={
+            "latency": candidate.latency_ms,
+            "flops": float(candidate.flops),
+            "params": float(candidate.params),
+            "peak_sram_bytes": float(candidate.peak_sram_bytes),
+            "flash_bytes": float(candidate.flash_bytes),
+        },
+        history=[{
+            "skeleton": {
+                "init_channels": candidate.config.init_channels,
+                "cells_per_stage": candidate.config.cells_per_stage,
+            },
+            "alternatives_considered": plan.alternatives_considered,
+        }],
+        ledger=harness.engine.ledger,
+    )
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+class RunHarness:
+    """Materialises a :class:`RuntimeConfig` and runs its algorithm."""
+
+    def __init__(self, config: RuntimeConfig) -> None:
+        from repro.engine.core import Engine
+        from repro.hardware.device import known_devices
+
+        if config.algorithm not in ALGORITHMS:
+            raise SearchError(
+                f"unknown algorithm {config.algorithm!r}; registered: "
+                f"{sorted(ALGORITHMS)}"
+            )
+        devices = known_devices()
+        if config.device not in devices:
+            raise SearchError(
+                f"unknown device {config.device!r}; known: {sorted(devices)}"
+            )
+        self.config = config
+        self.device = devices[config.device]
+        self.proxy_config = config.proxy_config()
+        self.macro_config = config.macro_config()
+        self.store = (RuntimeStore(config.store_dir)
+                      if config.store_dir else None)
+        self.executor = PopulationExecutor(n_workers=config.n_workers,
+                                           chunk_size=config.chunk_size)
+        self.engine = Engine(
+            proxy_config=self.proxy_config,
+            macro_config=self.macro_config,
+            device=self.device,
+            lut_store=self.store,
+        )
+        self.fingerprint = cache_fingerprint(self.proxy_config,
+                                             self.macro_config)
+        self.warm_entries = (
+            self.store.load_cache_into(self.engine.cache, self.fingerprint)
+            if self.store is not None else 0
+        )
+
+    # ------------------------------------------------------------------
+    def objective(self):
+        """A hybrid objective wired to this harness's engine and pool."""
+        from repro.search.objective import HybridObjective, ObjectiveWeights
+
+        return HybridObjective(
+            weights=ObjectiveWeights(latency=self.config.latency_weight,
+                                     flops=self.config.flops_weight),
+            engine=self.engine,
+            executor=self.executor,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunReport:
+        """Run the configured algorithm; persist and report."""
+        stats_before = self.engine.cache.stats
+        try:
+            with Timer() as timer:
+                result = ALGORITHMS[self.config.algorithm](self)
+        finally:
+            self.executor.close()  # forked workers don't outlive the run
+        stats_after = self.engine.cache.stats
+        saved_entries = 0
+        if self.store is not None and self.config.save_store:
+            saved_entries = self.store.save_cache(self.engine.cache,
+                                                  self.fingerprint)
+        return RunReport(
+            config=self.config,
+            algorithm=result.algorithm,
+            arch_str=result.arch_str,
+            arch_index=result.genotype.to_index(),
+            indicators={k: float(v) for k, v in result.indicators.items()},
+            wall_seconds=timer.elapsed,
+            num_evaluations=result.num_evaluations,
+            cache={
+                "warm_start_entries": self.warm_entries,
+                "hits": stats_after.hits - stats_before.hits,
+                "misses": stats_after.misses - stats_before.misses,
+                "entries": stats_after.entries,
+                "hit_rate": stats_after.hit_rate,
+            },
+            pool=self.executor.stats.to_dict(),
+            store={
+                "dir": self.config.store_dir,
+                "cache_loaded": self.warm_entries,
+                "cache_saved": saved_entries,
+                "luts": (self.store.lut_keys()
+                         if self.store is not None else []),
+            },
+            weights_used=result.weights_used,
+            history=result.history,
+        )
+
+
+def run(config: RuntimeConfig) -> RunReport:
+    """One-call convenience: build the harness and run it."""
+    return RunHarness(config).run()
+
+
+__all__ = [
+    "RuntimeConfig",
+    "RunHarness",
+    "RunReport",
+    "ALGORITHMS",
+    "register_algorithm",
+    "run",
+]

@@ -1,0 +1,325 @@
+"""Process-pool fan-out for population evaluation.
+
+:class:`PopulationExecutor` parallelises the expensive part of
+``Engine.evaluate_population`` — computing indicators for the *unique
+canonical* survivors of a population — across worker processes:
+
+* **Determinism.**  Every proxy seeds its RNG from the canonical key
+  (``stable_seed(tag, config.seed, repeat, canonical_index)``), so a
+  worker computes bit-for-bit the value the serial path would.  Results
+  are merged into the shared :class:`~repro.engine.cache.IndicatorCache`
+  under the engine's exact cache keys, and the engine then assembles the
+  table serially in request order — worker count, chunking and completion
+  order can never reorder or re-dedupe rows.
+* **Chunked dispatch.**  Candidates ship in chunks of ``chunk_size`` so
+  per-task pickling overhead amortises over several proxy evaluations.
+* **Serial fallback.**  ``n_workers=1``, platforms without ``fork`` (the
+  only start method that inherits the pure-NumPy substrate for free), or
+  degenerate workloads (a single chunk) run the same chunk function
+  inline in the parent; behaviour is identical by construction.
+
+The executor never imports search code and the engine never imports this
+module: the engine's ``executor=`` hook duck-types ``warm_population`` /
+``warm_supernets`` only.
+
+Cache accounting note: rows a worker computed are recorded as cache
+*misses* when merged (they were genuinely computed, not found), after
+which the engine's serial assembly pass sees hits.  A pool-warmed table
+therefore reports one extra hit per computed row compared to serial
+evaluation; the indicator values themselves are identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import astuple, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.core import supernet_state_key
+from repro.errors import SearchError
+from repro.searchspace.canonical import canonicalize
+from repro.searchspace.cell import EdgeSpec
+from repro.searchspace.genotype import Genotype
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _chunked(items: Sequence, size: int) -> List[Sequence]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (module level: picklable by reference).
+# ----------------------------------------------------------------------
+def _evaluate_genotype_chunk(payload: Tuple) -> Tuple[List[Tuple], float]:
+    """Indicator rows for a chunk of canonical genotypes.
+
+    Each chunk item is ``(ops, (need_ntk, need_lr, need_flops))``: only
+    the indicators the parent found missing are computed, so a partially
+    warm cache (e.g. FLOPs missing under a new macro config) never re-pays
+    the expensive proxies.  Returns
+    ``([(canonical_index, {indicator: value}), ...], seconds)``.
+    Latency is deliberately absent: LUT composition is cheap and the
+    profiled estimator lives in the parent; workers only pay for the
+    proxy-network indicators.
+    """
+    items, proxy_config, macro_config = payload
+    from repro.proxies.flops import count_flops
+    from repro.proxies.linear_regions import count_line_regions
+    from repro.proxies.ntk import ntk_condition_number
+
+    start = time.perf_counter()
+    rows: List[Tuple] = []
+    for ops, (need_ntk, need_lr, need_flops) in items:
+        genotype = Genotype(tuple(ops))
+        row = {}
+        if need_ntk:
+            row["ntk"] = ntk_condition_number(genotype, proxy_config)
+        if need_lr:
+            row["linear_regions"] = count_line_regions(genotype, proxy_config)
+        if need_flops:
+            row["flops"] = float(count_flops(genotype, macro_config))
+        rows.append((genotype.to_index(), row))
+    return rows, time.perf_counter() - start
+
+
+def _evaluate_supernet_chunk(payload: Tuple) -> Tuple[List[Tuple], float]:
+    """Supernet NTK / line-region rows for a chunk of alive-op states.
+
+    Each chunk item is ``(state, (need_ntk, need_lr))`` — as with the
+    genotype chunks, only the indicators the parent found missing are
+    computed.
+    """
+    items, proxy_config = payload
+    from repro.proxies.linear_regions import supernet_line_regions
+    from repro.proxies.ntk import supernet_ntk_condition_number
+
+    start = time.perf_counter()
+    rows: List[Tuple] = []
+    for state, (need_ntk, need_lr) in items:
+        specs = [EdgeSpec(i, tuple(ops)) for i, ops in enumerate(state)]
+        row = {}
+        if need_ntk:
+            row["supernet_ntk"] = supernet_ntk_condition_number(specs,
+                                                                proxy_config)
+        if need_lr:
+            row["supernet_lr"] = supernet_line_regions(
+                [spec.alive_ops for spec in specs], proxy_config
+            )
+        rows.append((tuple(tuple(ops) for ops in state), row))
+    return rows, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+@dataclass
+class PoolStats:
+    """Cumulative dispatch accounting of one :class:`PopulationExecutor`."""
+
+    mode: str = "serial"
+    n_workers: int = 1
+    dispatches: int = 0
+    chunks: int = 0
+    tasks: int = 0
+    merged_rows: int = 0
+    worker_seconds: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "n_workers": self.n_workers,
+            "dispatches": self.dispatches,
+            "chunks": self.chunks,
+            "tasks": self.tasks,
+            "merged_rows": self.merged_rows,
+            "worker_seconds": self.worker_seconds,
+        }
+
+
+class PopulationExecutor:
+    """Maps engine proxy evaluation over worker processes.
+
+    Pass an instance to ``Engine.evaluate_population(..., executor=...)``
+    (or to any search loop's ``executor=`` hook) to fan unique-candidate
+    evaluation out over ``n_workers`` fork-based processes.  The executor
+    holds no engine state: the same instance may serve many engines, and
+    each call reads the engine's configs to build matching cache keys.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None,
+                 chunk_size: int = 8) -> None:
+        if n_workers is None:
+            n_workers = multiprocessing.cpu_count()
+        if n_workers < 1:
+            raise SearchError("n_workers must be >= 1")
+        if chunk_size < 1:
+            raise SearchError("chunk_size must be >= 1")
+        self.n_workers = n_workers
+        self.chunk_size = chunk_size
+        self.stats = PoolStats(n_workers=n_workers)
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; also runs on ``del``).
+
+        Workers are forked lazily on the first parallel dispatch and then
+        reused — a pruning search dispatches once per round, and paying
+        pool startup each time would dominate small rounds.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "PopulationExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return self._pool
+
+    def _run_chunks(self, worker, payloads: List[Tuple]) -> List[Tuple]:
+        """Run chunk payloads through the pool (or inline), in order."""
+        parallel = (self.n_workers > 1 and len(payloads) > 1
+                    and _fork_available())
+        if parallel:
+            # Sticky: "fork-pool" means the pool ran at least once this
+            # lifetime (later single-chunk dispatches go inline without
+            # re-labelling the whole run serial).
+            self.stats.mode = "fork-pool"
+        self.stats.dispatches += 1
+        self.stats.chunks += len(payloads)
+        if not parallel:
+            return [worker(payload) for payload in payloads]
+        # Results come back in submission order regardless of which
+        # worker finishes first; merge order is thus deterministic
+        # (and irrelevant anyway — keys are unique after dedupe).
+        return list(self._ensure_pool().map(worker, payloads))
+
+    def _merge(self, engine, keyed_rows: List[Tuple[Tuple, float]]) -> int:
+        merged = 0
+        for key, value in keyed_rows:
+            if key not in engine.cache:
+                engine.cache.misses += 1  # computed in a worker, not found
+                engine.cache.put(key, value)
+                merged += 1
+        self.stats.merged_rows += merged
+        return merged
+
+    # ------------------------------------------------------------------
+    # Engine hooks (duck-typed from Engine.evaluate_population and
+    # HybridObjective.supernet_population)
+    # ------------------------------------------------------------------
+    def warm_population(self, engine, genotypes: Sequence[Genotype],
+                        with_latency: bool = False,
+                        assume_canonical: bool = True) -> int:
+        """Compute missing unique-canonical indicator rows in the pool.
+
+        Returns the number of cache entries merged.  ``with_latency`` is
+        accepted for hook-signature compatibility; latency stays in the
+        parent (see :func:`_evaluate_genotype_chunk`).
+
+        ``Engine.evaluate_population`` passes already-canonical forms, so
+        canonicalization (a cell-graph build per genotype — the dominant
+        cost on a warm cache) is skipped by default; pass
+        ``assume_canonical=False`` when warming raw genotypes directly.
+        Raw forms under the default would only waste worker compute on
+        keys the engine never reads — canonical indices are keyed by
+        canonical forms only — never corrupt served values.
+        """
+        proxy_key = astuple(engine.proxy_config)
+        macro_key = astuple(engine.macro_config)
+        missing: List[Tuple] = []  # (ops, per-indicator need mask)
+        seen = set()
+        for genotype in genotypes:
+            canon = (genotype if assume_canonical
+                     else canonicalize(genotype))
+            index = canon.to_index()
+            if index in seen:
+                continue
+            seen.add(index)
+            needs = (
+                ("ntk", index, 1, proxy_key) not in engine.cache,
+                ("linear_regions", index, proxy_key) not in engine.cache,
+                ("flops", index, macro_key) not in engine.cache,
+            )
+            if any(needs):
+                missing.append((canon.ops, needs))
+        if not missing:
+            return 0
+        payloads = [
+            (tuple(chunk), engine.proxy_config, engine.macro_config)
+            for chunk in _chunked(missing, self.chunk_size)
+        ]
+        key_builders = {
+            "ntk": lambda index: ("ntk", index, 1, proxy_key),
+            "linear_regions": lambda index: ("linear_regions", index,
+                                             proxy_key),
+            "flops": lambda index: ("flops", index, macro_key),
+        }
+        keyed: List[Tuple[Tuple, float]] = []
+        for rows, seconds in self._run_chunks(_evaluate_genotype_chunk,
+                                              payloads):
+            self.stats.tasks += len(rows)
+            self.stats.worker_seconds += seconds
+            engine.ledger.add("pool_eval", seconds=seconds, count=len(rows))
+            for index, row in rows:
+                for name, value in row.items():
+                    keyed.append((key_builders[name](index), value))
+        return self._merge(engine, keyed)
+
+    def warm_supernets(self, engine,
+                       spec_lists: Sequence[Sequence[EdgeSpec]]) -> int:
+        """Compute missing supernet-state indicator rows in the pool."""
+        proxy_key = astuple(engine.proxy_config)
+        missing: List[Tuple] = []  # (state, per-indicator need mask)
+        seen = set()
+        for specs in spec_lists:
+            state = supernet_state_key(specs)
+            if state in seen:
+                continue
+            seen.add(state)
+            needs = (
+                ("supernet_ntk", state, proxy_key) not in engine.cache,
+                ("supernet_lr", state, proxy_key) not in engine.cache,
+            )
+            if any(needs):
+                missing.append((state, needs))
+        if not missing:
+            return 0
+        payloads = [
+            (tuple(chunk), engine.proxy_config)
+            for chunk in _chunked(missing, self.chunk_size)
+        ]
+        keyed: List[Tuple[Tuple, float]] = []
+        for rows, seconds in self._run_chunks(_evaluate_supernet_chunk,
+                                              payloads):
+            self.stats.tasks += len(rows)
+            self.stats.worker_seconds += seconds
+            engine.ledger.add("pool_eval", seconds=seconds, count=len(rows))
+            for state, row in rows:
+                for name, value in row.items():
+                    keyed.append(((name, state, proxy_key), value))
+        return self._merge(engine, keyed)
+
+
+__all__ = ["PopulationExecutor", "PoolStats"]

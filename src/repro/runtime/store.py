@@ -1,0 +1,262 @@
+"""Persistent store for indicator caches and device latency LUTs.
+
+Board profiling and proxy evaluation are the two costs every run pays
+again from scratch: the in-memory
+:class:`~repro.engine.cache.IndicatorCache` dies with the process and each
+device re-profiles its LUT.  :class:`RuntimeStore` is a directory-backed
+store that makes both survive:
+
+* **Indicator cache** — cache keys are plain nested tuples of strings and
+  integers (see the key contract in :mod:`repro.engine`), so they
+  round-trip through JSON losslessly with a recursive list↔tuple
+  conversion.  The file carries a **fingerprint** of the proxy/macro
+  configuration (plus a format version and the indicator schema); loading
+  under a different configuration rejects the whole file, so stale
+  entries can never poison results.  Values may be ``inf``/``nan``
+  (serialised with Python's JSON extensions).
+* **Latency LUTs** — one file per ``(device, precision, macro config)``
+  key, written with :meth:`~repro.hardware.profiler.LatencyLUT.save_json`
+  so files interoperate with every other LUT consumer, plus a sidecar
+  ``.meta.json`` holding the key fingerprint that loading validates.
+  Multi-device Pareto searches and CI profile each board once, ever.
+
+The store is duck-typed by its consumers: :class:`repro.engine.Engine`
+and :class:`~repro.hardware.latency.LatencyEstimator` only call
+``lut_get``/``lut_put``, and the harness calls
+``load_cache_into``/``save_cache`` — neither imports this module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import astuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.cache import IndicatorCache
+from repro.engine.core import INDICATOR_NAMES
+from repro.errors import ReproError
+from repro.hardware.profiler import LatencyLUT
+from repro.proxies.base import ProxyConfig
+from repro.searchspace.network import MacroConfig
+
+#: Bump when the meaning of cached values changes (e.g. a kernel rewrite
+#: that is not bit-compatible); old store files then self-invalidate.
+STORE_FORMAT = 1
+
+
+class StoreError(ReproError):
+    """Raised for unusable store contents in strict mode."""
+
+
+def cache_fingerprint(proxy_config: ProxyConfig,
+                      macro_config: MacroConfig) -> Dict:
+    """Identity of everything a cached indicator value depends on.
+
+    Cache *keys* already embed per-entry configuration, so entries can
+    never alias each other; the fingerprint guards the remaining global
+    assumptions — store format, indicator schema and the engine's own
+    proxy/macro configs — under which the file was written.
+    """
+    return {
+        "format": STORE_FORMAT,
+        "indicators": list(INDICATOR_NAMES),
+        "proxy": _encode_key(astuple(proxy_config)),
+        "macro": _encode_key(astuple(macro_config)),
+    }
+
+
+def _encode_key(key):
+    """Tuples → lists, recursively (JSON has no tuple type)."""
+    if isinstance(key, tuple):
+        return [_encode_key(part) for part in key]
+    return key
+
+
+def _decode_key(obj):
+    """Lists → tuples, recursively (inverse of :func:`_encode_key`)."""
+    if isinstance(obj, list):
+        return tuple(_decode_key(part) for part in obj)
+    return obj
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", text)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write-then-rename so concurrent readers (two runs sharing one
+    store directory) never observe a torn file.  The staging name is
+    per-process so concurrent writers of the same key cannot interleave
+    into one tmp file either — last rename wins, both are whole."""
+    tmp_path = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp_path.write_text(text, encoding="utf-8")
+    os.replace(tmp_path, path)
+
+
+def _lut_digest(precision: str, config: MacroConfig) -> str:
+    material = json.dumps([precision, _encode_key(astuple(config))])
+    return hashlib.sha1(material.encode("utf-8")).hexdigest()[:12]
+
+
+def _fingerprint_digest(fingerprint: Dict) -> str:
+    material = json.dumps(fingerprint, sort_keys=True, default=str)
+    return hashlib.sha1(material.encode("utf-8")).hexdigest()[:12]
+
+
+class RuntimeStore:
+    """Directory-backed persistence for indicator caches and latency LUTs."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Why the last load/get returned nothing (diagnostics/reporting).
+        self.last_rejection: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Indicator cache
+    # ------------------------------------------------------------------
+    def cache_path(self, fingerprint: Dict) -> Path:
+        """Cache file for this fingerprint.  Files are fingerprint-keyed
+        so runs under different configurations (seed, proxy scale, macro)
+        sharing one store directory coexist instead of overwriting each
+        other's warm-start data."""
+        return self.root / (
+            f"indicator_cache__{_fingerprint_digest(fingerprint)}.json"
+        )
+
+    def save_cache(self, cache: IndicatorCache, fingerprint: Dict) -> int:
+        """Serialise every cache entry under ``fingerprint``; returns the
+        number of entries written (non-JSON-serialisable values, which the
+        engine never produces, are skipped rather than corrupting the
+        file)."""
+        entries: List = []
+        for key, value in sorted(cache.items(), key=lambda kv: repr(kv[0])):
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                continue
+            entries.append([_encode_key(key), value])
+        payload = {"fingerprint": fingerprint, "entries": entries}
+        _atomic_write_text(self.cache_path(fingerprint),
+                           json.dumps(payload) + "\n")
+        return len(entries)
+
+    def load_cache_into(self, cache: IndicatorCache, fingerprint: Dict,
+                        strict: bool = False) -> int:
+        """Merge persisted entries into ``cache``; returns how many landed.
+
+        A missing file, unreadable JSON or a fingerprint mismatch loads
+        nothing (``last_rejection`` says why); with ``strict=True`` a
+        *present but rejected* file raises :class:`StoreError` instead, so
+        CI can distinguish "cold" from "poisoned".  Entries already in the
+        cache keep their in-memory value.
+        """
+        self.last_rejection = None
+        path = self.cache_path(fingerprint)
+        if not path.exists():
+            self.last_rejection = "no persisted cache"
+            return 0
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError) as exc:
+            self.last_rejection = f"unreadable cache file: {exc}"
+            if strict:
+                raise StoreError(self.last_rejection) from exc
+            return 0
+        if payload.get("fingerprint") != fingerprint:
+            self.last_rejection = (
+                "fingerprint mismatch: persisted cache was written under a "
+                "different proxy/macro configuration or store format"
+            )
+            if strict:
+                raise StoreError(self.last_rejection)
+            return 0
+        merged = 0
+        for encoded_key, value in payload.get("entries", []):
+            key = _decode_key(encoded_key)
+            if key not in cache:
+                cache.put(key, value)
+                merged += 1
+        return merged
+
+    # ------------------------------------------------------------------
+    # Device-keyed latency LUT store
+    # ------------------------------------------------------------------
+    def _lut_paths(self, device_name: str, precision: str,
+                   config: MacroConfig) -> Tuple[Path, Path]:
+        stem = f"lut__{_slug(device_name)}__{_lut_digest(precision, config)}"
+        return self.root / f"{stem}.json", self.root / f"{stem}.meta.json"
+
+    def _lut_meta(self, device_name: str, precision: str,
+                  config: MacroConfig) -> Dict:
+        return {
+            "format": STORE_FORMAT,
+            "device": device_name,
+            "precision": precision,
+            "macro": _encode_key(astuple(config)),
+        }
+
+    def lut_put(self, lut: LatencyLUT, precision: str,
+                config: MacroConfig) -> Path:
+        """Persist a profiled LUT under its ``(device, precision, macro)``
+        key; the LUT payload itself is plain ``LatencyLUT.save_json``
+        output, interoperable with every other consumer."""
+        lut_path, meta_path = self._lut_paths(lut.device_name, precision,
+                                              config)
+        tmp_path = lut_path.with_name(
+            f"{lut_path.name}.{os.getpid()}.tmp"
+        )
+        lut.save_json(str(tmp_path))
+        os.replace(tmp_path, lut_path)
+        _atomic_write_text(
+            meta_path,
+            json.dumps(self._lut_meta(lut.device_name, precision, config),
+                       indent=2) + "\n",
+        )
+        return lut_path
+
+    def lut_get(self, device_name: str, precision: str,
+                config: MacroConfig) -> Optional[LatencyLUT]:
+        """The persisted LUT for this exact key, or ``None``.
+
+        Both the sidecar metadata and the payload's own ``device_name``
+        must match the request — a file copied between device directories
+        or written under a different macro config is rejected, never
+        silently served.
+        """
+        self.last_rejection = None
+        lut_path, meta_path = self._lut_paths(device_name, precision, config)
+        if not (lut_path.exists() and meta_path.exists()):
+            self.last_rejection = f"no persisted LUT for {device_name!r}"
+            return None
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            lut = LatencyLUT.load_json(str(lut_path))
+        except (ValueError, OSError, KeyError) as exc:
+            self.last_rejection = f"unreadable LUT file: {exc}"
+            return None
+        expected = self._lut_meta(device_name, precision, config)
+        if meta != expected or lut.device_name != device_name:
+            self.last_rejection = (
+                f"LUT fingerprint mismatch for {device_name!r}: persisted "
+                "under a different device/precision/macro configuration"
+            )
+            return None
+        return lut
+
+    def lut_keys(self) -> List[Dict]:
+        """Metadata of every persisted LUT (device-keyed inventory)."""
+        keys = []
+        for meta_path in sorted(self.root.glob("lut__*.meta.json")):
+            try:
+                keys.append(json.loads(meta_path.read_text(encoding="utf-8")))
+            except (ValueError, OSError):
+                continue
+        return keys
+
+
+__all__ = ["RuntimeStore", "StoreError", "cache_fingerprint", "STORE_FORMAT"]

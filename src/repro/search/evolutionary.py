@@ -163,6 +163,7 @@ class TrainlessEvolutionarySearch:
         constraints: Optional[HardwareConstraints] = None,
         space: Optional[NasBench201Space] = None,
         seed: SeedLike = 0,
+        executor=None,
     ) -> None:
         self.config = config or EvolutionConfig()
         if self.config.population_size < 2 or self.config.sample_size < 1:
@@ -171,6 +172,7 @@ class TrainlessEvolutionarySearch:
         self.constraints = constraints
         self.space = space or NasBench201Space()
         self.seed = seed
+        self.executor = executor
         self._checker = (
             ConstraintChecker(
                 constraints,
@@ -194,8 +196,10 @@ class TrainlessEvolutionarySearch:
         with Timer() as timer:
             initial = self.space.sample(self.config.population_size, rng=rng,
                                         unique=False)
-            # Population API: one batched, canonically-deduplicated call.
-            self.objective.evaluate_population(initial)
+            # Population API: one batched, canonically-deduplicated call
+            # (fanned out over worker processes when an executor is set).
+            self.objective.evaluate_population(initial,
+                                               executor=self.executor)
             self.objective.ledger.add("evolution_candidates",
                                       count=len(initial))
             population: Deque[Genotype] = deque(initial,
@@ -231,7 +235,8 @@ class TrainlessEvolutionarySearch:
                 else:
                     candidates = [min(candidates,
                                       key=self._checker.total_violation)]
-            table = self.objective.evaluate_population(candidates)
+            table = self.objective.evaluate_population(candidates,
+                                                       executor=self.executor)
             scores = self.objective.combined_ranks(table.rows())
             genotype = candidates[table.argbest(scores)]
 

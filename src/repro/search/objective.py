@@ -85,8 +85,10 @@ class HybridObjective:
         latency_estimator: Optional[LatencyEstimator] = None,
         ledger: Optional[CostLedger] = None,
         engine: Optional[Engine] = None,
+        executor=None,
     ) -> None:
         self.weights = weights or ObjectiveWeights()
+        self.executor = executor
         if engine is None:
             engine = Engine(
                 proxy_config=proxy_config,
@@ -122,7 +124,8 @@ class HybridObjective:
 
     def with_weights(self, weights: ObjectiveWeights) -> "HybridObjective":
         """Same engine (estimators, cache, ledger), different weights."""
-        return HybridObjective(weights=weights, engine=self.engine)
+        return HybridObjective(weights=weights, engine=self.engine,
+                               executor=self.executor)
 
     # ------------------------------------------------------------------
     # Genotype-level indicators (engine-cached, canonicalization-aware)
@@ -133,11 +136,18 @@ class HybridObjective:
                                     with_latency=self.weights.uses_latency)
 
     def evaluate_population(
-        self, genotypes: Sequence[Genotype]
+        self, genotypes: Sequence[Genotype],
+        executor=None,
     ) -> IndicatorTable:
-        """Indicator table for a population (the search loops' entry point)."""
+        """Indicator table for a population (the search loops' entry point).
+
+        ``executor`` overrides the objective's default executor for this
+        call; either is handed to the engine's parallel-runtime hook.
+        """
         return self.engine.evaluate_population(
-            genotypes, with_latency=self.weights.uses_latency
+            genotypes,
+            with_latency=self.weights.uses_latency,
+            executor=executor if executor is not None else self.executor,
         )
 
     # ------------------------------------------------------------------
@@ -157,13 +167,19 @@ class HybridObjective:
         return out
 
     def supernet_population(
-        self, spec_lists: Sequence[Sequence[EdgeSpec]]
+        self, spec_lists: Sequence[Sequence[EdgeSpec]],
+        executor=None,
     ) -> List[Dict[str, float]]:
         """Indicator rows for a batch of supernet states (pruning rounds).
 
         Repeated states — e.g. identical candidate prunings re-scored by
         the constraint-adaptation outer loop — resolve from the cache.
+        An ``executor`` (the objective's by default) pre-computes missing
+        states in worker processes before the serial assembly below.
         """
+        executor = executor if executor is not None else self.executor
+        if executor is not None:
+            executor.warm_supernets(self.engine, spec_lists)
         return [self.supernet_indicators(specs) for specs in spec_lists]
 
     def expected_flops(self, edge_specs: Sequence[EdgeSpec]) -> float:

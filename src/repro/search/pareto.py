@@ -170,6 +170,10 @@ class ParetoZeroShotSearch:
     def _score_population(
         self, genotypes: Sequence[Genotype]
     ) -> List[ParetoPoint]:
+        # One population call first: canonical dedupe plus the parallel
+        # runtime's executor hook (when the objective carries one); the
+        # per-candidate reads below then resolve from the shared cache.
+        self.objective.evaluate_population(genotypes)
         rows: List[Dict[str, float]] = []
         for genotype in genotypes:
             indicators = self.objective.genotype_indicators(genotype)

@@ -29,6 +29,7 @@ class ZeroShotRandomSearch:
         num_samples: int = 64,
         space: Optional[NasBench201Space] = None,
         seed: SeedLike = 0,
+        executor=None,
     ) -> None:
         if num_samples < 1:
             raise SearchError("num_samples must be >= 1")
@@ -36,6 +37,7 @@ class ZeroShotRandomSearch:
         self.num_samples = num_samples
         self.space = space or NasBench201Space()
         self.seed = seed
+        self.executor = executor
 
     def search(self, constraints: Optional[HardwareConstraints] = None,
                checker: Optional[ConstraintChecker] = None) -> SearchResult:
@@ -64,7 +66,10 @@ class ZeroShotRandomSearch:
                     samples = [min(samples, key=checker.total_violation)]
             # One engine call for the whole population: canonical dedupe +
             # cached indicators instead of per-candidate inline evaluation.
-            table = self.objective.evaluate_population(samples)
+            # The executor (ours, or the objective's) fans unique
+            # candidates out over worker processes first.
+            table = self.objective.evaluate_population(samples,
+                                                       executor=self.executor)
             scores = self.objective.combined_ranks(table.rows())
             self.objective.ledger.add("random_candidates", count=len(samples))
             best_idx = table.argbest(scores)

@@ -16,7 +16,8 @@ receive identical quality scores — a property the tests pin down.
 
 from __future__ import annotations
 
-from typing import Set
+from functools import lru_cache
+from typing import Set, Tuple
 
 import networkx as nx
 
@@ -39,13 +40,24 @@ def live_edges(genotype: Genotype) -> Set[int]:
     return alive
 
 
+@lru_cache(maxsize=None)
+def _canonical_ops(ops: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Memoized dead-edge elimination on the raw op tuple.
+
+    Canonicalization builds a cell graph per call and sits on every hot
+    path (cache keys, population dedupe, constraint checks); the whole
+    space is 15,625 genotypes, so an unbounded memo stays tiny while
+    making repeat canonicalizations O(1).
+    """
+    alive = live_edges(Genotype(ops))
+    return tuple(
+        op if idx in alive else "none" for idx, op in enumerate(ops)
+    )
+
+
 def canonicalize(genotype: Genotype) -> Genotype:
     """Replace every dead edge's operation with ``none``."""
-    alive = live_edges(genotype)
-    ops = tuple(
-        op if idx in alive else "none" for idx, op in enumerate(genotype.ops)
-    )
-    return Genotype(ops)
+    return Genotype(_canonical_ops(genotype.ops))
 
 
 def is_canonical(genotype: Genotype) -> bool:

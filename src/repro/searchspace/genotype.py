@@ -147,3 +147,15 @@ class Genotype:
         """Sample a uniform random genotype using a numpy Generator."""
         choices = tuple(rng.choice(len(ops), size=NUM_EDGES))
         return cls(tuple(ops[i] for i in choices))
+
+    @classmethod
+    def resolve(cls, value) -> "Genotype":
+        """Accept an integer index (or numeric string) or an arch string.
+
+        The shared user-input resolver behind the CLI's positional ``arch``
+        arguments and ``RuntimeConfig.arch``.
+        """
+        try:
+            return cls.from_index(int(value))
+        except (TypeError, ValueError):
+            return cls.from_arch_str(str(value))

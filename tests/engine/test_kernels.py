@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.engine.kernels import (
+    batched_condition_numbers,
     batched_count_line_regions,
+    batched_eigvalsh,
     batched_ntk_jacobian,
 )
 from repro.errors import ProxyError
@@ -143,3 +145,55 @@ class TestLineCountingEquivalence:
                 network, rng.normal(size=(2, 3, 4, 4)),
                 rng.normal(size=(3, 3, 4, 4)), 8
             )
+
+
+class TestBatchedEigensolve:
+    def _grams(self, rng, n=7, b=8):
+        mats = rng.normal(size=(n, b, b))
+        return np.einsum("nij,nkj->nik", mats, mats)
+
+    def test_stacked_eigvalsh_bit_identical_per_matrix(self, rng):
+        grams = self._grams(rng)
+        batched = batched_eigvalsh(grams)
+        per_matrix = np.stack([np.linalg.eigvalsh(g) for g in grams])
+        np.testing.assert_array_equal(batched, per_matrix)
+
+    def test_condition_numbers_match_per_candidate_path(self, rng):
+        from repro.proxies.ntk import NtkResult
+
+        grams = self._grams(rng)
+        for k_index in (1, 2, 5):
+            batched = batched_condition_numbers(grams, k_index=k_index)
+            reference = [
+                NtkResult(np.linalg.eigvalsh(g)[::-1].copy(), g.shape[0])
+                .k(k_index)
+                for g in grams
+            ]
+            assert list(batched) == reference
+
+    def test_singular_grams_map_to_inf(self, rng):
+        mats = rng.normal(size=(3, 6, 2))  # rank 2 < 6: singular Grams
+        grams = np.einsum("nij,nkj->nik", mats, mats)
+        values = batched_condition_numbers(grams, k_index=1)
+        assert np.all(np.isinf(values))
+
+    def test_shape_and_index_validation(self, rng):
+        with pytest.raises(ProxyError):
+            batched_eigvalsh(rng.normal(size=(4, 4)))
+        with pytest.raises(ProxyError):
+            batched_eigvalsh(rng.normal(size=(2, 4, 3)))
+        with pytest.raises(ProxyError):
+            batched_condition_numbers(self._grams(rng, n=2, b=4), k_index=5)
+
+    def test_engine_population_ntk_matches_per_candidate(self,
+                                                         tiny_proxy_config):
+        from repro.engine import Engine
+        from repro.searchspace.space import NasBench201Space
+
+        population = NasBench201Space().sample(5, rng=11)
+        stacked = Engine(proxy_config=tiny_proxy_config)
+        stacked.ntk_population(population)
+        serial = Engine(proxy_config=tiny_proxy_config)
+        for genotype in population:
+            # Per-candidate path: one eigvalsh per Gram inside ntk().
+            assert stacked.ntk(genotype) == serial.ntk(genotype)

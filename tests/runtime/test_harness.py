@@ -1,0 +1,116 @@
+"""One RuntimeConfig wires engine + pool + store and runs any algorithm."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.runtime import (
+    ALGORITHMS,
+    RunHarness,
+    RuntimeConfig,
+    register_algorithm,
+)
+
+
+def _quick_config(**overrides):
+    defaults = dict(algorithm="random", samples=6, seed=3, fast=True)
+    defaults.update(overrides)
+    return RuntimeConfig(**defaults)
+
+
+class TestRunHarness:
+    def test_random_run_reports(self):
+        report = RunHarness(_quick_config()).run()
+        assert report.algorithm == "random-zeroshot"
+        assert report.arch_str
+        assert set(report.indicators) >= {"ntk", "linear_regions", "flops"}
+        assert report.cache["misses"] > 0
+        assert report.pool["n_workers"] == 1
+        assert report.store["dir"] is None
+
+    def test_store_warm_start_round_trip(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        cold = RunHarness(_quick_config(store_dir=store_dir)).run()
+        assert cold.cache["warm_start_entries"] == 0
+        assert cold.store["cache_saved"] > 0
+
+        warm = RunHarness(_quick_config(store_dir=store_dir)).run()
+        assert warm.cache["warm_start_entries"] == cold.store["cache_saved"]
+        assert warm.cache["misses"] == 0
+        assert warm.arch_str == cold.arch_str
+
+    def test_luts_shared_across_devices_in_one_store(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        config = _quick_config(latency_weight=0.5, store_dir=store_dir)
+        first = RunHarness(config).run()
+        assert [meta["device"] for meta in first.store["luts"]] == \
+            ["nucleo-f746zg"]
+        second = RunHarness(_quick_config(latency_weight=0.5,
+                                          store_dir=store_dir,
+                                          device="nucleo-l432kc")).run()
+        devices = sorted(meta["device"] for meta in second.store["luts"])
+        assert devices == ["nucleo-f746zg", "nucleo-l432kc"]
+        third = RunHarness(config)
+        assert third.engine.latency_estimator.lut_from_store
+
+    def test_trainless_evolutionary_and_pruning_run(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        evo = RunHarness(_quick_config(
+            algorithm="trainless-evolutionary", population_size=5,
+            sample_size=2, cycles=4, store_dir=store_dir,
+        )).run()
+        assert evo.algorithm == "evolutionary-trainless"
+        pruning = RunHarness(_quick_config(
+            algorithm="pruning", flops_weight=0.5, store_dir=store_dir,
+        )).run()
+        assert pruning.algorithm == "micronas"
+        assert pruning.cache["warm_start_entries"] > 0  # shared store
+
+    def test_train_based_evolutionary_rejects_indicator_weights(self):
+        base = dict(algorithm="evolutionary", population_size=4,
+                    sample_size=2, cycles=2)
+        with pytest.raises(SearchError):
+            RunHarness(_quick_config(latency_weight=0.5, **base)).run()
+        report = RunHarness(_quick_config(**base)).run()
+        assert report.algorithm == "evolutionary-munas"
+
+    def test_macro_algorithm_needs_arch(self):
+        with pytest.raises(SearchError):
+            RunHarness(_quick_config(algorithm="macro")).run()
+        report = RunHarness(_quick_config(algorithm="macro",
+                                          arch=1462)).run()
+        assert report.algorithm == "macro-stage"
+        assert report.indicators["latency"] > 0
+        assert report.history[0]["skeleton"]["init_channels"] >= 4
+
+    def test_unknown_algorithm_and_device_rejected(self):
+        with pytest.raises(SearchError):
+            RunHarness(_quick_config(algorithm="quantum"))
+        with pytest.raises(SearchError):
+            RunHarness(_quick_config(device="esp32"))
+
+    def test_report_serialises(self, tmp_path):
+        report = RunHarness(_quick_config()).run()
+        path = tmp_path / "report.json"
+        report.save_json(str(path))
+        import json
+
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["algorithm"] == "random-zeroshot"
+        assert payload["config"]["algorithm"] == "random"
+        assert payload["pool"]["mode"] in ("serial", "fork-pool")
+
+    def test_register_algorithm_extends_registry(self):
+        @register_algorithm("noop-test")
+        def _noop(harness):
+            from repro.search.result import SearchResult
+            from repro.searchspace.genotype import Genotype
+
+            return SearchResult(genotype=Genotype.from_index(0),
+                                algorithm="noop-test")
+
+        try:
+            assert "noop-test" in ALGORITHMS
+            report = RunHarness(_quick_config(algorithm="noop-test")).run()
+            assert report.algorithm == "noop-test"
+        finally:
+            ALGORITHMS.pop("noop-test", None)

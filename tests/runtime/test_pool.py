@@ -1,0 +1,195 @@
+"""Pool-evaluated populations are bit-identical to serial evaluation."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine, supernet_state_key
+from repro.errors import SearchError
+from repro.runtime.pool import (
+    PopulationExecutor,
+    _chunked,
+    _evaluate_genotype_chunk,
+    _evaluate_supernet_chunk,
+)
+from repro.search.objective import HybridObjective
+from repro.searchspace.cell import EdgeSpec
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.ops import CANDIDATE_OPS
+from repro.searchspace.space import NasBench201Space
+
+
+@pytest.fixture()
+def population():
+    space = NasBench201Space()
+    sample = space.sample(8, rng=21)
+    return sample + sample[:3]  # duplicates exercise canonical dedupe
+
+
+def _engine(tiny_proxy_config):
+    return Engine(proxy_config=tiny_proxy_config)
+
+
+class ShuffledFakeExecutor:
+    """Computes the same worker chunks but merges in shuffled completion
+    order — models a pool whose workers finish in arbitrary order."""
+
+    def __init__(self, chunk_size=2, seed=0):
+        self.inner = PopulationExecutor(n_workers=1, chunk_size=chunk_size)
+        self.seed = seed
+
+    def _shuffled(self, fn, payloads):
+        results = [fn(p) for p in payloads]
+        order = list(range(len(results)))
+        random.Random(self.seed).shuffle(order)
+        return [results[i] for i in order]
+
+    def warm_population(self, engine, genotypes, with_latency=False):
+        self.inner._run_chunks = self._shuffled_run
+        return self.inner.warm_population(engine, genotypes,
+                                          with_latency=with_latency)
+
+    def warm_supernets(self, engine, spec_lists):
+        self.inner._run_chunks = self._shuffled_run
+        return self.inner.warm_supernets(engine, spec_lists)
+
+    def _shuffled_run(self, fn, payloads):
+        return self._shuffled(fn, payloads)
+
+
+class TestBitIdentical:
+    def test_fork_pool_matches_serial(self, tiny_proxy_config, population):
+        serial = _engine(tiny_proxy_config).evaluate_population(population)
+        executor = PopulationExecutor(n_workers=2, chunk_size=3)
+        pooled = _engine(tiny_proxy_config).evaluate_population(
+            population, executor=executor
+        )
+        assert executor.stats.mode == "fork-pool"
+        assert executor.stats.tasks == serial.unique_canonical
+        for name in serial.columns:
+            np.testing.assert_array_equal(serial.columns[name],
+                                          pooled.columns[name])
+        assert [g.to_index() for g in serial.genotypes] == \
+            [g.to_index() for g in pooled.genotypes]
+
+    def test_shuffled_completion_order_identical_table(self,
+                                                       tiny_proxy_config,
+                                                       population):
+        serial = _engine(tiny_proxy_config).evaluate_population(population)
+        for seed in (1, 2, 3):
+            shuffled = _engine(tiny_proxy_config).evaluate_population(
+                population, executor=ShuffledFakeExecutor(seed=seed)
+            )
+            assert shuffled.unique_canonical == serial.unique_canonical
+            for name in serial.columns:
+                np.testing.assert_array_equal(serial.columns[name],
+                                              shuffled.columns[name])
+
+    def test_supernet_rows_match_serial(self, tiny_proxy_config):
+        base = [EdgeSpec(i, tuple(CANDIDATE_OPS)) for i in range(6)]
+        states = [[base[0].without(op)] + base[1:]
+                  for op in CANDIDATE_OPS[:3]]
+        serial_obj = HybridObjective(engine=_engine(tiny_proxy_config))
+        serial_rows = serial_obj.supernet_population(states)
+        for executor in (PopulationExecutor(n_workers=2, chunk_size=1),
+                         ShuffledFakeExecutor(chunk_size=1, seed=9)):
+            pooled_obj = HybridObjective(engine=_engine(tiny_proxy_config),
+                                         executor=executor)
+            assert pooled_obj.supernet_population(states) == serial_rows
+
+    def test_search_loop_executor_hook(self, tiny_proxy_config):
+        from repro.search.random_search import ZeroShotRandomSearch
+
+        serial = ZeroShotRandomSearch(
+            HybridObjective(engine=_engine(tiny_proxy_config)),
+            num_samples=6, seed=4,
+        ).search()
+        executor = PopulationExecutor(n_workers=2, chunk_size=2)
+        pooled = ZeroShotRandomSearch(
+            HybridObjective(engine=_engine(tiny_proxy_config)),
+            num_samples=6, seed=4, executor=executor,
+        ).search()
+        assert pooled.genotype == serial.genotype
+        assert executor.stats.merged_rows > 0
+
+
+class TestDispatchMechanics:
+    def test_serial_fallback_single_worker(self, tiny_proxy_config,
+                                           population):
+        executor = PopulationExecutor(n_workers=1, chunk_size=4)
+        _engine(tiny_proxy_config).evaluate_population(population,
+                                                       executor=executor)
+        assert executor.stats.mode == "serial"
+
+    def test_serial_fallback_single_chunk(self, tiny_proxy_config,
+                                          population):
+        executor = PopulationExecutor(n_workers=4, chunk_size=64)
+        _engine(tiny_proxy_config).evaluate_population(population,
+                                                       executor=executor)
+        assert executor.stats.mode == "serial"
+        assert executor.stats.chunks == 1
+
+    def test_partially_warm_cache_skips_cached_indicators(
+        self, tiny_proxy_config, heavy_genotype
+    ):
+        engine = _engine(tiny_proxy_config)
+        engine.ntk(heavy_genotype)
+        engine.linear_regions(heavy_genotype)
+        # Only FLOPs missing: the worker must not re-pay the proxies.
+        rows, _ = _evaluate_genotype_chunk(
+            (((heavy_genotype.ops, (False, False, True)),),
+             tiny_proxy_config, engine.macro_config)
+        )
+        assert set(rows[0][1]) == {"flops"}
+        executor = PopulationExecutor(n_workers=1, chunk_size=2)
+        merged = executor.warm_population(engine, [heavy_genotype])
+        assert merged == 1  # flops row only
+        table = engine.evaluate_population([heavy_genotype])
+        assert table.cache_misses == 0
+
+    def test_warm_cache_dispatches_nothing(self, tiny_proxy_config,
+                                           population):
+        engine = _engine(tiny_proxy_config)
+        engine.evaluate_population(population)
+        executor = PopulationExecutor(n_workers=2, chunk_size=2)
+        engine.evaluate_population(population, executor=executor)
+        assert executor.stats.dispatches == 0
+        assert executor.stats.tasks == 0
+
+    def test_chunking_covers_everything_once(self):
+        items = list(range(10))
+        chunks = _chunked(items, 3)
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(SearchError):
+            PopulationExecutor(n_workers=0)
+        with pytest.raises(SearchError):
+            PopulationExecutor(chunk_size=0)
+
+    def test_worker_chunk_functions_round_trip(self, tiny_proxy_config,
+                                               tiny_macro_config,
+                                               heavy_genotype):
+        rows, seconds = _evaluate_genotype_chunk(
+            (((heavy_genotype.ops, (True, True, True)),),
+             tiny_proxy_config, tiny_macro_config)
+        )
+        engine = Engine(proxy_config=tiny_proxy_config,
+                        macro_config=tiny_macro_config)
+        assert rows[0][0] == heavy_genotype.to_index()
+        assert rows[0][1]["ntk"] == engine.ntk(heavy_genotype)
+        assert seconds >= 0.0
+
+        specs = [EdgeSpec(i, tuple(CANDIDATE_OPS)) for i in range(6)]
+        state = supernet_state_key(specs)
+        srows, _ = _evaluate_supernet_chunk(
+            (((state, (True, True)),), tiny_proxy_config)
+        )
+        assert srows[0][0] == state
+        assert srows[0][1]["supernet_ntk"] == engine.supernet_ntk(specs)
+        partial, _ = _evaluate_supernet_chunk(
+            (((state, (False, True)),), tiny_proxy_config)
+        )
+        assert set(partial[0][1]) == {"supernet_lr"}

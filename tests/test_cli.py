@@ -141,3 +141,37 @@ class TestSearchCommand:
         out = capsys.readouterr().out
         assert "architecture" in out
         assert "surrogate CIFAR-10 acc" in out
+
+
+class TestRuntime:
+    def test_runtime_cold_then_warm(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        argv = ["runtime", "--algorithm", "random", "--samples", "6",
+                "--workers", "2", "--store", store, "--seed", "3"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "parallel-runtime search run" in cold
+        assert "cache warm-start          | 0 entries" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache hits / misses" in warm  # table actually rendered
+        assert "cache warm-start          | 0 entries" not in warm
+
+    def test_runtime_report_written(self, tmp_path):
+        report = tmp_path / "run.json"
+        assert main(["runtime", "--algorithm", "random", "--samples", "4",
+                     "--report", str(report)]) == 0
+        import json
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["config"]["algorithm"] == "random"
+
+    def test_runtime_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["runtime", "--algorithm", "quantum"])
+
+    def test_help_documents_runtime_examples(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "parallel evaluation runtime examples" in out
+        assert "--store" in out
