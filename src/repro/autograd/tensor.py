@@ -14,6 +14,7 @@ NumPy tape is fast enough for thousands of proxy evaluations.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -22,24 +23,31 @@ from repro.errors import AutogradError, ShapeError
 
 ArrayLike = Union[float, int, Sequence, np.ndarray, "Tensor"]
 
-_GRAD_ENABLED = True
+#: Tape-recording switch, *per thread*: the async runtime's thread
+#: backend evaluates proxy chunks concurrently, and a process-global flag
+#: would let one thread's ``no_grad()`` (e.g. line-region counting)
+#: silently strip another thread's NTK tape mid-build.
+_GRAD_STATE = threading.local()
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the backward tape."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad() -> Iterator[None]:
-    """Context manager that disables tape recording (faster inference)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables tape recording (faster inference).
+
+    Scoped to the current thread — parallel proxy evaluations never see
+    each other's recording state.
+    """
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:

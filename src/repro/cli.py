@@ -123,6 +123,7 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         n_workers=args.workers,
         chunk_size=args.chunk_size,
+        async_mode=args.async_mode,
         store_dir=args.store,
         device=args.device,
         samples=args.samples,
@@ -143,7 +144,8 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     rows = [
         ["algorithm", report.algorithm],
         ["architecture", report.arch_str],
-        ["workers (mode)", f"{config.n_workers} ({report.pool['mode']})"],
+        ["workers (mode)", f"{config.n_workers} ({report.pool['mode']}"
+                           f"{', async' if config.async_mode else ''})"],
         ["pool tasks / chunks", f"{report.pool['tasks']} / "
                                f"{report.pool['chunks']}"],
         ["cache warm-start", f"{report.cache['warm_start_entries']} entries"],
@@ -157,6 +159,9 @@ def cmd_runtime(args: argparse.Namespace) -> int:
                                            f"entries"])
         rows.insert(8, ["LUTs in store (all runs)",
                         str(len(report.store["luts"]))])
+    if config.async_mode:
+        rows.insert(4, ["worker idle fraction",
+                        f"{report.pool['idle_fraction']:.1%}"])
     for name, value in sorted(report.indicators.items()):
         rows.append([f"indicator: {name}", f"{value:.6g}"])
     print(format_table(rows, title="parallel-runtime search run"))
@@ -411,6 +416,11 @@ parallel evaluation runtime examples:
       --device nucleo-l432kc --store ~/.cache/micronas
   micronas runtime --algorithm macro --arch 1462 \\
       --device rp2040-pico --store ~/.cache/micronas
+
+  # steady-state asynchronous evolution: 4 candidates stay in flight,
+  # children are mutated from the Pareto set as each future resolves
+  micronas runtime --async --algorithm steady-state --workers 4 \\
+      --population 20 --cycles 100 --store ~/.cache/micronas
 """
 
 
@@ -449,14 +459,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_runtime.add_argument("--algorithm", default="random",
                            help="registered algorithm: random, "
-                                "trainless-evolutionary, pruning, macro, or "
-                                "evolutionary (train-based surrogate "
-                                "baseline; ignores indicator weights and "
-                                "the pool)")
+                                "trainless-evolutionary, steady-state "
+                                "(async-only event-driven evolution), "
+                                "pruning, macro, or evolutionary "
+                                "(train-based surrogate baseline; ignores "
+                                "indicator weights and the pool)")
     p_runtime.add_argument("--workers", type=int, default=1,
                            help="worker processes (1 = serial)")
     p_runtime.add_argument("--chunk-size", type=int, default=8,
                            help="candidates per worker task")
+    p_runtime.add_argument("--async", dest="async_mode", action="store_true",
+                           help="futures-per-chunk async executor: chunks "
+                                "merge into the cache as they land instead "
+                                "of behind a population barrier (required "
+                                "by --algorithm steady-state)")
     p_runtime.add_argument("--store", default=None,
                            help="directory for the persistent indicator/LUT "
                                 "store (created if missing)")

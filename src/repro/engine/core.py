@@ -238,6 +238,27 @@ class Engine:
             self.ledger.add(f"{tag}_cache_hit", count=1)
         return value
 
+    def merge_indicator_rows(self, keyed_rows: Sequence[Tuple[Tuple, float]]
+                             ) -> int:
+        """Merge externally computed indicator rows into the cache.
+
+        The incremental seam for the parallel/async runtimes: executors
+        hand back ``(cache_key, value)`` pairs — in any completion order,
+        possibly containing keys another chunk (or the serial path) already
+        landed — and this method folds them in under first-write-wins.
+        Rows that do land are counted as cache *misses* (they were
+        genuinely computed, not found); rows already present are dropped,
+        so duplicate or re-ordered chunks can never change a served value.
+        Returns the number of rows merged.
+        """
+        merged = 0
+        for key, value in keyed_rows:
+            if key not in self.cache:
+                self.cache.misses += 1  # computed externally, not found
+                self.cache.put(key, value)
+                merged += 1
+        return merged
+
     # ------------------------------------------------------------------
     # Genotype evaluation
     # ------------------------------------------------------------------

@@ -13,25 +13,45 @@ engine ever importing it:
    the engine's exact cache keys.  Workers are deterministic because every
    proxy seeds from the canonical key, so pool results are bit-identical
    to serial evaluation regardless of worker count or completion order.
-2. **Persistent store** (:mod:`repro.runtime.store`) —
+2. **Async executor** (:mod:`repro.runtime.async_pool`) —
+   :class:`AsyncPopulationExecutor` splits that barrier into DeepHyper-
+   style submit/gather halves: per-chunk futures whose indicator rows
+   merge into the shared cache **the moment each chunk lands** (via
+   :meth:`~repro.engine.core.Engine.merge_indicator_rows`), in any
+   completion order, with results bit-identical to serial.  The
+   steady-state evolutionary search keeps ``n_workers`` candidates in
+   flight on top of it, overlapping mutation with evaluation instead of
+   idling at generation barriers.
+3. **Persistent store** (:mod:`repro.runtime.store`) —
    :class:`RuntimeStore` serialises the indicator cache (JSON round-trip
    with fingerprint validation, so stale proxy/macro configurations never
    poison results) and keeps a device-keyed latency-LUT store built on
    :meth:`~repro.hardware.profiler.LatencyLUT.save_json`, so repeated
    runs, multi-device Pareto searches and CI all warm-start.
-3. **Run harness** (:mod:`repro.runtime.harness`) — one
+4. **Run harness** (:mod:`repro.runtime.harness`) — one
    :class:`RuntimeConfig` configures engine + pool + store, runs any
    registered search algorithm against them and emits a structured
-   :class:`RunReport`.
+   :class:`RunReport`.  The harness owns executor lifecycle: pools are
+   closed deterministically when the run finishes (or via the harness's
+   context manager), never left to GC timing.
 
 The composition seam is deliberately thin: ``Engine.evaluate_population``
 and every search loop accept an optional ``executor=`` object they only
-duck-type (``warm_population`` / ``warm_supernets``), and the engine/
-estimator accept a duck-typed ``lut_store``.  Future scaling work (async
-evaluators, remote workers, sharding) plugs into the same two hooks.
+duck-type (``warm_population`` / ``warm_supernets`` for barrier-style
+warming, ``submit_population`` / ``gather`` for event-driven loops), and
+the engine/estimator accept a duck-typed ``lut_store``.  Future scaling
+work (remote workers via the injectable chunk-worker seam, store
+sharding) plugs into the same hooks.
 """
 
 from repro.runtime.pool import PoolStats, PopulationExecutor
+from repro.runtime.async_pool import (
+    AsyncPoolStats,
+    AsyncPopulationExecutor,
+    ChunkGatherError,
+    FuturePool,
+    GatheredChunk,
+)
 from repro.runtime.store import RuntimeStore, cache_fingerprint
 from repro.runtime.harness import (
     ALGORITHMS,
@@ -44,6 +64,11 @@ from repro.runtime.harness import (
 __all__ = [
     "PopulationExecutor",
     "PoolStats",
+    "AsyncPopulationExecutor",
+    "AsyncPoolStats",
+    "ChunkGatherError",
+    "FuturePool",
+    "GatheredChunk",
     "RuntimeStore",
     "cache_fingerprint",
     "RuntimeConfig",

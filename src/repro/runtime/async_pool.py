@@ -1,0 +1,596 @@
+"""Futures-per-chunk asynchronous population evaluation.
+
+PR 2's :class:`~repro.runtime.pool.PopulationExecutor` is a *barrier*
+executor: ``warm_population`` blocks until every chunk of a population has
+been computed, so a search loop sits idle while the slowest chunk
+finishes.  This module splits that barrier into DeepHyper-style
+**submit/gather** halves (their evaluator abstraction keeps ``num_workers``
+jobs in flight and lets the search react to whichever result lands first):
+
+* :class:`FuturePool` — the transport: submit picklable ``(worker,
+  payload)`` tasks, gather completed results **in completion order**, with
+  a serial fallback that defers execution to gather time so single-process
+  runs interleave exactly like a pool would (FIFO completion).  It also
+  accounts busy/span time, from which the worker idle fraction is derived.
+* :class:`AsyncPopulationExecutor` — the engine adapter:
+  :meth:`~AsyncPopulationExecutor.submit_population` dedupes a population
+  against the cache *and against chunks already in flight*, ships one
+  future per ``chunk_size`` candidates, and :meth:`~AsyncPopulationExecutor.
+  gather` merges each chunk's indicator rows into the shared
+  :class:`~repro.engine.cache.IndicatorCache` the moment it lands — via
+  :meth:`~repro.engine.core.Engine.merge_indicator_rows`, under the
+  engine's exact cache keys.
+
+**Determinism.**  Indicator values are bit-identical to serial evaluation
+no matter how futures resolve: every proxy seeds its RNG from the
+canonical key, merges are first-write-wins under unique keys, and the
+engine's serial assembly pass (``evaluate_population``) reads the cache in
+request order.  Completion order can therefore reorder *when* rows land,
+never *what* they say — the property the completion-order fuzzing tests
+pin down.
+
+The executor also implements the synchronous ``warm_population`` /
+``warm_supernets`` hooks (submit + gather-all), so it is a drop-in
+``executor=`` for every existing search loop; the steady-state
+evolutionary search (:class:`~repro.search.evolutionary.
+SteadyStateEvolutionarySearch`) is the loop that actually exploits the
+split halves.
+
+Worker functions are injectable (``genotype_worker=`` /
+``supernet_worker=``): the seam through which a remote transport (or a
+test/benchmark wrapping workers with simulated device latency) plugs in
+without touching scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import astuple, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.core import supernet_state_key
+from repro.errors import SearchError
+from repro.runtime.pool import (
+    _chunked,
+    _evaluate_genotype_chunk,
+    _evaluate_supernet_chunk,
+    _fork_available,
+    genotype_indicator_keys,
+    supernet_indicator_keys,
+)
+from repro.searchspace.canonical import canonicalize
+from repro.searchspace.genotype import Genotype
+
+
+# ----------------------------------------------------------------------
+# The transport: submit/gather over futures with a serial-lazy fallback
+# ----------------------------------------------------------------------
+@dataclass
+class TaskResult:
+    """One completed task, in the order :meth:`FuturePool.gather` saw it.
+
+    A task whose worker raised completes with ``error`` set and ``value``
+    ``None`` — it still leaves the pending queue, so one poisoned chunk
+    can neither wedge the pool nor drop the results of siblings gathered
+    in the same call.
+    """
+
+    task_id: int
+    tag: object
+    value: object
+    error: Optional[BaseException] = None
+
+
+class FuturePool:
+    """Submit tasks now, collect whichever finishes first later.
+
+    ``mode`` selects the backend:
+
+    * ``"fork"`` — a fork-based :class:`~concurrent.futures.
+      ProcessPoolExecutor` (workers inherit the pure-NumPy substrate);
+    * ``"thread"`` — a thread pool (useful for workloads that release the
+      GIL or mostly wait, e.g. simulated device-profiling latency);
+    * ``"serial"`` — no pool at all: tasks are queued as thunks and run
+      lazily, FIFO, inside :meth:`gather` — the completion order a
+      single-worker pool would produce, without fork overhead;
+    * ``"auto"`` (default) — ``"fork"`` when available and
+      ``n_workers > 1``, else ``"serial"``.
+
+    Span accounting starts at the first submit and advances on every
+    gather; :meth:`idle_fraction` is the fraction of ``n_workers × span``
+    no worker spent computing — the number the async-overlap benchmark
+    reports.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None,
+                 mode: str = "auto") -> None:
+        if n_workers is None:
+            n_workers = multiprocessing.cpu_count()
+        if n_workers < 1:
+            raise SearchError("n_workers must be >= 1")
+        if mode not in ("auto", "fork", "thread", "serial"):
+            raise SearchError(f"unknown FuturePool mode {mode!r}")
+        if mode == "auto":
+            mode = ("fork" if n_workers > 1 and _fork_available()
+                    else "serial")
+        if mode == "fork" and not _fork_available():
+            raise SearchError("fork start method unavailable on this "
+                              "platform; use mode='thread' or 'serial'")
+        self.n_workers = n_workers
+        self.mode = mode
+        self._pool = None
+        self._next_id = 0
+        #: Pending tasks in submission order: (task_id, tag, future|thunk).
+        self._pending: List[Tuple[int, object, object]] = []
+        self.busy_seconds = 0.0      # sum of measured task durations
+        self._first_submit: Optional[float] = None
+        self._last_gather: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.mode == "thread":
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+            else:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+        return self._pool
+
+    def submit(self, worker: Callable, payload: object,
+               tag: object = None) -> int:
+        """Queue one task; returns its id.  Never blocks."""
+        task_id = self._next_id
+        self._next_id += 1
+        if self._first_submit is None:
+            self._first_submit = time.perf_counter()
+        if self.mode == "serial":
+            # Deferred thunk: runs inside gather(), so submission really is
+            # instantaneous and completion order is FIFO by construction.
+            entry = (task_id, tag, (worker, payload))
+        else:
+            entry = (task_id, tag, self._ensure_pool().submit(worker,
+                                                              payload))
+        self._pending.append(entry)
+        return task_id
+
+    @property
+    def num_pending(self) -> int:
+        return len(self._pending)
+
+    def gather(self, k: int = 1) -> List[TaskResult]:
+        """Block until at least ``k`` pending tasks finish; return them
+        **in completion order** (FIFO under the serial fallback).  Fewer
+        than ``k`` pending gathers everything; ``k <= 0`` is an error."""
+        if k <= 0:
+            raise SearchError("gather needs k >= 1 (use gather_all)")
+        k = min(k, len(self._pending))
+        if k == 0:
+            return []
+        results: List[TaskResult] = []
+        if self.mode == "serial":
+            take, self._pending = self._pending[:k], self._pending[k:]
+            for task_id, tag, (worker, payload) in take:
+                try:
+                    results.append(TaskResult(task_id, tag, worker(payload)))
+                except Exception as exc:
+                    results.append(TaskResult(task_id, tag, None, exc))
+        else:
+            from concurrent.futures import FIRST_COMPLETED, wait
+
+            while len(results) < k:
+                futures = {entry[2] for entry in self._pending}
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                still_pending = []
+                for entry in self._pending:
+                    task_id, tag, future = entry
+                    if future in done:
+                        try:
+                            results.append(TaskResult(task_id, tag,
+                                                      future.result()))
+                        except Exception as exc:
+                            results.append(TaskResult(task_id, tag, None,
+                                                      exc))
+                    else:
+                        still_pending.append(entry)
+                self._pending = still_pending
+        self._last_gather = time.perf_counter()
+        return results
+
+    def gather_all(self) -> List[TaskResult]:
+        """Gather every pending task (empty list when nothing is pending)."""
+        if not self._pending:
+            return []
+        return self.gather(len(self._pending))
+
+    # ------------------------------------------------------------------
+    def record_busy(self, seconds: float) -> None:
+        """Credit measured task-execution time toward utilisation.
+
+        Task durations are opaque to the pool (fork workers run in other
+        processes), so callers whose workers self-report duration — the
+        chunk functions return ``(rows, seconds)`` — feed it back here;
+        :meth:`idle_fraction` is meaningless without it.
+        """
+        self.busy_seconds += seconds
+
+    def span_seconds(self) -> float:
+        """Wall-clock from the first submit to the last gather so far."""
+        if self._first_submit is None or self._last_gather is None:
+            return 0.0
+        return max(0.0, self._last_gather - self._first_submit)
+
+    def idle_fraction(self) -> float:
+        """Fraction of worker capacity (``n_workers × span``) left idle."""
+        capacity = self.n_workers * self.span_seconds()
+        if capacity <= 0.0:
+            return 0.0
+        return max(0.0, 1.0 - self.busy_seconds / capacity)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the backing pool down *now* (idempotent).
+
+        Pending serial thunks are dropped and queued futures cancelled —
+        their results would be discarded anyway, and an aborted run must
+        not block behind a backlog of straggler chunks; only tasks
+        already executing are waited out.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._pending = []
+
+    def __enter__(self) -> "FuturePool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# The engine adapter
+# ----------------------------------------------------------------------
+@dataclass
+class AsyncPoolStats:
+    """Cumulative accounting of one :class:`AsyncPopulationExecutor`."""
+
+    mode: str = "serial"
+    n_workers: int = 1
+    dispatches: int = 0       # submit_* calls that shipped >= 1 chunk
+    chunks: int = 0           # chunk futures submitted
+    gathers: int = 0          # gather() calls that returned >= 1 chunk
+    tasks: int = 0            # candidate rows computed by workers
+    merged_rows: int = 0      # cache entries merged
+    worker_seconds: float = 0.0
+    idle_fraction: float = 0.0
+    span_seconds: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "n_workers": self.n_workers,
+            "dispatches": self.dispatches,
+            "chunks": self.chunks,
+            "gathers": self.gathers,
+            "tasks": self.tasks,
+            "merged_rows": self.merged_rows,
+            "worker_seconds": self.worker_seconds,
+            "idle_fraction": self.idle_fraction,
+            "span_seconds": self.span_seconds,
+        }
+
+
+@dataclass
+class GatheredChunk:
+    """What one landed chunk contributed (the search loop's event unit)."""
+
+    kind: str                      # "genotype" | "supernet"
+    canonical_indices: Tuple[int, ...] = ()   # genotype chunks
+    states: Tuple = ()             # supernet chunks
+    merged_rows: int = 0
+    worker_seconds: float = 0.0
+
+
+class ChunkGatherError(SearchError):
+    """One or more chunk workers raised during a gather.
+
+    The sibling chunks that *did* land are not lost: their rows were
+    merged into their engines' caches before this was raised, and they
+    ride along as :attr:`gathered` so an error-tolerant caller can still
+    react to them (commit candidates, update bookkeeping).  The first
+    worker exception is the ``__cause__``; all of them are in
+    :attr:`failures`.
+    """
+
+    def __init__(self, failures: List[BaseException],
+                 gathered: List[GatheredChunk]) -> None:
+        super().__init__(
+            f"{len(failures)} chunk worker(s) raised during gather "
+            f"(first: {failures[0]!r}); {len(gathered)} sibling chunk(s) "
+            "landed and merged before the error"
+        )
+        self.failures = failures
+        self.gathered = gathered
+
+
+class _ChunkContext:
+    """Submission-time context a gathered chunk needs to merge itself."""
+
+    __slots__ = ("kind", "engine", "proxy_key", "macro_key", "keys")
+
+    def __init__(self, kind: str, engine, proxy_key: Tuple,
+                 macro_key: Optional[Tuple], keys: Tuple) -> None:
+        self.kind = kind
+        self.engine = engine
+        self.proxy_key = proxy_key
+        self.macro_key = macro_key
+        self.keys = keys  # pending-set members to release on landing
+
+
+class AsyncPopulationExecutor:
+    """Submit population chunks as futures; merge results as they land.
+
+    The two halves compose with the engine like this::
+
+        executor.submit_population(engine, candidates)   # never blocks
+        ... mutate / select while workers compute ...
+        for chunk in executor.gather(1):                 # completion order
+            ...react to chunk.canonical_indices...       # rows now cached
+        engine.evaluate_population(candidates)           # pure cache reads
+
+    In-flight dedupe: a candidate whose missing indicators are already
+    owned by a submitted-but-ungathered chunk is *not* resubmitted —
+    mutation loops revisit architectures constantly, and double-computing
+    them would waste exactly the capacity the async runtime frees up.
+
+    The synchronous ``warm_population`` / ``warm_supernets`` hooks make
+    this a drop-in for :class:`~repro.runtime.pool.PopulationExecutor`
+    anywhere an ``executor=`` is accepted.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None, chunk_size: int = 8,
+                 mode: str = "auto",
+                 genotype_worker: Callable = _evaluate_genotype_chunk,
+                 supernet_worker: Callable = _evaluate_supernet_chunk,
+                 ) -> None:
+        if chunk_size < 1:
+            raise SearchError("chunk_size must be >= 1")
+        self.pool = FuturePool(n_workers=n_workers, mode=mode)
+        self.n_workers = self.pool.n_workers
+        self.chunk_size = chunk_size
+        self.genotype_worker = genotype_worker
+        self.supernet_worker = supernet_worker
+        self.stats = AsyncPoolStats(mode=self.pool.mode,
+                                    n_workers=self.pool.n_workers)
+        #: Cache keys owned by in-flight chunks, per engine identity —
+        #: the in-flight half of the dedupe (the cache is the landed half).
+        self._in_flight: Dict[int, set] = {}
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _pending_keys(self, engine) -> set:
+        return self._in_flight.setdefault(id(engine), set())
+
+    def submit_population(self, engine, genotypes: Sequence[Genotype],
+                          with_latency: bool = False,
+                          assume_canonical: bool = False) -> int:
+        """Submit missing unique-canonical indicator rows; returns the
+        number of chunk futures shipped (0 = everything cached or already
+        in flight).  Never blocks.  ``with_latency`` is accepted for hook
+        compatibility; latency stays in the parent (LUT composition is
+        cheap, the profiled estimator lives there)."""
+        proxy_key = astuple(engine.proxy_config)
+        macro_key = astuple(engine.macro_config)
+        pending = self._pending_keys(engine)
+        missing: List[Tuple] = []   # (ops, need mask)
+        claimed: List[Tuple] = []   # keys each list item claims
+        seen = set()
+        for genotype in genotypes:
+            canon = (genotype if assume_canonical
+                     else canonicalize(genotype))
+            index = canon.to_index()
+            if index in seen:
+                continue
+            seen.add(index)
+            keys = genotype_indicator_keys(index, proxy_key, macro_key)
+            names = ("ntk", "linear_regions", "flops")
+            needs = tuple(
+                keys[name] not in engine.cache and keys[name] not in pending
+                for name in names
+            )
+            if any(needs):
+                missing.append((canon.ops, needs))
+                claimed.append(tuple(keys[name]
+                                     for name, need in zip(names, needs)
+                                     if need))
+        return self._ship("genotype", engine, missing, claimed,
+                          lambda chunk: (tuple(chunk), engine.proxy_config,
+                                         engine.macro_config),
+                          self.genotype_worker, proxy_key, macro_key)
+
+    def submit_supernets(self, engine, spec_lists: Sequence[Sequence]
+                         ) -> int:
+        """Submit missing supernet-state rows; returns chunks shipped."""
+        proxy_key = astuple(engine.proxy_config)
+        pending = self._pending_keys(engine)
+        missing: List[Tuple] = []
+        claimed: List[Tuple] = []
+        seen = set()
+        for specs in spec_lists:
+            state = supernet_state_key(specs)
+            if state in seen:
+                continue
+            seen.add(state)
+            keys = supernet_indicator_keys(state, proxy_key)
+            names = ("supernet_ntk", "supernet_lr")
+            needs = tuple(
+                keys[name] not in engine.cache and keys[name] not in pending
+                for name in names
+            )
+            if any(needs):
+                missing.append((state, needs))
+                claimed.append(tuple(keys[name]
+                                     for name, need in zip(names, needs)
+                                     if need))
+        return self._ship("supernet", engine, missing, claimed,
+                          lambda chunk: (tuple(chunk), engine.proxy_config),
+                          self.supernet_worker, proxy_key, None)
+
+    def _ship(self, kind: str, engine, missing: List[Tuple],
+              claimed: List[Tuple], build_payload, worker,
+              proxy_key: Tuple, macro_key: Optional[Tuple]) -> int:
+        if not missing:
+            return 0
+        pending = self._pending_keys(engine)
+        shipped = 0
+        for chunk_index in range(0, len(missing), self.chunk_size):
+            chunk = missing[chunk_index:chunk_index + self.chunk_size]
+            chunk_keys = tuple(
+                key
+                for claims in claimed[chunk_index:chunk_index
+                                      + self.chunk_size]
+                for key in claims
+            )
+            pending.update(chunk_keys)
+            context = _ChunkContext(kind, engine, proxy_key, macro_key,
+                                    chunk_keys)
+            self.pool.submit(worker, build_payload(chunk), tag=context)
+            shipped += 1
+        self.stats.dispatches += 1
+        self.stats.chunks += shipped
+        return shipped
+
+    # ------------------------------------------------------------------
+    # Gathering
+    # ------------------------------------------------------------------
+    @property
+    def num_pending(self) -> int:
+        """Chunk futures submitted but not yet gathered."""
+        return self.pool.num_pending
+
+    def gather(self, k: int = 1) -> List[GatheredChunk]:
+        """Block until ``k`` chunks land; merge each into its engine's
+        cache immediately and return them in completion order.  Gathers
+        everything when fewer than ``k`` chunks are pending; returns
+        ``[]`` when nothing is.
+
+        A chunk whose worker raised surfaces as :class:`ChunkGatherError`
+        — but only after the sibling chunks gathered in the same call
+        have merged (they ride along on the error's ``gathered``
+        attribute) and the failed chunk's in-flight key claims have been
+        released, so the executor stays drainable and the candidates can
+        be resubmitted (or computed serially by the engine).
+        """
+        gathered: List[GatheredChunk] = []
+        failures: List[BaseException] = []
+        for result in self.pool.gather(k):
+            context: _ChunkContext = result.tag
+            if result.error is not None:
+                self._pending_keys(context.engine).difference_update(
+                    context.keys
+                )
+                failures.append(result.error)
+                continue
+            rows, seconds = result.value
+            engine = context.engine
+            keyed: List[Tuple[Tuple, float]] = []
+            indices: List[int] = []
+            states: List[Tuple] = []
+            for identity, row in rows:
+                if context.kind == "genotype":
+                    keys = genotype_indicator_keys(identity,
+                                                   context.proxy_key,
+                                                   context.macro_key)
+                    indices.append(identity)
+                else:
+                    keys = supernet_indicator_keys(identity,
+                                                   context.proxy_key)
+                    states.append(identity)
+                for name, value in row.items():
+                    keyed.append((keys[name], value))
+            merged = engine.merge_indicator_rows(keyed)
+            self._pending_keys(engine).difference_update(context.keys)
+            self.pool.record_busy(seconds)
+            engine.ledger.add("pool_eval", seconds=seconds, count=len(rows))
+            self.stats.tasks += len(rows)
+            self.stats.merged_rows += merged
+            self.stats.worker_seconds += seconds
+            gathered.append(GatheredChunk(
+                kind=context.kind,
+                canonical_indices=tuple(indices),
+                states=tuple(states),
+                merged_rows=merged,
+                worker_seconds=seconds,
+            ))
+        if gathered:
+            self.stats.gathers += 1
+        self.stats.idle_fraction = self.pool.idle_fraction()
+        self.stats.span_seconds = self.pool.span_seconds()
+        if failures:
+            raise ChunkGatherError(failures, gathered) from failures[0]
+        return gathered
+
+    def gather_all(self) -> List[GatheredChunk]:
+        """Gather every in-flight chunk (the barrier the sync hooks use)."""
+        if self.num_pending == 0:
+            return []
+        return self.gather(self.num_pending)
+
+    # ------------------------------------------------------------------
+    # Synchronous executor hooks (drop-in for PopulationExecutor)
+    # ------------------------------------------------------------------
+    def warm_population(self, engine, genotypes: Sequence[Genotype],
+                        with_latency: bool = False,
+                        assume_canonical: bool = True) -> int:
+        """Submit + gather-all: the blocking hook the engine duck-types.
+
+        Note the ``assume_canonical`` default matches
+        :meth:`~repro.runtime.pool.PopulationExecutor.warm_population`
+        (the engine passes already-canonical forms), while
+        :meth:`submit_population` defaults to ``False`` because search
+        loops submit raw mutants directly.
+        """
+        self.submit_population(engine, genotypes, with_latency=with_latency,
+                               assume_canonical=assume_canonical)
+        return sum(chunk.merged_rows for chunk in self.gather_all())
+
+    def warm_supernets(self, engine, spec_lists: Sequence[Sequence]) -> int:
+        self.submit_supernets(engine, spec_lists)
+        return sum(chunk.merged_rows for chunk in self.gather_all())
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the transport down (idempotent; in-flight bookkeeping is
+        cleared so a closed executor can be reused serially)."""
+        self.pool.close()
+        self._in_flight.clear()
+
+    def __enter__(self) -> "AsyncPopulationExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+__all__ = [
+    "AsyncPopulationExecutor",
+    "AsyncPoolStats",
+    "ChunkGatherError",
+    "FuturePool",
+    "GatheredChunk",
+    "TaskResult",
+]

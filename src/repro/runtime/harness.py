@@ -38,6 +38,7 @@ class RuntimeConfig:
     algorithm: str = "random"
     n_workers: int = 1
     chunk_size: int = 8
+    async_mode: bool = False   # futures-per-chunk async executor
     store_dir: Optional[str] = None
     device: str = "nucleo-f746zg"
     samples: int = 64          # random / pareto population size
@@ -170,6 +171,32 @@ def _run_trainless_evolutionary(harness: "RunHarness") -> SearchResult:
     ).search()
 
 
+@register_algorithm("steady-state")
+def _run_steady_state(harness: "RunHarness") -> SearchResult:
+    """Asynchronous steady-state evolution (needs the async runtime)."""
+    from repro.search.evolutionary import (
+        EvolutionConfig,
+        SteadyStateEvolutionarySearch,
+    )
+
+    if not hasattr(harness.executor, "submit_population"):
+        raise SearchError(
+            "the steady-state algorithm is event-driven and needs the "
+            "asynchronous executor: set RuntimeConfig.async_mode=True "
+            "(CLI: micronas runtime --async --algorithm steady-state)"
+        )
+    return SteadyStateEvolutionarySearch(
+        harness.objective(),
+        EvolutionConfig(
+            population_size=harness.config.population_size,
+            sample_size=harness.config.sample_size,
+            cycles=harness.config.cycles,
+        ),
+        seed=harness.config.seed,
+        executor=harness.executor,
+    ).search()
+
+
 @register_algorithm("pruning")
 def _run_pruning(harness: "RunHarness") -> SearchResult:
     from repro.search.pruning import MicroNASSearch
@@ -248,8 +275,15 @@ class RunHarness:
         self.macro_config = config.macro_config()
         self.store = (RuntimeStore(config.store_dir)
                       if config.store_dir else None)
-        self.executor = PopulationExecutor(n_workers=config.n_workers,
-                                           chunk_size=config.chunk_size)
+        if config.async_mode:
+            from repro.runtime.async_pool import AsyncPopulationExecutor
+
+            self.executor = AsyncPopulationExecutor(
+                n_workers=config.n_workers, chunk_size=config.chunk_size
+            )
+        else:
+            self.executor = PopulationExecutor(n_workers=config.n_workers,
+                                               chunk_size=config.chunk_size)
         self.engine = Engine(
             proxy_config=self.proxy_config,
             macro_config=self.macro_config,
@@ -262,6 +296,25 @@ class RunHarness:
             self.store.load_cache_into(self.engine.cache, self.fingerprint)
             if self.store is not None else 0
         )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut worker pools down *now* (idempotent).
+
+        :class:`~repro.runtime.pool.PopulationExecutor` used to lean on
+        ``__del__`` for cleanup, which runs at GC's convenience — forked
+        workers could outlive the run that spawned them.  The harness is
+        the object with the executor's lifecycle in hand, so it closes
+        deterministically: :meth:`run` on completion (success or not), or
+        the context manager on scope exit.
+        """
+        self.executor.close()
+
+    def __enter__(self) -> "RunHarness":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def objective(self):
@@ -283,7 +336,7 @@ class RunHarness:
             with Timer() as timer:
                 result = ALGORITHMS[self.config.algorithm](self)
         finally:
-            self.executor.close()  # forked workers don't outlive the run
+            self.close()  # forked workers don't outlive the run
         stats_after = self.engine.cache.stats
         saved_entries = 0
         if self.store is not None and self.config.save_store:

@@ -51,6 +51,30 @@ def _chunked(items: Sequence, size: int) -> List[Sequence]:
     return [items[i:i + size] for i in range(0, len(items), size)]
 
 
+def genotype_indicator_keys(index: int, proxy_key: Tuple,
+                            macro_key: Tuple) -> Dict[str, Tuple]:
+    """The engine's cache keys for one canonical genotype, by indicator.
+
+    Single source of truth for every executor that merges worker rows
+    back into an :class:`~repro.engine.cache.IndicatorCache` — the key
+    tuples here must stay bit-compatible with the ones
+    :class:`~repro.engine.core.Engine` builds internally.
+    """
+    return {
+        "ntk": ("ntk", index, 1, proxy_key),
+        "linear_regions": ("linear_regions", index, proxy_key),
+        "flops": ("flops", index, macro_key),
+    }
+
+
+def supernet_indicator_keys(state: Tuple, proxy_key: Tuple) -> Dict[str, Tuple]:
+    """The engine's cache keys for one supernet state, by indicator."""
+    return {
+        "supernet_ntk": ("supernet_ntk", state, proxy_key),
+        "supernet_lr": ("supernet_lr", state, proxy_key),
+    }
+
+
 # ----------------------------------------------------------------------
 # Worker entry points (module level: picklable by reference).
 # ----------------------------------------------------------------------
@@ -216,12 +240,7 @@ class PopulationExecutor:
         return list(self._ensure_pool().map(worker, payloads))
 
     def _merge(self, engine, keyed_rows: List[Tuple[Tuple, float]]) -> int:
-        merged = 0
-        for key, value in keyed_rows:
-            if key not in engine.cache:
-                engine.cache.misses += 1  # computed in a worker, not found
-                engine.cache.put(key, value)
-                merged += 1
+        merged = engine.merge_indicator_rows(keyed_rows)
         self.stats.merged_rows += merged
         return merged
 
@@ -257,10 +276,11 @@ class PopulationExecutor:
             if index in seen:
                 continue
             seen.add(index)
+            keys = genotype_indicator_keys(index, proxy_key, macro_key)
             needs = (
-                ("ntk", index, 1, proxy_key) not in engine.cache,
-                ("linear_regions", index, proxy_key) not in engine.cache,
-                ("flops", index, macro_key) not in engine.cache,
+                keys["ntk"] not in engine.cache,
+                keys["linear_regions"] not in engine.cache,
+                keys["flops"] not in engine.cache,
             )
             if any(needs):
                 missing.append((canon.ops, needs))
@@ -270,12 +290,6 @@ class PopulationExecutor:
             (tuple(chunk), engine.proxy_config, engine.macro_config)
             for chunk in _chunked(missing, self.chunk_size)
         ]
-        key_builders = {
-            "ntk": lambda index: ("ntk", index, 1, proxy_key),
-            "linear_regions": lambda index: ("linear_regions", index,
-                                             proxy_key),
-            "flops": lambda index: ("flops", index, macro_key),
-        }
         keyed: List[Tuple[Tuple, float]] = []
         for rows, seconds in self._run_chunks(_evaluate_genotype_chunk,
                                               payloads):
@@ -283,8 +297,9 @@ class PopulationExecutor:
             self.stats.worker_seconds += seconds
             engine.ledger.add("pool_eval", seconds=seconds, count=len(rows))
             for index, row in rows:
+                keys = genotype_indicator_keys(index, proxy_key, macro_key)
                 for name, value in row.items():
-                    keyed.append((key_builders[name](index), value))
+                    keyed.append((keys[name], value))
         return self._merge(engine, keyed)
 
     def warm_supernets(self, engine,
@@ -298,9 +313,10 @@ class PopulationExecutor:
             if state in seen:
                 continue
             seen.add(state)
+            keys = supernet_indicator_keys(state, proxy_key)
             needs = (
-                ("supernet_ntk", state, proxy_key) not in engine.cache,
-                ("supernet_lr", state, proxy_key) not in engine.cache,
+                keys["supernet_ntk"] not in engine.cache,
+                keys["supernet_lr"] not in engine.cache,
             )
             if any(needs):
                 missing.append((state, needs))
@@ -317,9 +333,15 @@ class PopulationExecutor:
             self.stats.worker_seconds += seconds
             engine.ledger.add("pool_eval", seconds=seconds, count=len(rows))
             for state, row in rows:
+                keys = supernet_indicator_keys(state, proxy_key)
                 for name, value in row.items():
-                    keyed.append(((name, state, proxy_key), value))
+                    keyed.append((keys[name], value))
         return self._merge(engine, keyed)
 
 
-__all__ = ["PopulationExecutor", "PoolStats"]
+__all__ = [
+    "PopulationExecutor",
+    "PoolStats",
+    "genotype_indicator_keys",
+    "supernet_indicator_keys",
+]

@@ -13,7 +13,10 @@ store that makes both survive:
   configuration (plus a format version and the indicator schema); loading
   under a different configuration rejects the whole file, so stale
   entries can never poison results.  Values may be ``inf``/``nan``
-  (serialised with Python's JSON extensions).
+  (serialised with Python's JSON extensions).  Saves are *locked
+  read-merge-writes* (``flock`` sidecar): concurrent runs sharing one
+  store directory union their rows, neither corrupting nor dropping the
+  other's work.
 * **Latency LUTs** — one file per ``(device, precision, macro config)``
   key, written with :meth:`~repro.hardware.profiler.LatencyLUT.save_json`
   so files interoperate with every other LUT consumer, plus a sidecar
@@ -28,6 +31,7 @@ and :class:`~repro.hardware.latency.LatencyEstimator` only call
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -35,6 +39,11 @@ import re
 from dataclasses import astuple
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+try:  # POSIX advisory locks; absent on some platforms (e.g. Windows)
+    import fcntl
+except ImportError:  # pragma: no cover - platform dependent
+    fcntl = None
 
 from repro.engine.cache import IndicatorCache
 from repro.engine.core import INDICATOR_NAMES
@@ -97,6 +106,30 @@ def _atomic_write_text(path: Path, text: str) -> None:
     os.replace(tmp_path, path)
 
 
+@contextlib.contextmanager
+def _file_lock(path: Path):
+    """Exclusive advisory lock on a ``.lock`` sidecar of ``path``.
+
+    Atomic renames alone keep concurrent *readers* safe but let two
+    writers race read-merge-write: whoever renames last silently drops
+    the other's freshly computed rows.  Serialising the whole
+    read-merge-write through ``flock`` makes concurrent saves into one
+    store directory lose nothing.  Platforms without :mod:`fcntl`
+    degrade to the pre-lock behaviour (whole-file atomicity, last
+    writer wins) rather than failing.
+    """
+    if fcntl is None:  # pragma: no cover - platform dependent
+        yield
+        return
+    lock_path = path.with_name(f"{path.name}.lock")
+    with open(lock_path, "w", encoding="utf-8") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
 def _lut_digest(precision: str, config: MacroConfig) -> str:
     material = json.dumps([precision, _encode_key(astuple(config))])
     return hashlib.sha1(material.encode("utf-8")).hexdigest()[:12]
@@ -129,21 +162,43 @@ class RuntimeStore:
         )
 
     def save_cache(self, cache: IndicatorCache, fingerprint: Dict) -> int:
-        """Serialise every cache entry under ``fingerprint``; returns the
-        number of entries written (non-JSON-serialisable values, which the
-        engine never produces, are skipped rather than corrupting the
-        file)."""
-        entries: List = []
-        for key, value in sorted(cache.items(), key=lambda kv: repr(kv[0])):
-            try:
-                json.dumps(value)
-            except (TypeError, ValueError):
-                continue
-            entries.append([_encode_key(key), value])
-        payload = {"fingerprint": fingerprint, "entries": entries}
-        _atomic_write_text(self.cache_path(fingerprint),
-                           json.dumps(payload) + "\n")
-        return len(entries)
+        """Merge-save every cache entry under ``fingerprint``; returns the
+        number of entries the file holds afterwards.
+
+        The save is a locked read-merge-write: rows another process
+        persisted since this cache was loaded are folded in rather than
+        clobbered, so concurrent runs sharing one store directory each
+        contribute their freshly computed rows and none are dropped.
+        In-memory values win on key collisions (both writers computed
+        them bit-identically anyway — see the determinism contract).
+        Non-JSON-serialisable values, which the engine never produces,
+        are skipped rather than corrupting the file.
+        """
+        path = self.cache_path(fingerprint)
+        with _file_lock(path):
+            entries: Dict[Tuple, object] = {}
+            if path.exists():
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                except (ValueError, OSError):
+                    payload = None  # unreadable: rebuild from memory
+                if payload and payload.get("fingerprint") == fingerprint:
+                    for encoded_key, value in payload.get("entries", []):
+                        entries[_decode_key(encoded_key)] = value
+            for key, value in cache.items():
+                try:
+                    json.dumps(value)
+                except (TypeError, ValueError):
+                    continue
+                entries[key] = value
+            ordered = sorted(entries.items(), key=lambda kv: repr(kv[0]))
+            payload = {
+                "fingerprint": fingerprint,
+                "entries": [[_encode_key(key), value]
+                            for key, value in ordered],
+            }
+            _atomic_write_text(path, json.dumps(payload) + "\n")
+            return len(ordered)
 
     def load_cache_into(self, cache: IndicatorCache, fingerprint: Dict,
                         strict: bool = False) -> int:

@@ -12,6 +12,10 @@
   baseline (aging evolution; every candidate pays simulated training time),
 * :class:`TrainlessEvolutionarySearch` — the same aging-evolution loop
   driven by the batched trainless engine (no training, cache-backed),
+* :class:`SteadyStateEvolutionarySearch` — event-driven asynchronous
+  evolution over the async runtime: ``n_workers`` candidates stay in
+  flight, children are mutated from the current Pareto set the moment any
+  future resolves (no generation barriers),
 * :class:`MacroStageSearch` — the secondary stage: fit the discovered cell
   onto a device by searching cells-per-stage and channel width.
 
@@ -29,6 +33,7 @@ from repro.search.random_search import ZeroShotRandomSearch
 from repro.search.evolutionary import (
     ConstrainedEvolutionarySearch,
     EvolutionConfig,
+    SteadyStateEvolutionarySearch,
     TrainlessEvolutionarySearch,
 )
 from repro.search.pareto import (
@@ -57,6 +62,7 @@ __all__ = [
     "TENASSearch",
     "ZeroShotRandomSearch",
     "ConstrainedEvolutionarySearch",
+    "SteadyStateEvolutionarySearch",
     "TrainlessEvolutionarySearch",
     "EvolutionConfig",
     "DeploymentPlan",

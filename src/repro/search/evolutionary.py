@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.benchdata.cost import TrainingCostModel
 from repro.benchdata.surrogate import SurrogateModel
@@ -21,6 +23,7 @@ from repro.errors import SearchError
 from repro.search.constraints import ConstraintChecker, HardwareConstraints
 from repro.search.objective import HybridObjective
 from repro.search.result import SearchResult
+from repro.searchspace.canonical import canonicalize
 from repro.searchspace.genotype import Genotype
 from repro.searchspace.network import MacroConfig
 from repro.searchspace.space import NasBench201Space
@@ -138,6 +141,220 @@ class ConstrainedEvolutionarySearch:
             ledger=ledger,
             wall_seconds=timer.elapsed,
             simulated_gpu_seconds=ledger.seconds.get("simulated_training", 0.0),
+        )
+
+
+class SteadyStateEvolutionarySearch:
+    """Asynchronous steady-state evolution over the async runtime.
+
+    The generational loops above insert one generation barrier per cycle:
+    mutation cannot start until the whole previous batch has been
+    evaluated, so workers idle while the slowest candidate finishes.  This
+    loop is *event-driven* instead — the DeepHyper submit/gather shape:
+
+    1. the initial population is submitted as per-chunk futures
+       (:meth:`~repro.runtime.async_pool.AsyncPopulationExecutor.
+       submit_population`), none of which block;
+    2. the moment **any** future resolves (``gather(1)``), its candidates
+       are committed to the aging population and new children are mutated
+       from the *current Pareto set* and submitted — enough to keep
+       ``n_workers`` candidates in flight, never more;
+    3. children whose canonical form is already cached (or already owned
+       by an in-flight chunk) commit without occupying a worker — the
+       cache-hit fast path mutation loops live on.
+
+    Indicator values are bit-identical to serial evaluation regardless of
+    completion order (the executor's determinism contract); the search
+    *trajectory* is a pure function of the completion order, so runs with
+    the serial inline executor (``n_workers=1``) are exactly reproducible
+    while pool runs trade trajectory replay for wall-clock overlap.  The
+    final winner is re-ranked over the canonically-sorted set of every
+    distinct candidate seen, so tie-breaking never depends on arrival
+    order.
+    """
+
+    algorithm_name = "evolutionary-steady-state"
+
+    def __init__(
+        self,
+        objective: HybridObjective,
+        config: Optional[EvolutionConfig] = None,
+        constraints: Optional[HardwareConstraints] = None,
+        space: Optional[NasBench201Space] = None,
+        seed: SeedLike = 0,
+        executor=None,
+    ) -> None:
+        self.config = config or EvolutionConfig()
+        if self.config.population_size < 2:
+            raise SearchError("population_size >= 2 required")
+        self.objective = objective
+        self.constraints = constraints
+        self.space = space or NasBench201Space()
+        self.seed = seed
+        if executor is None:
+            from repro.runtime.async_pool import AsyncPopulationExecutor
+
+            executor = AsyncPopulationExecutor(n_workers=1, chunk_size=1,
+                                               mode="serial")
+        for hook in ("submit_population", "gather", "gather_all"):
+            if not hasattr(executor, hook):
+                raise SearchError(
+                    "steady-state search needs an asynchronous executor "
+                    "(submit_population/gather), e.g. "
+                    "repro.runtime.async_pool.AsyncPopulationExecutor; got "
+                    f"{type(executor).__name__} without {hook!r}"
+                )
+        self.executor = executor
+        self._checker = (
+            ConstraintChecker(
+                constraints,
+                macro_config=objective.macro_config,
+                latency_estimator=objective._latency_estimator,
+            )
+            if constraints is not None and constraints.constrains_anything
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def _objective_vector(self, row: Dict[str, float]) -> Tuple[float, ...]:
+        """Minimisation vector for Pareto dominance over raw indicators."""
+        vector = [row["ntk"], -row["linear_regions"]]
+        if self.objective.weights.uses_flops:
+            vector.append(row["flops"])
+        if self.objective.weights.uses_latency:
+            vector.append(row["latency"])
+        return tuple(vector)
+
+    def _pareto_parents(
+        self, population: Sequence[Tuple[Genotype, Tuple[float, ...]]]
+    ) -> List[Genotype]:
+        """The non-dominated members of the current population window."""
+        from repro.search.pareto import non_dominated_sort
+
+        vectors = [vector for _, vector in population]
+        front = non_dominated_sort(np.array(vectors, dtype=float))[0]
+        return [population[i][0] for i in front]
+
+    # ------------------------------------------------------------------
+    def search(self) -> SearchResult:
+        """Run steady-state evolution; returns the best-ranked candidate."""
+        rng = new_rng(self.seed)
+        history: List[Dict] = []
+        seen: Dict[int, Genotype] = {}
+        population: Deque[Tuple[Genotype, Tuple[float, ...]]] = deque(
+            maxlen=self.config.population_size
+        )
+        #: Submitted candidates awaiting their future, by canonical index.
+        outstanding: Dict[int, List[Genotype]] = {}
+        engine = self.objective.engine
+        n_workers = getattr(self.executor, "n_workers", 1)
+        children_spawned = 0
+        committed = 0
+        last_logged = 0
+
+        #: Non-dominated set of `population`, recomputed only after a
+        #: commit changes it (the O(P^2) sort would otherwise rerun per
+        #: spawned child even with nothing landed in between).
+        pareto_cache: Optional[List[Genotype]] = None
+
+        def commit(genotype: Genotype) -> None:
+            nonlocal committed, pareto_cache
+            committed += 1
+            pareto_cache = None
+            row = self.objective.genotype_indicators(genotype)
+            population.append((genotype, self._objective_vector(row)))
+            seen.setdefault(genotype.to_index(), genotype)
+
+        def pareto_parents() -> List[Genotype]:
+            nonlocal pareto_cache
+            if pareto_cache is None:
+                pareto_cache = self._pareto_parents(population)
+            return pareto_cache
+
+        def submit(genotype: Genotype) -> None:
+            """Submit one candidate; commit immediately on a warm cache."""
+            canon_index = canonicalize(genotype).to_index()
+            shipped = self.executor.submit_population(engine, [genotype])
+            self.objective.ledger.add("evolution_candidates", count=1)
+            if shipped == 0 and canon_index not in outstanding:
+                # Every indicator already cached: no future to wait for.
+                commit(genotype)
+            else:
+                # Owns a fresh chunk, or piggybacks on the in-flight chunk
+                # that already claimed this canonical form's keys.
+                outstanding.setdefault(canon_index, []).append(genotype)
+
+        def spawn_children() -> None:
+            """Top the pipeline back up to ``n_workers`` futures."""
+            nonlocal children_spawned
+            while (children_spawned < self.config.cycles
+                   and self.executor.num_pending < n_workers):
+                parents = pareto_parents()
+                parent = parents[int(rng.integers(len(parents)))]
+                child = self.space.mutate(parent, rng=rng)
+                children_spawned += 1
+                submit(child)
+
+        with Timer() as timer:
+            for genotype in self.space.sample(self.config.population_size,
+                                              rng=rng, unique=False):
+                submit(genotype)
+            if population and self.executor.num_pending == 0:
+                # Fully warm start: the whole initial population committed
+                # without a single future; enter the loop spawning.
+                spawn_children()
+            while self.executor.num_pending or outstanding:
+                if self.executor.num_pending == 0:
+                    # Only possible if commits above drained the pipeline
+                    # while canonical twins were still bookkept; flush them.
+                    for index in list(outstanding):
+                        for genotype in outstanding.pop(index):
+                            commit(genotype)
+                    spawn_children()
+                    continue
+                for chunk in self.executor.gather(1):
+                    for index in chunk.canonical_indices:
+                        for genotype in outstanding.pop(index, []):
+                            commit(genotype)
+                if population:
+                    spawn_children()
+                if committed >= last_logged + 50:
+                    last_logged = committed
+                    stats = engine.cache.stats
+                    history.append({
+                        "committed": committed,
+                        "children_spawned": children_spawned,
+                        "in_flight": self.executor.num_pending,
+                        "pareto_size": (len(pareto_parents())
+                                        if population else 0),
+                        "cache_hit_rate": stats.hit_rate,
+                    })
+
+            # Final selection over every distinct candidate seen, in
+            # canonical-sort order so ties never break on arrival order.
+            candidates = [seen[index] for index in sorted(seen)]
+            if self._checker is not None:
+                feasible = [g for g in candidates
+                            if self._checker.satisfied(g)]
+                if feasible:
+                    candidates = feasible
+                else:
+                    candidates = [min(candidates,
+                                      key=self._checker.total_violation)]
+            table = self.objective.evaluate_population(
+                candidates, executor=self.executor
+            )
+            scores = self.objective.combined_ranks(table.rows())
+            genotype = candidates[table.argbest(scores)]
+
+        return SearchResult(
+            genotype=genotype,
+            algorithm=self.algorithm_name,
+            indicators=self.objective.genotype_indicators(genotype),
+            history=history,
+            ledger=self.objective.ledger,
+            wall_seconds=timer.elapsed,
+            weights_used=vars(self.objective.weights).copy(),
         )
 
 

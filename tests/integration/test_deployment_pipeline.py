@@ -21,6 +21,8 @@ from repro.search import (
 from repro.search.macro import MacroSearchSpace, MacroStageSearch, device_constraints
 from repro.searchspace.network import MacroConfig
 
+pytestmark = pytest.mark.slow  # skipped by the -m 'not slow' fast lane
+
 FAST_PROXY = ProxyConfig(init_channels=4, cells_per_stage=1, input_size=8,
                          ntk_batch_size=8, lr_num_samples=32, lr_input_size=4,
                          lr_channels=2, seed=3)

@@ -21,6 +21,8 @@ from repro.search import (
 from repro.searchspace import NasBench201Space
 from repro.searchspace.network import MacroConfig
 
+pytestmark = pytest.mark.slow  # skipped by the -m 'not slow' fast lane
+
 
 class TestProxyAccuracyCorrelation:
     """The premise of zero-shot NAS: indicators rank like trained accuracy."""

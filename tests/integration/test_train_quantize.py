@@ -10,6 +10,8 @@ from repro.searchspace.genotype import Genotype
 from repro.searchspace.network import MacroConfig, build_network
 from repro.train import Trainer, TrainerConfig
 
+pytestmark = pytest.mark.slow  # skipped by the -m 'not slow' fast lane
+
 
 @pytest.fixture(scope="module")
 def deployment():

@@ -99,6 +99,70 @@ class TestRunHarness:
         assert payload["config"]["algorithm"] == "random"
         assert payload["pool"]["mode"] in ("serial", "fork-pool")
 
+    def test_async_mode_runs_any_algorithm(self):
+        report = RunHarness(_quick_config(async_mode=True)).run()
+        assert report.algorithm == "random-zeroshot"
+        assert report.pool["mode"] == "serial"  # n_workers=1 fallback
+        assert "idle_fraction" in report.pool
+
+    def test_steady_state_needs_async_executor(self):
+        with pytest.raises(SearchError):
+            RunHarness(_quick_config(algorithm="steady-state",
+                                     population_size=4, cycles=3)).run()
+        report = RunHarness(_quick_config(algorithm="steady-state",
+                                          async_mode=True,
+                                          population_size=4,
+                                          cycles=3)).run()
+        assert report.algorithm == "evolutionary-steady-state"
+        assert set(report.indicators) >= {"ntk", "linear_regions", "flops"}
+
+    def test_steady_state_serial_reproducible(self):
+        config = _quick_config(algorithm="steady-state", async_mode=True,
+                               population_size=4, cycles=3)
+        first = RunHarness(config).run()
+        second = RunHarness(config).run()
+        assert first.arch_index == second.arch_index
+        assert first.indicators == second.indicators
+
+    def test_steady_state_warm_starts_from_store(self, tmp_path):
+        config = _quick_config(algorithm="steady-state", async_mode=True,
+                               population_size=4, cycles=3,
+                               store_dir=str(tmp_path / "store"))
+        cold = RunHarness(config).run()
+        assert cold.store["cache_saved"] > 0
+        warm = RunHarness(config).run()
+        assert warm.cache["warm_start_entries"] == cold.store["cache_saved"]
+        assert warm.cache["misses"] == 0
+        assert warm.arch_index == cold.arch_index
+
+    def test_executors_closed_deterministically_no_leaked_processes(self):
+        """The harness (not GC timing) ends worker lifetimes: after run()
+        or the context manager, no forked worker may survive."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork")
+        for async_mode in (False, True):
+            config = _quick_config(n_workers=2, chunk_size=2,
+                                   async_mode=async_mode)
+            with RunHarness(config) as harness:
+                harness.run()  # run() closes on completion...
+                assert multiprocessing.active_children() == []
+            assert multiprocessing.active_children() == []
+
+        # ...and the context manager alone closes a pool that was used
+        # without run() (executor handed straight to an engine).
+        from repro.searchspace.space import NasBench201Space
+
+        config = _quick_config(n_workers=2, chunk_size=2)
+        with RunHarness(config) as harness:
+            harness.engine.evaluate_population(
+                NasBench201Space().sample(5, rng=2),
+                executor=harness.executor,
+            )
+            assert len(multiprocessing.active_children()) > 0
+        assert multiprocessing.active_children() == []
+
     def test_register_algorithm_extends_registry(self):
         @register_algorithm("noop-test")
         def _noop(harness):

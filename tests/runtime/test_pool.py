@@ -114,6 +114,30 @@ class TestBitIdentical:
         assert executor.stats.merged_rows > 0
 
 
+class TestIncrementalMergeHook:
+    """Engine.merge_indicator_rows: the seam every executor merges through."""
+
+    def test_first_write_wins_and_counts_misses(self, tiny_proxy_config):
+        engine = _engine(tiny_proxy_config)
+        key = ("flops", 123, ("macro",))
+        assert engine.merge_indicator_rows([(key, 7.0)]) == 1
+        assert engine.cache.get(key) == 7.0
+        assert engine.cache.misses == 1
+        # A duplicate (re-ordered / double-delivered chunk) changes nothing.
+        assert engine.merge_indicator_rows([(key, 99.0)]) == 0
+        assert engine.cache.get(key) == 7.0
+        assert engine.cache.misses == 1
+
+    def test_pool_merge_delegates_to_engine_hook(self, tiny_proxy_config,
+                                                 heavy_genotype):
+        engine = _engine(tiny_proxy_config)
+        executor = PopulationExecutor(n_workers=1, chunk_size=2)
+        merged = executor.warm_population(engine, [heavy_genotype])
+        assert merged == 3  # ntk + linear_regions + flops
+        assert executor.stats.merged_rows == 3
+        assert engine.cache.misses == 3
+
+
 class TestDispatchMechanics:
     def test_serial_fallback_single_worker(self, tiny_proxy_config,
                                            population):

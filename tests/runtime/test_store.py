@@ -136,6 +136,82 @@ def cache_fingerprint_default():
     return cache_fingerprint(ProxyConfig(), MacroConfig.full())
 
 
+class TestConcurrentWriters:
+    """Two processes saving into one store directory lose nothing."""
+
+    def test_merge_on_save_unions_disjoint_caches(self, store):
+        fingerprint = cache_fingerprint_default()
+        first = IndicatorCache()
+        first.put(("flops", 1, (4,)), 1.0)
+        second = IndicatorCache()
+        second.put(("flops", 2, (4,)), 2.0)
+        assert store.save_cache(first, fingerprint) == 1
+        # The second save must fold the first writer's rows in, not
+        # clobber them (pre-lock behaviour: last rename wins, row lost).
+        assert store.save_cache(second, fingerprint) == 2
+        restored = IndicatorCache()
+        assert store.load_cache_into(restored, fingerprint) == 2
+        assert restored.get(("flops", 1, (4,))) == 1.0
+        assert restored.get(("flops", 2, (4,))) == 2.0
+
+    def test_in_memory_wins_on_collision(self, store):
+        fingerprint = cache_fingerprint_default()
+        stale = IndicatorCache()
+        stale.put(("flops", 1, (4,)), 1.0)
+        store.save_cache(stale, fingerprint)
+        newer = IndicatorCache()
+        newer.put(("flops", 1, (4,)), 99.0)
+        store.save_cache(newer, fingerprint)
+        restored = IndicatorCache()
+        store.load_cache_into(restored, fingerprint)
+        assert restored.get(("flops", 1, (4,))) == 99.0
+
+    def test_corrupt_existing_file_rebuilt_from_memory(self, store):
+        fingerprint = cache_fingerprint_default()
+        store.cache_path(fingerprint).write_text("{torn", encoding="utf-8")
+        cache = IndicatorCache()
+        cache.put(("flops", 7, (4,)), 7.0)
+        assert store.save_cache(cache, fingerprint) == 1
+        restored = IndicatorCache()
+        assert store.load_cache_into(restored, fingerprint) == 1
+
+    def test_two_processes_racing_drop_no_rows(self, store):
+        """Atomic-write property test: each forked writer repeatedly
+        saves its own growing row set; the union must survive and the
+        file must parse at every observation point."""
+        import multiprocessing
+        import time
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork")
+        fingerprint = cache_fingerprint_default()
+        rows_per_writer = 8
+
+        def writer(writer_id: int) -> None:
+            cache = IndicatorCache()
+            for row in range(rows_per_writer):
+                cache.put(("ntk", writer_id * 1000 + row, 1, ()),
+                          float(writer_id * 1000 + row))
+                store.save_cache(cache, fingerprint)
+                time.sleep(0.001)
+
+        context = multiprocessing.get_context("fork")
+        processes = [context.Process(target=writer, args=(writer_id,))
+                     for writer_id in (1, 2)]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        restored = IndicatorCache()
+        loaded = store.load_cache_into(restored, fingerprint, strict=True)
+        assert loaded == 2 * rows_per_writer
+        for writer_id in (1, 2):
+            for row in range(rows_per_writer):
+                key = ("ntk", writer_id * 1000 + row, 1, ())
+                assert restored.get(key) == float(writer_id * 1000 + row)
+
+
 class TestLutStore:
     def test_round_trip_same_estimates(self, store, tiny_macro_config,
                                        heavy_genotype):

@@ -76,6 +76,38 @@ class TestCanonicalize:
         assert model.quality(g) == pytest.approx(model.quality(canonicalize(g)))
 
 
+class TestMemoConsistency:
+    """The lru_cache memo on `_canonical_ops` must be a pure speedup."""
+
+    @given(ops_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_memo_agrees_with_uncached_path(self, ops):
+        from repro.searchspace.canonical import _canonical_ops
+
+        assert _canonical_ops(ops) == _canonical_ops.__wrapped__(ops)
+
+    def test_randomized_genotypes_seeded_sweep(self):
+        """Seeded Hypothesis-style loop: memoized canonicalization equals
+        the uncached computation over randomized genotypes, including
+        repeat visits (the case the memo actually serves)."""
+        import numpy as np
+
+        from repro.searchspace.canonical import _canonical_ops
+
+        rng = np.random.default_rng(2024)
+        pool = [
+            tuple(CANDIDATE_OPS[i] for i in rng.integers(
+                0, len(CANDIDATE_OPS), size=NUM_EDGES))
+            for _ in range(64)
+        ]
+        for _ in range(256):
+            ops = pool[int(rng.integers(len(pool)))]
+            memoized = canonicalize(Genotype(ops))
+            uncached = Genotype(_canonical_ops.__wrapped__(ops))
+            assert memoized == uncached
+            assert is_canonical(memoized)
+
+
 class TestRender:
     def test_renders_all_nodes(self, heavy_genotype):
         text = render_cell(heavy_genotype)
