@@ -1,0 +1,159 @@
+"""Float32 vs float64 proxy-substrate throughput and rank agreement.
+
+The precision-policy refactor threads an explicit dtype through the
+autograd tape, the nn layers and the engine kernels.  This benchmark
+measures what the policy buys and what it costs:
+
+* **Kernel throughput** — ``batched_ntk_jacobian`` (the hot kernel of
+  trainless evaluation: one batched forward + backward + per-sample
+  reconstruction) timed at a compute-bound operating point under both
+  policies.  The acceptance bar is ≥ 1.5× float32 speedup.
+* **End-to-end proxy throughput** — full ``ntk_condition_number`` +
+  ``count_line_regions`` evaluations over a sampled population (includes
+  Python/tape overhead, so the speedup is smaller than kernel-level).
+* **Rank agreement** — Spearman/Kendall correlation of the float32 vs
+  float64 indicator rankings over the population (the proxies are rank
+  statistics; the acceptance bar is Spearman ≥ 0.99).
+
+Results land in ``BENCH_precision.json`` at the repo root.  Run directly
+(``python benchmarks/bench_precision.py``) or via pytest
+(``pytest benchmarks/bench_precision.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.autograd.precision import precision
+from repro.engine.kernels import batched_ntk_jacobian
+from repro.eval.benchconfig import bench_scale
+from repro.eval.correlation import kendall_tau, spearman_rho
+from repro.proxies.base import ProxyConfig
+from repro.proxies.linear_regions import count_line_regions
+from repro.proxies.ntk import ntk_condition_number
+from repro.searchspace.genotype import Genotype
+from repro.searchspace.network import build_network
+from repro.searchspace.space import NasBench201Space
+from repro.utils.rng import new_rng
+from repro.utils.timing import format_duration
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_precision.json"
+
+#: Compute-bound kernel operating point: wide enough that BLAS dominates
+#: the Python/tape overhead the policy cannot touch.
+KERNEL_CONFIG = dict(init_channels=16, ntk_batch_size=32, input_size=16)
+KERNEL_ARCH = 1462
+KERNEL_REPS = 3
+
+#: Population for the end-to-end throughput + rank-agreement sweep.
+POPULATION_SIZE = 24
+
+
+def _rank_vector(values) -> np.ndarray:
+    """Map inf (untrainable κ) to a shared ceiling so ranks stay defined."""
+    values = np.asarray(values, dtype=float)
+    finite = values[np.isfinite(values)]
+    ceiling = (finite.max() * 10.0 + 1.0) if finite.size else 1.0
+    return np.where(np.isfinite(values), values, ceiling)
+
+
+def _time_kernel(precision_name: str) -> float:
+    """Mean seconds per batched NTK Jacobian at the kernel operating point."""
+    config = ProxyConfig(precision=precision_name, **KERNEL_CONFIG)
+    genotype = Genotype.from_index(KERNEL_ARCH)
+    with precision(precision_name):
+        network = build_network(genotype, config.macro_config(), rng=new_rng(0))
+        images = new_rng(1).normal(
+            size=(config.ntk_batch_size, 3, config.input_size,
+                  config.input_size))
+        batched_ntk_jacobian(network, images)  # warm-up (allocator, BLAS)
+        start = time.perf_counter()
+        for _ in range(KERNEL_REPS):
+            batched_ntk_jacobian(network, images)
+        return (time.perf_counter() - start) / KERNEL_REPS
+
+
+def _time_population(config: ProxyConfig, population) -> Dict:
+    start = time.perf_counter()
+    ntk = [ntk_condition_number(genotype, config) for genotype in population]
+    regions = [count_line_regions(genotype, config) for genotype in population]
+    return {"seconds": time.perf_counter() - start,
+            "ntk": ntk, "linear_regions": regions}
+
+
+def run_precision_bench() -> Dict:
+    kernel64 = _time_kernel("float64")
+    kernel32 = _time_kernel("float32")
+
+    base = ProxyConfig(seed=0)  # paper-scale proxies, default precision
+    population = NasBench201Space().sample(POPULATION_SIZE, rng=7)
+    sweep64 = _time_population(base, population)
+    sweep32 = _time_population(base.with_precision("float32"), population)
+
+    ntk64, ntk32 = _rank_vector(sweep64["ntk"]), _rank_vector(sweep32["ntk"])
+    result = {
+        "bench_scale": bench_scale(),
+        "kernel": {
+            "operating_point": dict(KERNEL_CONFIG, arch=KERNEL_ARCH,
+                                    reps=KERNEL_REPS),
+            "float64_seconds": kernel64,
+            "float32_seconds": kernel32,
+            "speedup": kernel64 / kernel32,
+        },
+        "population": {
+            "size": POPULATION_SIZE,
+            "proxy_scale": "paper-default",
+            "float64_seconds": sweep64["seconds"],
+            "float32_seconds": sweep32["seconds"],
+            "speedup": sweep64["seconds"] / sweep32["seconds"],
+        },
+        "rank_agreement": {
+            "ntk_spearman": float(spearman_rho(ntk64, ntk32)),
+            "ntk_kendall": float(kendall_tau(ntk64, ntk32)),
+            "lr_spearman": float(spearman_rho(sweep64["linear_regions"],
+                                              sweep32["linear_regions"])),
+            "lr_kendall": float(kendall_tau(sweep64["linear_regions"],
+                                            sweep32["linear_regions"])),
+            "ntk_nonfinite_agree": bool(np.array_equal(
+                np.isfinite(sweep64["ntk"]), np.isfinite(sweep32["ntk"]))),
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(result, indent=2) + "\n",
+                           encoding="utf-8")
+    return result
+
+
+def test_precision_speedup(benchmark):
+    result = benchmark.pedantic(run_precision_bench, rounds=1, iterations=1)
+    _report(result)
+    assert result["kernel"]["speedup"] >= 1.5
+    assert result["rank_agreement"]["ntk_spearman"] >= 0.99
+    assert result["rank_agreement"]["lr_spearman"] >= 0.99
+    assert result["rank_agreement"]["ntk_nonfinite_agree"]
+
+
+def _report(result: Dict) -> None:
+    kernel, pop, rank = (result["kernel"], result["population"],
+                         result["rank_agreement"])
+    print()
+    print(f"kernel (batched NTK Jacobian @ {KERNEL_CONFIG}):")
+    print(f"  float64 : {format_duration(kernel['float64_seconds'])}")
+    print(f"  float32 : {format_duration(kernel['float32_seconds'])}"
+          f"  -> {kernel['speedup']:.2f}x")
+    print(f"population ({pop['size']} archs, paper-scale proxies):")
+    print(f"  float64 : {format_duration(pop['float64_seconds'])}")
+    print(f"  float32 : {format_duration(pop['float32_seconds'])}"
+          f"  -> {pop['speedup']:.2f}x")
+    print(f"rank agreement: NTK Spearman {rank['ntk_spearman']:.4f} "
+          f"(Kendall {rank['ntk_kendall']:.4f}), "
+          f"LR Spearman {rank['lr_spearman']:.4f}")
+    print(f"written : {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    _report(run_precision_bench())

@@ -8,8 +8,24 @@ operation on :class:`Tensor` records a backward closure, and
 
 Gradients are validated against central finite differences in
 ``tests/autograd/test_gradcheck.py``.
+
+Compute precision is governed by the thread-local
+:class:`~repro.autograd.precision.PrecisionPolicy` (float64 by default;
+``with precision("float32"):`` halves tensor width for ~2× BLAS
+throughput while rank statistics stay stable — see
+:mod:`repro.autograd.precision`).
 """
 
+from repro.autograd.precision import (
+    FLOAT32,
+    FLOAT64,
+    POLICIES,
+    PrecisionPolicy,
+    default_dtype,
+    get_precision,
+    precision,
+    resolve_policy,
+)
 from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
 from repro.autograd import functional
 from repro.autograd.functional import (
@@ -42,6 +58,14 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "PrecisionPolicy",
+    "FLOAT32",
+    "FLOAT64",
+    "POLICIES",
+    "precision",
+    "get_precision",
+    "default_dtype",
+    "resolve_policy",
     "functional",
     "gradcheck",
     "add",

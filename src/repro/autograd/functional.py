@@ -3,6 +3,14 @@
 Each function computes the forward result eagerly with NumPy and attaches a
 backward closure to the output.  Convolution and pooling use im2col/col2im
 so that the NTK proxy's many backward passes stay fast.
+
+Every op is dtype-preserving: forwards compute with NumPy (which keeps the
+operand dtype), outputs are wrapped by :class:`Tensor` (which allocates in
+the active precision policy's compute dtype — a no-op when operands already
+match it), and backward closures accumulate into each parent's own dtype.
+Under ``precision("float32")`` the whole tape — im2col buffers, BLAS
+matmuls, gradient accumulation — therefore runs in float32; the float64
+default is bit-identical to the historical hard-coded behaviour.
 """
 
 from __future__ import annotations

@@ -9,6 +9,17 @@ A ``Tensor`` wraps a ``numpy.ndarray`` together with:
 The implementation favours clarity over raw speed; the proxy networks in
 this library are deliberately tiny (a few thousand parameters), so a pure
 NumPy tape is fast enough for thousands of proxy evaluations.
+
+Dtype semantics: every tensor — including each op's output — is
+allocated in the **active precision policy's** compute dtype
+(:mod:`repro.autograd.precision`; float64 by default, bit-identical to
+the historical hard-coded behaviour), and gradients accumulate in each
+tensor's own dtype.  Inside one ``precision(...)`` scope every tape node
+therefore shares one dtype.  Build AND evaluate a network inside the
+same scope: running a network outside the scope it was built under makes
+each op's output wrap re-cast to the ambient dtype (a silent
+copy-per-op upcast, or a precision-losing downcast) — which is why the
+proxies re-enter their config's policy on every call.
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.autograd.precision import default_dtype
 from repro.errors import AutogradError, ShapeError
 
 ArrayLike = Union[float, int, Sequence, np.ndarray, "Tensor"]
@@ -78,7 +90,11 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        # The active policy's compute dtype (thread-local; float64 unless
+        # a precision(...) scope says otherwise).  asarray is a no-op view
+        # when the array already has the right dtype, so op outputs built
+        # from same-dtype operands never copy.
+        self.data = np.asarray(data, dtype=default_dtype())
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._parents: Tuple["Tensor", ...] = ()
@@ -149,7 +165,10 @@ class Tensor:
         return self
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        # Gradients live in the tensor's own dtype: a float32 tape keeps
+        # float32 gradients end to end instead of silently upcasting.
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype),
+                            self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -193,7 +212,8 @@ class Tensor:
         if grad is None:
             seed = np.ones_like(self.data)
         else:
-            seed = np.asarray(grad.data if isinstance(grad, Tensor) else grad, dtype=np.float64)
+            seed = np.asarray(grad.data if isinstance(grad, Tensor) else grad,
+                              dtype=self.data.dtype)
             if seed.shape != self.data.shape:
                 raise ShapeError(
                     f"backward seed shape {seed.shape} != tensor shape {self.data.shape}"

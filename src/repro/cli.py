@@ -59,11 +59,12 @@ def _resolve_arch(text: str) -> Genotype:
 
 
 def _proxy_config(args: argparse.Namespace) -> ProxyConfig:
+    precision = getattr(args, "precision", "float64")
     if args.fast:
         from repro.eval.benchconfig import reduced_proxy_config
 
-        return reduced_proxy_config(seed=args.seed)
-    return ProxyConfig(seed=args.seed)
+        return reduced_proxy_config(seed=args.seed, precision=precision)
+    return ProxyConfig(seed=args.seed, precision=precision)
 
 
 def _device(name: str):
@@ -134,6 +135,8 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         arch=args.arch,
         seed=args.seed,
         fast=not args.full_scale,
+        precision=args.precision,
+        parent_selection=args.parent_selection,
     )
     try:
         report = RunHarness(config).run()
@@ -141,27 +144,31 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         # Config-level errors (unknown algorithm/device, missing --arch
         # for macro) are user mistakes, not tracebacks.
         raise SystemExit(str(exc))
+    # Rows are appended in display order (optional rows at their natural
+    # position) — no positional insert bookkeeping to keep in sync.
     rows = [
         ["algorithm", report.algorithm],
         ["architecture", report.arch_str],
+        ["precision", config.precision],
         ["workers (mode)", f"{config.n_workers} ({report.pool['mode']}"
                            f"{', async' if config.async_mode else ''})"],
         ["pool tasks / chunks", f"{report.pool['tasks']} / "
                                f"{report.pool['chunks']}"],
-        ["cache warm-start", f"{report.cache['warm_start_entries']} entries"],
-        ["cache hits / misses", f"{report.cache['hits']} / "
-                                f"{report.cache['misses']}"],
-        ["store", args.store or "(none: in-memory only)"],
-        ["wall time", f"{report.wall_seconds:.2f} s"],
     ]
-    if args.store:
-        rows.insert(7, ["cache persisted", f"{report.store['cache_saved']} "
-                                           f"entries"])
-        rows.insert(8, ["LUTs in store (all runs)",
-                        str(len(report.store["luts"]))])
     if config.async_mode:
-        rows.insert(4, ["worker idle fraction",
-                        f"{report.pool['idle_fraction']:.1%}"])
+        rows.append(["worker idle fraction",
+                     f"{report.pool['idle_fraction']:.1%}"])
+    rows.append(["cache warm-start",
+                 f"{report.cache['warm_start_entries']} entries"])
+    rows.append(["cache hits / misses", f"{report.cache['hits']} / "
+                                        f"{report.cache['misses']}"])
+    rows.append(["store", args.store or "(none: in-memory only)"])
+    if args.store:
+        rows.append(["cache persisted",
+                     f"{report.store['cache_saved']} entries"])
+        rows.append(["LUTs in store (all runs)",
+                     str(len(report.store["luts"]))])
+    rows.append(["wall time", f"{report.wall_seconds:.2f} s"])
     for name, value in sorted(report.indicators.items()):
         rows.append([f"indicator: {name}", f"{value:.6g}"])
     print(format_table(rows, title="parallel-runtime search run"))
@@ -421,6 +428,13 @@ parallel evaluation runtime examples:
   # children are mutated from the Pareto set as each future resolves
   micronas runtime --async --algorithm steady-state --workers 4 \\
       --population 20 --cycles 100 --store ~/.cache/micronas
+
+  # float32 proxy substrate: ~2x kernel throughput, rank-preserving
+  # (Spearman >= 0.99 vs float64 — see BENCH_precision.json); cached
+  # rows are precision-keyed, so both policies warm-start side by side
+  micronas runtime --algorithm random --samples 256 --precision float32 \\
+      --store ~/.cache/micronas
+  micronas search --algorithm micronas --fast --precision float32
 """
 
 
@@ -444,6 +458,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--seed", type=int, default=0)
     p_search.add_argument("--fast", action="store_true",
                           help="reduced proxy scale (quick demo)")
+    p_search.add_argument("--precision", choices=("float32", "float64"),
+                          default="float64",
+                          help="proxy compute precision (float32: ~2x "
+                               "faster kernels, rank-preserving)")
     p_search.set_defaults(fn=cmd_search)
 
     p_runtime = sub.add_parser(
@@ -491,6 +509,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_runtime.add_argument("--seed", type=int, default=0)
     p_runtime.add_argument("--full-scale", action="store_true",
                            help="paper-scale proxies (default: fast/reduced)")
+    p_runtime.add_argument("--precision", choices=("float32", "float64"),
+                           default="float64",
+                           help="proxy compute precision; precision-keyed "
+                                "cache/store rows never cross-contaminate")
+    p_runtime.add_argument("--parent-selection",
+                           choices=("crowding", "uniform"),
+                           default="crowding",
+                           help="steady-state Pareto parent pick: crowding-"
+                                "distance-weighted (default) or uniform")
     p_runtime.add_argument("--report", default=None,
                            help="also write the structured run report "
                                 "(JSON) to this path")
@@ -516,6 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_prox.add_argument("arch", help="architecture string or integer index")
     p_prox.add_argument("--seed", type=int, default=0)
     p_prox.add_argument("--fast", action="store_true")
+    p_prox.add_argument("--precision", choices=("float32", "float64"),
+                        default="float64",
+                        help="proxy compute precision")
     p_prox.set_defaults(fn=cmd_proxies)
 
     p_pareto = sub.add_parser("pareto",

@@ -30,8 +30,8 @@ rely on:
 * Keys embed everything the value depends on, so differing configurations
   can never alias: proxy values are keyed by
   ``(indicator, canonical_index, astuple(ProxyConfig))`` (covering sizes,
-  seeds, repeats and the ``ntk_mode``/``lr_mode`` kernel selection, plus
-  ``k_index`` for κ); FLOPs/params by
+  seeds, repeats, the ``ntk_mode``/``lr_mode`` kernel selection and the
+  ``precision`` policy name, plus ``k_index`` for κ); FLOPs/params by
   ``(indicator, canonical_index, astuple(MacroConfig))``; latency by
   ``(indicator, canonical_index, device name, precision,
   astuple(MacroConfig))``.  Supernet states replace the canonical index
@@ -43,6 +43,19 @@ rely on:
   canonicalize — dead edges are billed, matching the on-board ground
   truth; the engine's ``latency_ms`` prices the canonical network an
   optimising deployment runtime would compile.
+
+Precision semantics
+-------------------
+Compute precision is an explicit :class:`~repro.autograd.precision.\
+PrecisionPolicy` named by ``ProxyConfig.precision``: proxy forwards,
+backwards and Gram products run in the policy's ``compute_dtype``
+(float64 default — bit-identical to the pre-policy substrate — or
+float32 for ~2× kernel throughput), while **eigensolves always promote
+to** ``accumulate_dtype`` (float64 under both built-in policies) because
+condition numbers amplify rounding error through near-singular spectra.
+The precision name travels inside ``astuple(ProxyConfig)``, i.e. inside
+every proxy cache key and persisted-store fingerprint, so rows computed
+under different policies can never alias or cross-contaminate.
 """
 
 from repro.engine.cache import CacheStats, IndicatorCache

@@ -11,6 +11,12 @@ out at 15,625 architectures × a handful of indicators, far below memory
 pressure), no locking (the library is single-threaded), and values are
 opaque.  ``float('inf')`` and ``nan`` are legal cached values, so presence
 is tracked explicitly rather than via ``get(...) is None``.
+
+Precision is part of the *key*, not the cache: proxy keys embed
+``astuple(ProxyConfig)`` — which includes the ``precision`` policy name —
+so float32 and float64 evaluations of the same canonical form occupy
+distinct entries and can warm-start side by side in one cache (and one
+persisted store file set; see :mod:`repro.runtime.store`).
 """
 
 from __future__ import annotations

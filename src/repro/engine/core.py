@@ -15,6 +15,13 @@ indicator values.  It owns
 Latency estimators are built lazily per macro configuration and share the
 engine's cache (the per-estimator memo that used to live in
 ``hardware/latency.py`` now writes the same keys).
+
+Precision: proxies scope themselves under
+``ProxyConfig.precision_policy()`` (forward/backward in the compute
+dtype, eigensolves promoted to the accumulate dtype — see
+:mod:`repro.engine.kernels`), and ``precision`` rides in
+``astuple(proxy_config)``, i.e. in every cache key and store
+fingerprint: float32 and float64 rows coexist without aliasing.
 """
 
 from __future__ import annotations
@@ -302,13 +309,18 @@ class Engine:
             return
         grams: List[np.ndarray] = []
         spans: List[int] = []
+        policy = self.proxy_config.precision_policy()
         with Timer() as timer:
             for canon in missing.values():
                 candidate_grams = ntk_grams(canon, self.proxy_config)
                 spans.append(len(candidate_grams))
                 grams.extend(candidate_grams)
-            values = batched_condition_numbers(np.stack(grams),
-                                               k_index=k_index)
+            # Grams were computed at the policy's compute dtype; the
+            # stacked eigensolve promotes to its accumulate dtype, exactly
+            # like the per-candidate path (see kernels.batched_eigvalsh).
+            values = batched_condition_numbers(
+                np.stack(grams), k_index=k_index,
+                accumulate_dtype=policy.accumulate_dtype)
         self.ledger.add("ntk_eval", timer.elapsed, count=len(missing))
         offset = 0
         for key, span in zip(missing, spans):

@@ -26,6 +26,17 @@ batched passes:
 Both kernels assume (and assert) per-sample independence: networks must be
 in eval mode with frozen normalisation statistics.  The engine's cache and
 population layers live in :mod:`repro.engine.core`.
+
+**Precision semantics** (see :mod:`repro.autograd.precision`): every
+kernel runs in the dtype of the network it is handed — forward passes,
+im2col buffers, per-sample gradient reconstruction and the Gram matmul
+all stay in the policy's ``compute_dtype``.  The one deliberate
+exception is eigendecomposition: :func:`batched_eigvalsh` promotes Gram
+stacks to ``accumulate_dtype`` (float64 under both built-in policies)
+because condition numbers amplify rounding error through near-singular
+spectra, while the solve itself is negligible next to the Jacobian work.
+Probe-line endpoints are interpolated in float64 in both the batched and
+reference paths (identical inputs), then cast once at the forward.
 """
 
 from __future__ import annotations
@@ -164,7 +175,11 @@ def batched_ntk_jacobian(network: Module, images: np.ndarray,
             for bn in batchnorms:
                 bn.freeze_stats_on_forward = False
 
-    jacobian = np.zeros((batch, sum(p.size for p in params)))
+    # The Jacobian inherits the network's compute dtype (precision-policy
+    # controlled): a float32 network keeps the whole reconstruction — and
+    # the Gram matmul downstream — in float32 instead of upcasting.
+    jacobian = np.zeros((batch, sum(p.size for p in params)),
+                        dtype=params[0].data.dtype)
     for module, x, out in captures:
         grad = out.grad
         if grad is None:
@@ -230,7 +245,8 @@ def batched_count_line_regions(
     )
 
 
-def batched_eigvalsh(grams: np.ndarray) -> np.ndarray:
+def batched_eigvalsh(grams: np.ndarray,
+                     accumulate_dtype=np.float64) -> np.ndarray:
     """Eigenvalues (ascending) of a stack of symmetric matrices.
 
     ``np.linalg.eigvalsh`` is a gufunc: stacking population NTK Grams into
@@ -238,8 +254,14 @@ def batched_eigvalsh(grams: np.ndarray) -> np.ndarray:
     Python-level calls, and each matrix goes through the identical
     ``syevd`` routine — per-matrix results are bit-identical to separate
     calls (pinned by ``tests/engine/test_kernels.py``).
+
+    ``accumulate_dtype`` is the precision-policy promotion seam: NTK
+    spectra are ill-conditioned by construction (κ IS the indicator), so
+    even float32-computed Grams are eigendecomposed in float64 by default
+    (``PrecisionPolicy.accumulate_dtype``) — the solve is O(N·B³) on tiny
+    B×B matrices, a rounding error next to the Jacobian work it follows.
     """
-    grams = np.asarray(grams, dtype=float)
+    grams = np.asarray(grams, dtype=accumulate_dtype)
     if grams.ndim != 3 or grams.shape[-1] != grams.shape[-2]:
         raise ProxyError(
             f"expected a stacked (N, B, B) Gram array, got {grams.shape}"
@@ -247,16 +269,19 @@ def batched_eigvalsh(grams: np.ndarray) -> np.ndarray:
     return np.linalg.eigvalsh(grams)
 
 
-def batched_condition_numbers(grams: np.ndarray, k_index: int = 1) -> np.ndarray:
+def batched_condition_numbers(grams: np.ndarray, k_index: int = 1,
+                              accumulate_dtype=np.float64) -> np.ndarray:
     """``K_{k_index} = λ_max / λ_(k-th smallest)`` per Gram, one eigensolve.
 
     Vectorized twin of :meth:`repro.proxies.ntk.NtkResult.k` over an
     ``(N, B, B)`` stack: singular kernels (λ below the shared epsilon)
-    produce ``inf`` exactly as the per-candidate path does.
+    produce ``inf`` exactly as the per-candidate path does.  Grams are
+    promoted to ``accumulate_dtype`` for the solve (see
+    :func:`batched_eigvalsh`).
     """
     from repro.proxies.ntk import _EIG_EPS
 
-    eigenvalues = batched_eigvalsh(grams)
+    eigenvalues = batched_eigvalsh(grams, accumulate_dtype=accumulate_dtype)
     num_eigs = eigenvalues.shape[1]
     if not 1 <= k_index <= num_eigs:
         raise ProxyError(f"K index {k_index} outside [1, {num_eigs}]")

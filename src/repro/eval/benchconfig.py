@@ -19,18 +19,21 @@ def bench_scale() -> str:
     return os.environ.get("REPRO_BENCH_SCALE", "reduced")
 
 
-def reduced_proxy_config(seed: int = 0) -> ProxyConfig:
+def reduced_proxy_config(seed: int = 0,
+                         precision: str = "float64") -> ProxyConfig:
     """THE fast/reduced proxy operating point.
 
     Single definition shared by the CLI's ``--fast`` flag, the runtime
     harness's ``fast=True`` and the benchmark default scale — the
     persistent store fingerprints ``astuple(proxy_config)``, so every
     consumer must agree bit-for-bit or warm-starts silently stop working
-    across entry points.
+    across entry points.  ``precision`` selects the compute policy
+    (``float64`` default; ``float32`` for faster kernels) and is part of
+    that fingerprint.
     """
     return ProxyConfig(init_channels=4, cells_per_stage=1, input_size=8,
                        ntk_batch_size=16, lr_num_samples=64, lr_input_size=4,
-                       lr_channels=3, seed=seed)
+                       lr_channels=3, seed=seed, precision=precision)
 
 
 def search_proxy_config() -> ProxyConfig:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import Tensor, functional as F
+from repro.autograd.precision import default_dtype
 from repro.nn.module import Module, Parameter
 
 
@@ -32,11 +33,19 @@ class BatchNorm2d(Module):
         #: equivalent to a momentum-1.0 training pass followed by an eval
         #: pass, in a single forward.
         self.freeze_stats_on_forward = False
+        # Parameters AND buffers live in the active policy's compute
+        # dtype: running statistics feed back into the tape (and the
+        # batched NTK kernel's per-sample reconstruction), so float64
+        # buffers under a float32 policy would silently upcast every
+        # downstream product.
+        dtype = default_dtype()
         if affine:
-            self.weight = Parameter(np.ones(num_features), name="bn.weight")
-            self.bias = Parameter(np.zeros(num_features), name="bn.bias")
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+            self.weight = Parameter(np.ones(num_features, dtype=dtype),
+                                    name="bn.weight")
+            self.bias = Parameter(np.zeros(num_features, dtype=dtype),
+                                  name="bn.bias")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=dtype))
+        self.register_buffer("running_var", np.ones(num_features, dtype=dtype))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:

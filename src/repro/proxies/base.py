@@ -6,6 +6,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.autograd.precision import PrecisionPolicy, resolve_policy
 from repro.searchspace.network import MacroConfig
 
 
@@ -23,6 +24,14 @@ class ProxyConfig:
     ``"reference"`` (the original per-sample / per-line loops, kept for
     validating the batched paths).  Both fields are part of the engine's
     cache key, so switching modes never aliases cached values.
+
+    ``precision`` names the :class:`~repro.autograd.precision.\
+    PrecisionPolicy` every proxy evaluation under this config runs in
+    (``"float64"``, the bit-identical historical default, or
+    ``"float32"`` for ~2× kernel throughput at rank-preserving accuracy —
+    see ``BENCH_precision.json``).  Like the mode fields it travels in
+    ``astuple(config)``, so it is part of every cache key and store
+    fingerprint: float32 and float64 rows coexist without aliasing.
     """
 
     init_channels: int = 8
@@ -38,6 +47,15 @@ class ProxyConfig:
     seed: int = 0
     ntk_mode: str = "batched"
     lr_mode: str = "batched"
+    precision: str = "float64"
+
+    def precision_policy(self) -> PrecisionPolicy:
+        """The resolved policy proxy evaluations scope themselves under."""
+        return resolve_policy(self.precision)
+
+    def with_precision(self, precision: str) -> "ProxyConfig":
+        """Copy running under a different precision policy."""
+        return replace(self, precision=precision)
 
     def macro_config(self, num_classes: int = None) -> MacroConfig:
         """The reduced macro skeleton proxies are measured on."""

@@ -26,6 +26,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.autograd import Tensor, no_grad
+from repro.autograd.precision import precision
 from repro.errors import ProxyError
 from repro.nn import AvgPool2d, Conv2d, Module, ModuleList, ReLU, Sequential
 from repro.nn.layers.activation import ReLU as ReLULayer
@@ -214,21 +215,22 @@ def count_line_regions(
     config = config or ProxyConfig()
     mode = mode or config.lr_mode
     counts = []
-    for repeat in range(config.repeats):
-        generator = new_rng(
-            stable_seed("lr", config.seed, repeat, genotype.to_index())
-            if rng is None
-            else rng
-        )
-        network = LinearRegionNetwork.from_genotype(
-            genotype,
-            channels=config.lr_channels,
-            num_cells=config.lr_num_cells,
-            rng=generator,
-        )
-        shape = (3, config.lr_input_size, config.lr_input_size)
-        counts.extend(_count_lines(network, generator, shape, num_lines,
-                                   config.lr_num_samples, mode))
+    with precision(config.precision_policy()):
+        for repeat in range(config.repeats):
+            generator = new_rng(
+                stable_seed("lr", config.seed, repeat, genotype.to_index())
+                if rng is None
+                else rng
+            )
+            network = LinearRegionNetwork.from_genotype(
+                genotype,
+                channels=config.lr_channels,
+                num_cells=config.lr_num_cells,
+                rng=generator,
+            )
+            shape = (3, config.lr_input_size, config.lr_input_size)
+            counts.extend(_count_lines(network, generator, shape, num_lines,
+                                       config.lr_num_samples, mode))
     return float(np.mean(counts))
 
 
@@ -240,23 +242,27 @@ def count_sample_regions(
     """Distinct patterns over i.i.d. inputs (TE-NAS estimator; saturates)."""
     config = config or ProxyConfig()
     counts = []
-    for repeat in range(config.repeats):
-        generator = new_rng(
-            stable_seed("lr-sample", config.seed, repeat, genotype.to_index())
-            if rng is None
-            else rng
-        )
-        network = LinearRegionNetwork.from_genotype(
-            genotype,
-            channels=config.lr_channels,
-            num_cells=config.lr_num_cells,
-            rng=generator,
-        )
-        images = generator.uniform(
-            -1.0, 1.0,
-            size=(config.lr_num_samples, 3, config.lr_input_size, config.lr_input_size),
-        )
-        counts.append(count_distinct_patterns(_forward_patterns(network, images)))
+    with precision(config.precision_policy()):
+        for repeat in range(config.repeats):
+            generator = new_rng(
+                stable_seed("lr-sample", config.seed, repeat, genotype.to_index())
+                if rng is None
+                else rng
+            )
+            network = LinearRegionNetwork.from_genotype(
+                genotype,
+                channels=config.lr_channels,
+                num_cells=config.lr_num_cells,
+                rng=generator,
+            )
+            images = generator.uniform(
+                -1.0, 1.0,
+                size=(config.lr_num_samples, 3,
+                      config.lr_input_size, config.lr_input_size),
+            )
+            counts.append(
+                count_distinct_patterns(_forward_patterns(network, images))
+            )
     return float(np.mean(counts))
 
 
@@ -280,21 +286,22 @@ def supernet_line_regions(
     config = config or ProxyConfig()
     mode = mode or config.lr_mode
     counts = []
-    for repeat in range(config.repeats):
-        # Config-only seed: candidate prunings share weights and test lines
-        # (see supernet_ntk_condition_number).
-        generator = new_rng(
-            stable_seed("lr-super", config.seed, repeat)
-            if rng is None
-            else rng
-        )
-        network = LinearRegionNetwork(
-            edge_op_sets,
-            channels=config.lr_channels,
-            num_cells=config.lr_num_cells,
-            rng=generator,
-        )
-        shape = (3, config.lr_input_size, config.lr_input_size)
-        counts.extend(_count_lines(network, generator, shape, num_lines,
-                                   config.lr_num_samples, mode))
+    with precision(config.precision_policy()):
+        for repeat in range(config.repeats):
+            # Config-only seed: candidate prunings share weights and test
+            # lines (see supernet_ntk_condition_number).
+            generator = new_rng(
+                stable_seed("lr-super", config.seed, repeat)
+                if rng is None
+                else rng
+            )
+            network = LinearRegionNetwork(
+                edge_op_sets,
+                channels=config.lr_channels,
+                num_cells=config.lr_num_cells,
+                rng=generator,
+            )
+            shape = (3, config.lr_input_size, config.lr_input_size)
+            counts.extend(_count_lines(network, generator, shape, num_lines,
+                                       config.lr_num_samples, mode))
     return float(np.mean(counts))

@@ -19,6 +19,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.autograd import Tensor
+from repro.autograd.precision import get_precision, precision
 from repro.errors import ProxyError
 from repro.nn.module import Module
 from repro.proxies.base import ProxyConfig, resize_batch
@@ -28,6 +29,20 @@ from repro.utils.rng import SeedLike, new_rng, stable_seed
 
 #: Eigenvalues below this threshold are treated as numerically zero.
 _EIG_EPS = 1e-9
+
+
+def _eigvalsh_desc(gram: np.ndarray) -> np.ndarray:
+    """Descending eigenvalues, accumulated in the policy's safe dtype.
+
+    Gram construction runs in the compute dtype, but the eigensolve is
+    promoted to ``accumulate_dtype`` (float64 under both built-in
+    policies): condition numbers magnify spectral rounding error, and the
+    B×B solve costs nothing next to the Jacobian.  A float64 Gram passes
+    through untouched (``astype`` with a matching dtype is a no-op view),
+    keeping the default path bit-identical.
+    """
+    promoted = gram.astype(get_precision().accumulate_dtype, copy=False)
+    return np.linalg.eigvalsh(promoted)[::-1].copy()
 
 
 @dataclass(frozen=True)
@@ -125,12 +140,17 @@ def compute_ntk_gram(
     if not params:
         raise ProxyError("network has no parameters; NTK undefined")
 
+    # Per-sample Jacobians inherit the network's compute dtype, so the
+    # Gram matmul below runs at the policy precision in every mode.
+    jac_dtype = params[0].data.dtype
+
     if mode == "coupled":
         network.train(True)
         output = network(Tensor(images))
         if output.ndim != 2:
             raise ProxyError(f"expected (batch, classes) logits, got {output.shape}")
-        jacobian = np.empty((batch_size, sum(p.size for p in params)))
+        jacobian = np.empty((batch_size, sum(p.size for p in params)),
+                            dtype=jac_dtype)
         seed = np.zeros_like(output.data)
         for i in range(batch_size):
             output.clear_tape_grads()
@@ -152,7 +172,8 @@ def compute_ntk_gram(
         jacobian = batched_ntk_jacobian(network, images, freeze_stats=True)
         return jacobian @ jacobian.T
     _freeze_batch_stats(network, images)
-    jacobian = np.empty((batch_size, sum(p.size for p in params)))
+    jacobian = np.empty((batch_size, sum(p.size for p in params)),
+                        dtype=jac_dtype)
     for i in range(batch_size):
         for p in params:
             p.zero_grad()
@@ -184,16 +205,17 @@ def ntk_spectrum(
     generator = new_rng(
         rng if rng is not None else stable_seed("ntk", config.seed, genotype.to_index())
     )
-    if images is None:
-        images = generator.normal(
-            size=(config.ntk_batch_size, 3, config.input_size, config.input_size)
-        )
-    else:
-        images = resize_batch(images, config.input_size)
-    if network is None:
-        network = build_network(genotype, config.macro_config(), rng=generator)
-    gram = compute_ntk_gram(network, images, mode=config.ntk_mode)
-    eigenvalues = np.linalg.eigvalsh(gram)[::-1].copy()
+    with precision(config.precision_policy()):
+        if images is None:
+            images = generator.normal(
+                size=(config.ntk_batch_size, 3, config.input_size, config.input_size)
+            )
+        else:
+            images = resize_batch(images, config.input_size)
+        if network is None:
+            network = build_network(genotype, config.macro_config(), rng=generator)
+        gram = compute_ntk_gram(network, images, mode=config.ntk_mode)
+        eigenvalues = _eigvalsh_desc(gram)
     return NtkResult(eigenvalues=eigenvalues, batch_size=images.shape[0])
 
 
@@ -220,29 +242,32 @@ def ntk_grams(
     config = config or ProxyConfig()
     grams: List[np.ndarray] = []
     network: Optional[Module] = None
-    for repeat in range(config.repeats):
-        rep_rng = new_rng(
-            stable_seed("ntk", config.seed, repeat, genotype.to_index())
-            if rng is None
-            else rng
-        )
-        if images is not None:
-            batch = resize_batch(images, config.input_size)
-            network = build_network(genotype, config.macro_config(), rng=rep_rng)
-        elif network is None:
-            # First repeat also builds the shared network (drawing images
-            # first matches the historical seed stream exactly).
-            batch = rep_rng.normal(
-                size=(config.ntk_batch_size, 3,
-                      config.input_size, config.input_size)
+    with precision(config.precision_policy()):
+        for repeat in range(config.repeats):
+            rep_rng = new_rng(
+                stable_seed("ntk", config.seed, repeat, genotype.to_index())
+                if rng is None
+                else rng
             )
-            network = build_network(genotype, config.macro_config(), rng=rep_rng)
-        else:
-            batch = rep_rng.normal(
-                size=(config.ntk_batch_size, 3,
-                      config.input_size, config.input_size)
-            )
-        grams.append(compute_ntk_gram(network, batch, mode=config.ntk_mode))
+            if images is not None:
+                batch = resize_batch(images, config.input_size)
+                network = build_network(genotype, config.macro_config(),
+                                        rng=rep_rng)
+            elif network is None:
+                # First repeat also builds the shared network (drawing images
+                # first matches the historical seed stream exactly).
+                batch = rep_rng.normal(
+                    size=(config.ntk_batch_size, 3,
+                          config.input_size, config.input_size)
+                )
+                network = build_network(genotype, config.macro_config(),
+                                        rng=rep_rng)
+            else:
+                batch = rep_rng.normal(
+                    size=(config.ntk_batch_size, 3,
+                          config.input_size, config.input_size)
+                )
+            grams.append(compute_ntk_gram(network, batch, mode=config.ntk_mode))
     return grams
 
 
@@ -263,9 +288,10 @@ def ntk_condition_number(
     """
     config = config or ProxyConfig()
     values = []
-    for gram in ntk_grams(genotype, config, images=images, rng=rng):
-        eigenvalues = np.linalg.eigvalsh(gram)[::-1].copy()
-        values.append(NtkResult(eigenvalues, gram.shape[0]).k(k_index))
+    with precision(config.precision_policy()):
+        for gram in ntk_grams(genotype, config, images=images, rng=rng):
+            eigenvalues = _eigvalsh_desc(gram)
+            values.append(NtkResult(eigenvalues, gram.shape[0]).k(k_index))
     return float(np.mean(values))
 
 
@@ -291,20 +317,24 @@ def supernet_ntk_condition_number(
 
     config = config or ProxyConfig()
     values = []
-    for repeat in range(config.repeats):
-        # Seed from the config only (NOT the alive-op sets): every candidate
-        # pruning evaluated under one seed shares supernet weights and the
-        # input batch, so score differences isolate the removed op.
-        generator = new_rng(
-            stable_seed("ntk-super", config.seed, repeat)
-            if rng is None
-            else rng
-        )
-        images = generator.normal(
-            size=(config.ntk_batch_size, 3, config.input_size, config.input_size)
-        )
-        network = build_supernet(edge_specs, config.macro_config(), rng=generator)
-        gram = compute_ntk_gram(network, images, mode=config.ntk_mode)
-        eigenvalues = np.linalg.eigvalsh(gram)[::-1].copy()
-        values.append(NtkResult(eigenvalues, images.shape[0]).k(k_index))
+    with precision(config.precision_policy()):
+        for repeat in range(config.repeats):
+            # Seed from the config only (NOT the alive-op sets): every
+            # candidate pruning evaluated under one seed shares supernet
+            # weights and the input batch, so score differences isolate the
+            # removed op.
+            generator = new_rng(
+                stable_seed("ntk-super", config.seed, repeat)
+                if rng is None
+                else rng
+            )
+            images = generator.normal(
+                size=(config.ntk_batch_size, 3,
+                      config.input_size, config.input_size)
+            )
+            network = build_supernet(edge_specs, config.macro_config(),
+                                     rng=generator)
+            gram = compute_ntk_gram(network, images, mode=config.ntk_mode)
+            eigenvalues = _eigvalsh_desc(gram)
+            values.append(NtkResult(eigenvalues, images.shape[0]).k(k_index))
     return float(np.mean(values))

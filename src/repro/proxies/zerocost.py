@@ -30,6 +30,7 @@ from typing import Callable, Dict, NamedTuple, Optional
 import numpy as np
 
 from repro.autograd import Tensor, cross_entropy, no_grad
+from repro.autograd.precision import precision
 from repro.errors import ProxyError
 from repro.nn.layers.activation import ReLU
 from repro.nn.module import Module
@@ -70,12 +71,13 @@ def grad_norm_score(genotype: Genotype, config: Optional[ProxyConfig] = None,
                     rng: SeedLike = None) -> float:
     """L2 norm of the loss gradient at initialisation (higher = better)."""
     config = config or ProxyConfig()
-    network, images, labels = _build(genotype, config, "gradnorm", rng)
-    _loss_gradients(network, images, labels)
-    total = 0.0
-    for p in network.parameters():
-        if p.grad is not None:
-            total += float((p.grad**2).sum())
+    with precision(config.precision_policy()):
+        network, images, labels = _build(genotype, config, "gradnorm", rng)
+        _loss_gradients(network, images, labels)
+        total = 0.0
+        for p in network.parameters():
+            if p.grad is not None:
+                total += float((p.grad**2).sum())
     return total**0.5
 
 
@@ -83,12 +85,13 @@ def snip_score(genotype: Genotype, config: Optional[ProxyConfig] = None,
                rng: SeedLike = None) -> float:
     """Connection sensitivity Σ|w · ∂L/∂w| (higher = better)."""
     config = config or ProxyConfig()
-    network, images, labels = _build(genotype, config, "snip", rng)
-    _loss_gradients(network, images, labels)
-    total = 0.0
-    for p in network.parameters():
-        if p.grad is not None:
-            total += float(np.abs(p.data * p.grad).sum())
+    with precision(config.precision_policy()):
+        network, images, labels = _build(genotype, config, "snip", rng)
+        _loss_gradients(network, images, labels)
+        total = 0.0
+        for p in network.parameters():
+            if p.grad is not None:
+                total += float(np.abs(p.data * p.grad).sum())
     return total
 
 
@@ -96,12 +99,13 @@ def fisher_score(genotype: Genotype, config: Optional[ProxyConfig] = None,
                  rng: SeedLike = None) -> float:
     """Diagonal empirical Fisher information Σ(∂L/∂w)² (higher = better)."""
     config = config or ProxyConfig()
-    network, images, labels = _build(genotype, config, "fisher", rng)
-    _loss_gradients(network, images, labels)
-    total = 0.0
-    for p in network.parameters():
-        if p.grad is not None:
-            total += float((p.grad**2).sum())
+    with precision(config.precision_policy()):
+        network, images, labels = _build(genotype, config, "fisher", rng)
+        _loss_gradients(network, images, labels)
+        total = 0.0
+        for p in network.parameters():
+            if p.grad is not None:
+                total += float((p.grad**2).sum())
     return total
 
 
@@ -113,28 +117,29 @@ def synflow_score(genotype: Genotype, config: Optional[ProxyConfig] = None,
     positive linear map, as the SynFlow construction requires.
     """
     config = config or ProxyConfig()
-    network, _, _ = _build(genotype, config, "synflow", rng)
-    # Linearise: absolute weights, neutral BatchNorm.
-    from repro.nn.layers.norm import BatchNorm2d
+    with precision(config.precision_policy()):
+        network, _, _ = _build(genotype, config, "synflow", rng)
+        # Linearise: absolute weights, neutral BatchNorm.
+        from repro.nn.layers.norm import BatchNorm2d
 
-    saved = []
-    for p in network.parameters():
-        saved.append(p.data.copy())
-        p.data = np.abs(p.data)
-    for m in network.modules():
-        if isinstance(m, BatchNorm2d):
-            m.running_mean[...] = 0.0
-            m.running_var[...] = 1.0
-    network.train(False)
-    network.zero_grad()
-    ones = np.ones((1, 3, config.input_size, config.input_size))
-    output = network(Tensor(ones))
-    output.sum().backward()
-    total = 0.0
-    for p, original in zip(network.parameters(), saved):
-        if p.grad is not None:
-            total += float(np.abs(p.data * p.grad).sum())
-        p.data = original
+        saved = []
+        for p in network.parameters():
+            saved.append(p.data.copy())
+            p.data = np.abs(p.data)
+        for m in network.modules():
+            if isinstance(m, BatchNorm2d):
+                m.running_mean[...] = 0.0
+                m.running_var[...] = 1.0
+        network.train(False)
+        network.zero_grad()
+        ones = np.ones((1, 3, config.input_size, config.input_size))
+        output = network(Tensor(ones))
+        output.sum().backward()
+        total = 0.0
+        for p, original in zip(network.parameters(), saved):
+            if p.grad is not None:
+                total += float(np.abs(p.data * p.grad).sum())
+            p.data = original
     return total
 
 
@@ -147,14 +152,15 @@ def jacob_cov_score(genotype: Genotype, config: Optional[ProxyConfig] = None,
     close to identity) indicate expressive networks.
     """
     config = config or ProxyConfig()
-    network, images, _ = _build(genotype, config, "jacobcov", rng)
-    network.train(True)
-    x = Tensor(images, requires_grad=True)
-    output = network(x)
-    output.sum().backward()
-    if x.grad is None:
-        raise ProxyError("input gradient missing")
-    jac = x.grad.reshape(images.shape[0], -1)
+    with precision(config.precision_policy()):
+        network, images, _ = _build(genotype, config, "jacobcov", rng)
+        network.train(True)
+        x = Tensor(images, requires_grad=True)
+        output = network(x)
+        output.sum().backward()
+        if x.grad is None:
+            raise ProxyError("input gradient missing")
+        jac = x.grad.reshape(images.shape[0], -1)
     stds = jac.std(axis=1)
     if np.any(stds < 1e-12):
         return -1e9  # degenerate (disconnected) network
@@ -168,15 +174,16 @@ def naswot_score(genotype: Genotype, config: Optional[ProxyConfig] = None,
                  rng: SeedLike = None) -> float:
     """NASWOT: log|K_H| of the ReLU-pattern Hamming kernel (higher = better)."""
     config = config or ProxyConfig()
-    network, images, _ = _build(genotype, config, "naswot", rng,
-                                record_patterns=True)
-    relus = [m for m in network.modules() if isinstance(m, ReLU)]
-    for relu in relus:
-        relu.record_pattern = True
-        relu.last_pattern = None
-    network.train(True)
-    with no_grad():
-        network(Tensor(images))
+    with precision(config.precision_policy()):
+        network, images, _ = _build(genotype, config, "naswot", rng,
+                                    record_patterns=True)
+        relus = [m for m in network.modules() if isinstance(m, ReLU)]
+        for relu in relus:
+            relu.record_pattern = True
+            relu.last_pattern = None
+        network.train(True)
+        with no_grad():
+            network(Tensor(images))
     batch = images.shape[0]
     parts = [r.last_pattern.reshape(batch, -1) for r in relus
              if r.last_pattern is not None]

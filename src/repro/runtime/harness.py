@@ -51,13 +51,16 @@ class RuntimeConfig:
     seed: int = 0
     fast: bool = True           # reduced proxy scale (quick demo / CI)
     save_store: bool = True     # persist the warmed cache after the run
+    precision: str = "float64"  # proxy compute policy (float32|float64)
+    parent_selection: str = "crowding"  # steady-state Pareto parent pick
 
     def proxy_config(self) -> ProxyConfig:
         from repro.eval.benchconfig import reduced_proxy_config
 
         if self.fast:
-            return reduced_proxy_config(seed=self.seed)
-        return ProxyConfig(seed=self.seed)
+            return reduced_proxy_config(seed=self.seed,
+                                        precision=self.precision)
+        return ProxyConfig(seed=self.seed, precision=self.precision)
 
     def macro_config(self) -> MacroConfig:
         return MacroConfig.full()
@@ -194,6 +197,7 @@ def _run_steady_state(harness: "RunHarness") -> SearchResult:
         ),
         seed=harness.config.seed,
         executor=harness.executor,
+        parent_selection=harness.config.parent_selection,
     ).search()
 
 
@@ -269,6 +273,11 @@ class RunHarness:
             raise SearchError(
                 f"unknown device {config.device!r}; known: {sorted(devices)}"
             )
+        # Fail fast on unknown precision names (the proxies would only
+        # raise at first evaluation, deep inside the run).
+        from repro.autograd.precision import resolve_policy
+
+        resolve_policy(config.precision)
         self.config = config
         self.device = devices[config.device]
         self.proxy_config = config.proxy_config()

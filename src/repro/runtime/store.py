@@ -16,7 +16,9 @@ store that makes both survive:
   (serialised with Python's JSON extensions).  Saves are *locked
   read-merge-writes* (``flock`` sidecar): concurrent runs sharing one
   store directory union their rows, neither corrupting nor dropping the
-  other's work.
+  other's work.  The fingerprint includes the proxy compute precision
+  (:func:`cache_fingerprint`), so float32 and float64 runs keep separate
+  files — warm-starts never serve rows computed under another policy.
 * **Latency LUTs** — one file per ``(device, precision, macro config)``
   key, written with :meth:`~repro.hardware.profiler.LatencyLUT.save_json`
   so files interoperate with every other LUT consumer, plus a sidecar
@@ -69,10 +71,19 @@ def cache_fingerprint(proxy_config: ProxyConfig,
     never alias each other; the fingerprint guards the remaining global
     assumptions — store format, indicator schema and the engine's own
     proxy/macro configs — under which the file was written.
+
+    Precision is folded in on one scheme across both store halves: the
+    indicator-cache fingerprint carries the proxy *compute* precision
+    (``ProxyConfig.precision``, also inside the encoded proxy tuple), so
+    float32 and float64 runs write separate fingerprint-keyed files and
+    coexist in one store directory; latency LUTs are keyed by the
+    deployment *kernel* precision (``float32``/``int8``) exactly as
+    before — the two axes are independent and never mix.
     """
     return {
         "format": STORE_FORMAT,
         "indicators": list(INDICATOR_NAMES),
+        "precision": proxy_config.precision,
         "proxy": _encode_key(astuple(proxy_config)),
         "macro": _encode_key(astuple(macro_config)),
     }

@@ -171,6 +171,12 @@ class SteadyStateEvolutionarySearch:
     final winner is re-ranked over the canonically-sorted set of every
     distinct candidate seen, so tie-breaking never depends on arrival
     order.
+
+    ``parent_selection`` controls the Pareto-front parent pick:
+    ``"crowding"`` (default) weights it by NSGA-II crowding distance
+    (:func:`repro.search.pareto.crowding_selection_weights`), biasing
+    mutation toward sparse regions of the front; ``"uniform"`` is the
+    original unweighted pick, kept as the fallback flag.
     """
 
     algorithm_name = "evolutionary-steady-state"
@@ -183,10 +189,17 @@ class SteadyStateEvolutionarySearch:
         space: Optional[NasBench201Space] = None,
         seed: SeedLike = 0,
         executor=None,
+        parent_selection: str = "crowding",
     ) -> None:
         self.config = config or EvolutionConfig()
         if self.config.population_size < 2:
             raise SearchError("population_size >= 2 required")
+        if parent_selection not in ("crowding", "uniform"):
+            raise SearchError(
+                f"unknown parent_selection {parent_selection!r}; "
+                "use 'crowding' or 'uniform'"
+            )
+        self.parent_selection = parent_selection
         self.objective = objective
         self.constraints = constraints
         self.space = space or NasBench201Space()
@@ -227,13 +240,26 @@ class SteadyStateEvolutionarySearch:
 
     def _pareto_parents(
         self, population: Sequence[Tuple[Genotype, Tuple[float, ...]]]
-    ) -> List[Genotype]:
-        """The non-dominated members of the current population window."""
-        from repro.search.pareto import non_dominated_sort
+    ) -> Tuple[List[Genotype], Optional[np.ndarray]]:
+        """Non-dominated members plus their parent-selection probabilities.
 
-        vectors = [vector for _, vector in population]
-        front = non_dominated_sort(np.array(vectors, dtype=float))[0]
-        return [population[i][0] for i in front]
+        Under ``parent_selection="crowding"`` probabilities follow NSGA-II
+        crowding distance over the front's objective vectors.  Uniform
+        mode returns ``None`` instead of a flat vector: the spawn loop
+        then draws with ``rng.integers``, preserving the pre-crowding RNG
+        stream exactly.
+        """
+        from repro.search.pareto import (
+            crowding_selection_weights,
+            non_dominated_sort,
+        )
+
+        vectors = np.array([vector for _, vector in population], dtype=float)
+        front = non_dominated_sort(vectors)[0]
+        parents = [population[i][0] for i in front]
+        if self.parent_selection != "crowding":
+            return parents, None
+        return parents, crowding_selection_weights(vectors[front])
 
     # ------------------------------------------------------------------
     def search(self) -> SearchResult:
@@ -252,10 +278,12 @@ class SteadyStateEvolutionarySearch:
         committed = 0
         last_logged = 0
 
-        #: Non-dominated set of `population`, recomputed only after a
-        #: commit changes it (the O(P^2) sort would otherwise rerun per
-        #: spawned child even with nothing landed in between).
-        pareto_cache: Optional[List[Genotype]] = None
+        #: Non-dominated set of `population` (+ selection weights),
+        #: recomputed only after a commit changes it (the O(P^2) sort
+        #: would otherwise rerun per spawned child even with nothing
+        #: landed in between).
+        pareto_cache: Optional[Tuple[List[Genotype],
+                                     Optional[np.ndarray]]] = None
 
         def commit(genotype: Genotype) -> None:
             nonlocal committed, pareto_cache
@@ -265,7 +293,7 @@ class SteadyStateEvolutionarySearch:
             population.append((genotype, self._objective_vector(row)))
             seen.setdefault(genotype.to_index(), genotype)
 
-        def pareto_parents() -> List[Genotype]:
+        def pareto_parents() -> Tuple[List[Genotype], Optional[np.ndarray]]:
             nonlocal pareto_cache
             if pareto_cache is None:
                 pareto_cache = self._pareto_parents(population)
@@ -289,9 +317,13 @@ class SteadyStateEvolutionarySearch:
             nonlocal children_spawned
             while (children_spawned < self.config.cycles
                    and self.executor.num_pending < n_workers):
-                parents = pareto_parents()
-                parent = parents[int(rng.integers(len(parents)))]
-                child = self.space.mutate(parent, rng=rng)
+                parents, weights = pareto_parents()
+                if weights is not None:
+                    pick = int(rng.choice(len(parents), p=weights))
+                else:
+                    # The pre-crowding RNG stream, preserved exactly.
+                    pick = int(rng.integers(len(parents)))
+                child = self.space.mutate(parents[pick], rng=rng)
                 children_spawned += 1
                 submit(child)
 
@@ -325,7 +357,7 @@ class SteadyStateEvolutionarySearch:
                         "committed": committed,
                         "children_spawned": children_spawned,
                         "in_flight": self.executor.num_pending,
-                        "pareto_size": (len(pareto_parents())
+                        "pareto_size": (len(pareto_parents()[0])
                                         if population else 0),
                         "cache_hit_rate": stats.hit_rate,
                     })

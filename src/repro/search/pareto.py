@@ -89,6 +89,54 @@ def crowding_distance(points: np.ndarray) -> np.ndarray:
     return distance
 
 
+def crowding_selection_weights(points: np.ndarray) -> np.ndarray:
+    """Parent-selection probabilities proportional to crowding distance.
+
+    The steady-state evolutionary loop samples parents from its Pareto
+    front; weighting the pick by NSGA-II crowding distance biases
+    exploration toward under-populated regions of the front instead of
+    wherever non-dominated points happen to cluster.  Guarantees, pinned
+    by ``tests/search/test_crowding_selection.py``:
+
+    * probabilities are positive and sum to 1,
+    * they are **monotone in crowding distance** — a lonelier point is
+      never less likely than a more crowded one (boundary points, whose
+      distance is ``inf``, are capped at twice the largest finite
+      distance, keeping them the most likely picks without degenerating
+      to certainty),
+    * fully crowded members (distance 0) keep a small floor probability
+      (1% of the maximum weight) so no front member is unreachable,
+    * degenerate fronts (≤ 2 points, or all distances equal) fall back
+      to the uniform pick.
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    if n == 0:
+        raise SearchError("cannot build selection weights for an empty front")
+    # Objective axes may carry ±inf (an untrainable candidate's κ can sit
+    # on the front through its other axes); clamp each column to its
+    # finite range so distances stay defined — infinite members become
+    # boundary points, which is exactly their geometric role.
+    points = points.copy()
+    for k in range(points.shape[1]):
+        column = points[:, k]
+        finite_mask = np.isfinite(column)
+        if not finite_mask.any():
+            points[:, k] = 0.0
+            continue
+        points[:, k] = np.clip(column, column[finite_mask].min(),
+                               column[finite_mask].max())
+    distance = crowding_distance(points)
+    finite = distance[np.isfinite(distance)]
+    if finite.size == 0 or finite.max() == 0.0:
+        # All-boundary or all-coincident front: nothing to discriminate.
+        return np.full(n, 1.0 / n)
+    cap = 2.0 * finite.max()
+    weights = np.where(np.isfinite(distance), distance, cap)
+    weights = weights + weights.max() * 0.01
+    return weights / weights.sum()
+
+
 @dataclass(frozen=True)
 class ParetoPoint:
     """One architecture with its objective vector."""

@@ -1,0 +1,233 @@
+"""Precision-policy substrate: dtype propagation through the tape.
+
+Covers the tentpole contract of the policy refactor:
+
+* the float64 default is indistinguishable from the historical
+  hard-coded behaviour,
+* under ``precision("float32")`` every tape node — forward values,
+  gradients, parameters, buffers — lives in float32,
+* the active policy is thread-local, mirroring the ``no_grad`` flag, so
+  async workers can never strip each other's dtype state.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.autograd.precision import (
+    FLOAT32,
+    FLOAT64,
+    PrecisionPolicy,
+    default_dtype,
+    get_precision,
+    precision,
+    resolve_policy,
+)
+from repro.errors import ReproError
+from repro.nn import init
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+
+pytestmark = pytest.mark.precision
+
+
+# ----------------------------------------------------------------------
+# Policy objects
+# ----------------------------------------------------------------------
+def test_builtin_policies():
+    assert FLOAT64.compute_dtype == np.float64
+    assert FLOAT64.accumulate_dtype == np.float64
+    assert FLOAT32.compute_dtype == np.float32
+    # Eigensolves stay in float64 even under the float32 policy.
+    assert FLOAT32.accumulate_dtype == np.float64
+
+
+def test_resolve_policy_names_and_passthrough():
+    assert resolve_policy("float32") is FLOAT32
+    assert resolve_policy(FLOAT64) is FLOAT64
+    custom = PrecisionPolicy("float32", accumulate="float32")
+    assert resolve_policy(custom) is custom
+    assert custom.accumulate_dtype == np.float32
+
+
+def test_resolve_policy_rejects_unknown_names():
+    with pytest.raises(ReproError):
+        resolve_policy("bfloat16")
+
+
+def test_non_float_policy_rejected():
+    with pytest.raises(ReproError):
+        PrecisionPolicy("int32")
+
+
+def test_default_is_float64():
+    assert get_precision() is FLOAT64
+    assert default_dtype() == np.float64
+
+
+def test_context_scopes_and_restores():
+    with precision("float32") as policy:
+        assert policy is FLOAT32
+        assert get_precision() is FLOAT32
+        with precision("float64"):
+            assert get_precision() is FLOAT64
+        assert get_precision() is FLOAT32
+    assert get_precision() is FLOAT64
+
+
+def test_context_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with precision("float32"):
+            raise RuntimeError("boom")
+    assert get_precision() is FLOAT64
+
+
+# ----------------------------------------------------------------------
+# Tensor / tape dtype propagation
+# ----------------------------------------------------------------------
+def test_tensor_default_stays_float64():
+    t = Tensor([1.0, 2.0])
+    assert t.data.dtype == np.float64
+
+
+def test_tensor_allocates_in_policy_dtype():
+    with precision("float32"):
+        t = Tensor([1.0, 2.0])
+    assert t.data.dtype == np.float32
+
+
+def test_float64_input_recast_under_float32_policy():
+    array = np.arange(4.0)  # float64
+    with precision("float32"):
+        assert Tensor(array).data.dtype == np.float32
+
+
+def test_ops_preserve_float32_through_the_tape():
+    with precision("float32"):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = F.relu(a @ b) * 2.0 + 1.0
+        assert out.data.dtype == np.float32
+        out.sum().backward()
+    assert a.grad.dtype == np.float32
+    assert b.grad.dtype == np.float32
+
+
+def test_gradients_accumulate_in_owner_dtype():
+    with precision("float32"):
+        a = Tensor([1.0, -2.0, 3.0], requires_grad=True)
+        out = F.relu(a)
+        out.backward(np.ones(3))  # float64 seed cast to the tensor's dtype
+    assert a.grad.dtype == np.float32
+    np.testing.assert_array_equal(a.grad, [1.0, 0.0, 1.0])
+
+
+def test_conv_tape_runs_in_float32():
+    with precision("float32"):
+        conv = Conv2d(2, 3, 3, padding=1, bias=True, rng=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 2, 5, 5)),
+                   requires_grad=True)
+        out = conv(x)
+        assert out.data.dtype == np.float32
+        out.sum().backward()
+        assert conv.weight.grad.dtype == np.float32
+        assert x.grad.dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# nn allocation
+# ----------------------------------------------------------------------
+def test_init_casts_after_drawing_the_float64_stream():
+    draw64 = init.kaiming_normal((4, 3), rng=7)
+    with precision("float32"):
+        draw32 = init.kaiming_normal((4, 3), rng=7)
+    assert draw64.dtype == np.float64
+    assert draw32.dtype == np.float32
+    # Same RNG stream: float32 values are the rounded float64 draws.
+    np.testing.assert_array_equal(draw32, draw64.astype(np.float32))
+
+
+def test_layers_allocate_parameters_and_buffers_in_policy_dtype():
+    with precision("float32"):
+        conv = Conv2d(3, 4, 3, bias=True, rng=0)
+        linear = Linear(8, 2, rng=0)
+        bn = BatchNorm2d(4)
+    for param in (conv.weight, conv.bias, linear.weight, linear.bias,
+                  bn.weight, bn.bias):
+        assert param.data.dtype == np.float32
+    assert bn.running_mean.dtype == np.float32
+    assert bn.running_var.dtype == np.float32
+
+
+def test_layers_default_to_float64():
+    conv = Conv2d(3, 4, 3, rng=0)
+    bn = BatchNorm2d(4)
+    assert conv.weight.data.dtype == np.float64
+    assert bn.running_mean.dtype == np.float64
+
+
+# ----------------------------------------------------------------------
+# Thread isolation (the PR-3 grad-flag pattern, extended to dtype state)
+# ----------------------------------------------------------------------
+def test_policy_is_thread_local():
+    """A float32 scope on one thread must not leak into another."""
+    barrier = threading.Barrier(2)
+    observed = {}
+
+    def float32_worker():
+        with precision("float32"):
+            barrier.wait()       # float32 active here...
+            barrier.wait()       # ...while the peer samples its state
+            observed["f32"] = default_dtype()
+
+    def default_worker():
+        barrier.wait()
+        observed["peer"] = default_dtype()  # sampled mid-float32-scope
+        barrier.wait()
+
+    threads = [threading.Thread(target=float32_worker),
+               threading.Thread(target=default_worker)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert observed["f32"] == np.float32
+    assert observed["peer"] == np.float64
+
+
+def test_new_threads_start_at_the_float64_default():
+    result = {}
+    with precision("float32"):
+        t = threading.Thread(
+            target=lambda: result.setdefault("dtype", default_dtype()))
+        t.start()
+        t.join()
+    assert result["dtype"] == np.float64
+
+
+def test_concurrent_scopes_do_not_interfere():
+    """Many threads flip policies concurrently; each only sees its own."""
+    errors = []
+
+    def worker(name, reps=50):
+        try:
+            for _ in range(reps):
+                with precision(name):
+                    if default_dtype() != np.dtype(name):
+                        raise AssertionError(f"{name} scope polluted")
+                if default_dtype() != np.float64:
+                    raise AssertionError("default polluted")
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker,
+                                args=("float32" if i % 2 else "float64",))
+               for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors

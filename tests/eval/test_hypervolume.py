@@ -53,8 +53,12 @@ class TestHypervolume2D:
     @settings(max_examples=60, deadline=None)
     @given(points=points_strategy)
     def test_bounded_by_box(self, points):
+        # Summing staircase slabs can overshoot the exact box area by an
+        # ulp (e.g. points (0, 1.02) and (ε, 0) give 89.80000000000001 +
+        # 10.2), so the upper bound gets the same float slack the
+        # monotonicity property above uses.
         ref = (10.0, 10.0)
-        assert 0.0 <= hypervolume_2d(points, ref) <= 100.0
+        assert 0.0 <= hypervolume_2d(points, ref) <= 100.0 + 1e-9
 
 
 class TestHypervolumeRatio:
