@@ -1,0 +1,173 @@
+"""Store scaling: O(delta) format-2 appends vs the format-1 rewrite.
+
+The format-1 store made every ``save_cache`` a locked read-merge-rewrite
+of one monolithic JSON file, so persisting the handful of rows a run just
+computed cost O(total store size) — exactly the wrong scaling for process
+fleets flushing into one shared directory.  Store format 2 appends only
+the dirty delta to per-shard segment logs.
+
+This benchmark pins the scaling claim: with a pre-existing store of
+``size`` rows, it times persisting a fixed 256-row delta
+
+* **format 2** — :meth:`~repro.runtime.store.RuntimeStore.save_cache`
+  against a compacted store (auto-compaction disabled so the append cost
+  is measured in isolation), and
+* **format 1** — a faithful replica of the seed's read-merge-rewrite
+  against a monolithic file of the same ``size`` rows,
+
+then asserts the format-2 cost stays roughly flat across store sizes
+while the rewrite grows linearly (≥10× slower by ~100k rows).  A
+round-trip check guards against benchmarking a store that drops rows.
+
+Results land in ``BENCH_store.json`` at the repo root.  Run directly
+(``python benchmarks/bench_store_scale.py``) or via pytest
+(``pytest benchmarks/bench_store_scale.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.engine.cache import IndicatorCache
+from repro.proxies.base import ProxyConfig
+from repro.runtime.store import (
+    RuntimeStore,
+    _decode_key,
+    _encode_key,
+    cache_fingerprint,
+)
+from repro.searchspace.network import MacroConfig
+from repro.utils.timing import Timer, format_duration
+
+STORE_SIZES = (1_000, 10_000, 100_000)
+DELTA_ROWS = 256
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+
+def _key(i: int) -> Tuple:
+    # Realistic key shape: kind, canonical index, repeat, config tuple.
+    return ("ntk", i, 1, (4, 1, 8, 10, 8, 32))
+
+
+def _filled_cache(start: int, count: int) -> IndicatorCache:
+    cache = IndicatorCache()
+    for i in range(start, start + count):
+        cache.put(_key(i), float(i) * 1.5)
+    return cache
+
+
+def _format1_rewrite_save(path: Path, fingerprint: Dict,
+                          cache: IndicatorCache) -> int:
+    """The seed store's save algorithm: read the whole monolithic file,
+    merge the cache in, sort, rewrite — O(total store size)."""
+    entries = {}
+    if path.exists():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("fingerprint") == fingerprint:
+            for encoded_key, value in payload.get("entries", []):
+                entries[_decode_key(encoded_key)] = value
+    for key, value in cache.items():
+        entries[key] = value
+    ordered = sorted(entries.items(), key=lambda kv: repr(kv[0]))
+    payload = {
+        "fingerprint": fingerprint,
+        "entries": [[_encode_key(key), value] for key, value in ordered],
+    }
+    path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+    return len(ordered)
+
+
+def run_store_scale() -> Dict:
+    proxy_config = ProxyConfig()
+    macro_config = MacroConfig.full()
+    fingerprint = cache_fingerprint(proxy_config, macro_config)
+    legacy_fingerprint = dict(fingerprint, format=1)
+
+    points = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for size in STORE_SIZES:
+            root = Path(tmp) / f"store_{size}"
+            store = RuntimeStore(root, auto_compact_segments=None)
+
+            # Pre-existing state: `size` rows compacted into the base.
+            pre = _filled_cache(0, size)
+            store.save_cache(pre, fingerprint)
+            store.compact_cache(fingerprint)
+
+            delta = _filled_cache(size, DELTA_ROWS)
+            with Timer() as format2_timer:
+                appended = store.save_cache(delta, fingerprint)
+            assert appended == DELTA_ROWS
+
+            # Round-trip guard: the appended rows actually persisted.
+            check = IndicatorCache()
+            loaded = store.load_cache_into(check, fingerprint, strict=True)
+            assert loaded == size + DELTA_ROWS
+
+            # Format-1 baseline: same pre-existing size, same delta,
+            # via the monolithic read-merge-rewrite.
+            legacy_path = root / "format1_cache.json"
+            _format1_rewrite_save(legacy_path, legacy_fingerprint, pre)
+            with Timer() as format1_timer:
+                _format1_rewrite_save(legacy_path, legacy_fingerprint,
+                                      delta)
+
+            points.append({
+                "store_size": size,
+                "delta_rows": DELTA_ROWS,
+                "format2_save_seconds": format2_timer.elapsed,
+                "format1_save_seconds": format1_timer.elapsed,
+                "rewrite_over_append":
+                    format1_timer.elapsed / max(format2_timer.elapsed,
+                                                1e-9),
+            })
+
+    flat_ratio = (points[-1]["format2_save_seconds"]
+                  / max(points[0]["format2_save_seconds"], 1e-9))
+    result = {
+        "store_sizes": list(STORE_SIZES),
+        "delta_rows": DELTA_ROWS,
+        "points": points,
+        # Format-2 append cost at the largest store over the smallest:
+        # ~1.0 means save cost is independent of store size.
+        "format2_flatness_ratio": flat_ratio,
+        "speedup_at_largest": points[-1]["rewrite_over_append"],
+    }
+    OUTPUT_PATH.write_text(json.dumps(result, indent=2) + "\n",
+                           encoding="utf-8")
+    return result
+
+
+def test_store_scale(benchmark):
+    result = benchmark.pedantic(run_store_scale, rounds=1, iterations=1)
+    _report(result)
+    # The acceptance criterion: appending a fixed delta to a ~100k-row
+    # store beats the monolithic rewrite by >= 10x...
+    assert result["speedup_at_largest"] >= 10.0
+    # ...and append cost is roughly flat in store size (generous bound:
+    # the rewrite grows ~100x over the same range).
+    assert result["format2_flatness_ratio"] <= 10.0
+
+
+def _report(result: Dict) -> None:
+    print()
+    for point in result["points"]:
+        print(f"store {point['store_size']:>7,} rows | "
+              f"append {point['delta_rows']}: "
+              f"{format_duration(point['format2_save_seconds'])}"
+              f" | format-1 rewrite: "
+              f"{format_duration(point['format1_save_seconds'])}"
+              f" | {point['rewrite_over_append']:.1f}x")
+    print(f"format-2 flatness ratio : "
+          f"{result['format2_flatness_ratio']:.2f} "
+          f"(largest/smallest store)")
+    print(f"speedup at largest      : "
+          f"{result['speedup_at_largest']:.1f}x")
+    print(f"written                 : {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    _report(run_store_scale())

@@ -7,6 +7,10 @@ search
 runtime
     Run any registered algorithm on the parallel evaluation runtime
     (process-pool workers + persistent indicator/LUT store).
+store
+    Inspect and maintain a runtime store directory: ``inventory`` lists
+    persisted caches/LUTs, ``compact`` folds append-only segments into
+    each cache's base file, ``gc`` sweeps stale sidecar files.
 pareto
     Zero-shot quality/latency Pareto front over a sampled population.
 profile
@@ -175,6 +179,51 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     if args.report:
         report.save_json(args.report)
         print(f"run report written to {args.report}")
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inspect/maintain a persistent runtime store directory."""
+    from repro.runtime.store import RuntimeStore
+
+    store = RuntimeStore(args.store)
+    if args.action == "inventory":
+        rows = []
+        for entry in store.cache_inventory():
+            rows.append([
+                f"cache {entry['digest']}", f"format {entry['format']}",
+                entry["precision"] or "?",
+                f"{entry['base_rows']} rows + {entry['segments']} segments",
+                f"{entry['bytes'] / 1024:.1f} KB",
+            ])
+        for meta in store.lut_keys():
+            rows.append([f"lut {meta.get('device', '?')}",
+                         f"format {meta.get('format', '?')}",
+                         meta.get("precision", "?"), "-", "-"])
+        if not rows:
+            rows.append(["(empty)", "-", "-", "-", "-"])
+        print(format_table(
+            rows,
+            headers=["entry", "format", "precision", "contents", "size"],
+            title=f"runtime store inventory: {args.store}",
+        ))
+        return 0
+    if args.action == "compact":
+        results = store.compact_all()
+        if not results:
+            print(f"nothing to compact in {args.store}")
+            return 0
+        print(format_table(
+            [[r["digest"], r["segments_folded"], r["entries"]]
+             for r in results],
+            headers=["cache digest", "segments folded", "rows in base"],
+            title=f"store compaction: {args.store}",
+        ))
+        return 0
+    # gc: sweep stale .tmp staging files / .lock sidecars
+    removed = store.gc(max_age_seconds=args.max_age)
+    print(f"store gc: removed {removed['tmp']} stale .tmp and "
+          f"{removed['lock']} stale .lock files from {args.store}")
     return 0
 
 
@@ -522,6 +571,25 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also write the structured run report "
                                 "(JSON) to this path")
     p_runtime.set_defaults(fn=cmd_runtime)
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect and maintain a persistent runtime store",
+        description="Maintenance for a --store directory: 'inventory' "
+                    "lists persisted indicator caches (format, precision, "
+                    "rows, pending segments) and device LUTs; 'compact' "
+                    "folds every cache's append-only segments into its "
+                    "base file; 'gc' sweeps stale .tmp/.lock sidecars "
+                    "that crashed writers left behind.",
+    )
+    p_store.add_argument("action", choices=("inventory", "compact", "gc"))
+    p_store.add_argument("--store", required=True,
+                         help="store directory (as passed to "
+                              "'micronas runtime --store')")
+    p_store.add_argument("--max-age", type=float, default=3600.0,
+                         help="gc: sidecars untouched for this many "
+                              "seconds are considered stale")
+    p_store.set_defaults(fn=cmd_store)
 
     p_profile = sub.add_parser("profile", help="build and print a latency LUT")
     p_profile.add_argument("--device", default="nucleo-f746zg")

@@ -17,12 +17,20 @@ Precision is part of the *key*, not the cache: proxy keys embed
 so float32 and float64 evaluations of the same canonical form occupy
 distinct entries and can warm-start side by side in one cache (and one
 persisted store file set; see :mod:`repro.runtime.store`).
+
+The cache also tracks **dirty rows** — keys written since the last
+:meth:`IndicatorCache.mark_clean` — so persistence layers can append just
+the delta a run computed instead of rewriting everything they loaded:
+:meth:`~repro.runtime.store.RuntimeStore.load_cache_into` marks loaded
+rows clean, ``save_cache`` appends :meth:`IndicatorCache.dirty_items` and
+marks them clean in turn.  Tracking is a set of keys (no value copies), so
+``put`` stays O(1).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 _MISSING = object()
 
@@ -46,6 +54,7 @@ class IndicatorCache:
 
     def __init__(self) -> None:
         self._data: Dict[Hashable, Any] = {}
+        self._dirty: set = set()
         self.hits = 0
         self.misses = 0
 
@@ -65,7 +74,30 @@ class IndicatorCache:
 
     def put(self, key: Hashable, value: Any) -> Any:
         self._data[key] = value
+        self._dirty.add(key)
         return value
+
+    def dirty_items(self) -> List[Tuple[Hashable, Any]]:
+        """``(key, value)`` pairs written since the last :meth:`mark_clean`.
+
+        The O(delta) half of store persistence: appending these — instead
+        of rewriting :meth:`items` — is what keeps save cost proportional
+        to the rows a run computed, not to everything it warm-started.
+        """
+        return [(key, self._data[key]) for key in self._dirty
+                if key in self._data]
+
+    def mark_clean(self, keys: Optional[Iterable[Hashable]] = None) -> None:
+        """Forget dirtiness for ``keys`` (all, when ``None``) — called by
+        persistence layers after loading or appending those rows."""
+        if keys is None:
+            self._dirty.clear()
+        else:
+            self._dirty.difference_update(keys)
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
 
     def lookup(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing it on first use."""
@@ -78,10 +110,12 @@ class IndicatorCache:
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it existed."""
+        self._dirty.discard(key)
         return self._data.pop(key, _MISSING) is not _MISSING
 
     def clear(self) -> None:
         self._data.clear()
+        self._dirty.clear()
         self.hits = 0
         self.misses = 0
 

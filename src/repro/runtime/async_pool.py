@@ -265,7 +265,11 @@ class AsyncPoolStats:
     n_workers: int = 1
     dispatches: int = 0       # submit_* calls that shipped >= 1 chunk
     chunks: int = 0           # chunk futures submitted
-    gathers: int = 0          # gather() calls that returned >= 1 chunk
+    # gather() calls that drained >= 1 chunk — landed *or failed*: an
+    # all-failure gather still synchronised with the pool, and reports
+    # must not understate how often that happened.
+    gathers: int = 0
+    flushes: int = 0          # on_gather flush-hook invocations
     tasks: int = 0            # candidate rows computed by workers
     merged_rows: int = 0      # cache entries merged
     worker_seconds: float = 0.0
@@ -279,6 +283,7 @@ class AsyncPoolStats:
             "dispatches": self.dispatches,
             "chunks": self.chunks,
             "gathers": self.gathers,
+            "flushes": self.flushes,
             "tasks": self.tasks,
             "merged_rows": self.merged_rows,
             "worker_seconds": self.worker_seconds,
@@ -306,7 +311,9 @@ class ChunkGatherError(SearchError):
     ride along as :attr:`gathered` so an error-tolerant caller can still
     react to them (commit candidates, update bookkeeping).  The first
     worker exception is the ``__cause__``; all of them are in
-    :attr:`failures`.
+    :attr:`failures`.  If the gather's ``on_gather`` flush hook *also*
+    raised, that exception rides along as :attr:`flush_error` (worker
+    failures take precedence, but a store problem must stay visible).
     """
 
     def __init__(self, failures: List[BaseException],
@@ -318,6 +325,7 @@ class ChunkGatherError(SearchError):
         )
         self.failures = failures
         self.gathered = gathered
+        self.flush_error: Optional[BaseException] = None
 
 
 class _ChunkContext:
@@ -372,6 +380,12 @@ class AsyncPopulationExecutor:
         #: Cache keys owned by in-flight chunks, per engine identity —
         #: the in-flight half of the dedupe (the cache is the landed half).
         self._in_flight: Dict[int, set] = {}
+        #: Called after every gather that drained >= 1 chunk, with the
+        #: chunks that landed (possibly empty when all failed) — the seam
+        #: the harness uses for O(delta) mid-run store flushes, so rows
+        #: persist the moment they merge instead of only at run end.
+        self.on_gather: Optional[
+            Callable[[List["GatheredChunk"]], None]] = None
 
     # ------------------------------------------------------------------
     # Submission
@@ -491,7 +505,8 @@ class AsyncPopulationExecutor:
         """
         gathered: List[GatheredChunk] = []
         failures: List[BaseException] = []
-        for result in self.pool.gather(k):
+        results = self.pool.gather(k)
+        for result in results:
             context: _ChunkContext = result.tag
             if result.error is not None:
                 self._pending_keys(context.engine).difference_update(
@@ -530,12 +545,33 @@ class AsyncPopulationExecutor:
                 merged_rows=merged,
                 worker_seconds=seconds,
             ))
-        if gathered:
+        if results:
+            # Count the gather even when every chunk in it failed —
+            # the loop still synchronised with the pool, and reports
+            # must not understate that.
             self.stats.gathers += 1
         self.stats.idle_fraction = self.pool.idle_fraction()
         self.stats.span_seconds = self.pool.span_seconds()
+        flush_error: Optional[BaseException] = None
+        if results and self.on_gather is not None:
+            # Flush before surfacing failures: the sibling chunks that
+            # landed are already merged and deserve to be persisted.
+            self.stats.flushes += 1
+            try:
+                self.on_gather(gathered)
+            except Exception as exc:
+                # Never let a store hiccup mask ChunkGatherError — the
+                # caller needs the worker failures and landed chunks it
+                # carries.  With no worker failures the flush error
+                # surfaces itself (and a transient one re-surfaces on
+                # the next gather anyway, when the rows are re-flushed).
+                flush_error = exc
         if failures:
-            raise ChunkGatherError(failures, gathered) from failures[0]
+            error = ChunkGatherError(failures, gathered)
+            error.flush_error = flush_error  # don't swallow a store error
+            raise error from failures[0]
+        if flush_error is not None:
+            raise flush_error
         return gathered
 
     def gather_all(self) -> List[GatheredChunk]:

@@ -305,6 +305,20 @@ class RunHarness:
             self.store.load_cache_into(self.engine.cache, self.fingerprint)
             if self.store is not None else 0
         )
+        #: Rows appended to the store by mid-run flushes (async only).
+        self.flushed_entries = 0
+        if (config.async_mode and config.save_store
+                and self.store is not None):
+            # Store format 2 appends only dirty rows (O(delta)), so
+            # flushing on *every* gather is affordable: a crashed or
+            # killed run leaves everything it computed persisted, and
+            # sibling processes warm-start from it while this run is
+            # still going.
+            self.executor.on_gather = self._flush_store
+
+    def _flush_store(self, gathered) -> None:
+        self.flushed_entries += self.store.save_cache(self.engine.cache,
+                                                      self.fingerprint)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -347,10 +361,12 @@ class RunHarness:
         finally:
             self.close()  # forked workers don't outlive the run
         stats_after = self.engine.cache.stats
-        saved_entries = 0
+        saved_entries = self.flushed_entries
         if self.store is not None and self.config.save_store:
-            saved_entries = self.store.save_cache(self.engine.cache,
-                                                  self.fingerprint)
+            # Appends whatever the mid-run flushes have not already
+            # persisted (everything, for the sync executor).
+            saved_entries += self.store.save_cache(self.engine.cache,
+                                                   self.fingerprint)
         return RunReport(
             config=self.config,
             algorithm=result.algorithm,

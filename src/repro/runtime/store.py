@@ -6,24 +6,58 @@ again from scratch: the in-memory
 device re-profiles its LUT.  :class:`RuntimeStore` is a directory-backed
 store that makes both survive:
 
-* **Indicator cache** — cache keys are plain nested tuples of strings and
-  integers (see the key contract in :mod:`repro.engine`), so they
-  round-trip through JSON losslessly with a recursive list↔tuple
-  conversion.  The file carries a **fingerprint** of the proxy/macro
-  configuration (plus a format version and the indicator schema); loading
-  under a different configuration rejects the whole file, so stale
-  entries can never poison results.  Values may be ``inf``/``nan``
-  (serialised with Python's JSON extensions).  Saves are *locked
-  read-merge-writes* (``flock`` sidecar): concurrent runs sharing one
-  store directory union their rows, neither corrupting nor dropping the
-  other's work.  The fingerprint includes the proxy compute precision
-  (:func:`cache_fingerprint`), so float32 and float64 runs keep separate
-  files — warm-starts never serve rows computed under another policy.
+* **Indicator cache — store format 2, a sharded append-only segment
+  log.**  Each fingerprint (see :func:`cache_fingerprint`) owns one
+  directory::
+
+      cache2__<digest>/
+          meta.json                       # fingerprint + shard count
+          base.json                       # compacted rows (optional)
+          shard-03.seg-00000002.4711.jsonl  # one append per save
+
+  ``save_cache`` appends only the cache's **dirty rows** (those written
+  since the last load/save — :meth:`~repro.engine.cache.IndicatorCache.
+  dirty_items`), hashed by stable key into ``shards`` buckets; each touched
+  shard gets one new atomically-renamed JSONL segment per save, numbered
+  under the shard's own ``flock``.  Persistence cost is therefore O(rows
+  this run computed), independent of how large the store already is — the
+  property process fleets sharing one store directory need.  Loading
+  replays ``base.json`` then every segment in ``(shard, sequence, pid)``
+  order with **last-write-wins** per key; a **compaction** pass
+  (:meth:`RuntimeStore.compact_cache`, the ``micronas store compact`` CLI,
+  or automatically once accumulated segments rival the base in bytes,
+  past an :attr:`RuntimeStore.auto_compact_segments` file-count floor —
+  log-structured amortization) folds all segments back into ``base.json``
+  under the base + every shard lock; loads replay under the base lock
+  too, so readers and concurrent appenders racing a compaction lose
+  nothing.
+
+  Cache keys are plain nested tuples of strings and integers (the key
+  contract in :mod:`repro.engine`), round-tripped through JSON with a
+  recursive list↔tuple conversion; values may be ``inf``/``nan``.  The
+  fingerprint guards the global assumptions (store format, indicator
+  schema, proxy/macro config, proxy compute precision) — a mismatched
+  directory loads nothing, so stale entries can never poison results, and
+  float32/float64 runs keep separate directories.
+
+  **Format-1 read-compat:** the monolithic ``indicator_cache__*.json``
+  files earlier versions wrote still load (validated under their own
+  format-1 fingerprint), and the first ``save_cache`` migrates them into
+  the format-2 directory, after which the legacy file is removed.
+
 * **Latency LUTs** — one file per ``(device, precision, macro config)``
-  key, written with :meth:`~repro.hardware.profiler.LatencyLUT.save_json`
-  so files interoperate with every other LUT consumer, plus a sidecar
-  ``.meta.json`` holding the key fingerprint that loading validates.
-  Multi-device Pareto searches and CI profile each board once, ever.
+  key, written under a ``flock`` with :meth:`~repro.hardware.profiler.
+  LatencyLUT.save_json` so files interoperate with every other LUT
+  consumer, plus a sidecar ``.meta.json`` holding the key fingerprint that
+  loading validates.  The digest folds in the *raw* device name (not just
+  its filename slug), so names that slug identically (``"jetson nano"`` vs
+  ``"jetson-nano"``) key distinct files.  Multi-device Pareto searches and
+  CI profile each board once, ever.
+
+Maintenance: :meth:`RuntimeStore.gc` sweeps stale ``.tmp`` staging files
+and ``.lock`` sidecars crashed writers left behind, and
+:meth:`RuntimeStore.cache_inventory` / :meth:`RuntimeStore.lut_keys` feed
+the ``micronas store inventory`` listing.
 
 The store is duck-typed by its consumers: :class:`repro.engine.Engine`
 and :class:`~repro.hardware.latency.LatencyEstimator` only call
@@ -38,9 +72,10 @@ import hashlib
 import json
 import os
 import re
+import time
 from dataclasses import astuple
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 try:  # POSIX advisory locks; absent on some platforms (e.g. Windows)
     import fcntl
@@ -54,9 +89,25 @@ from repro.hardware.profiler import LatencyLUT
 from repro.proxies.base import ProxyConfig
 from repro.searchspace.network import MacroConfig
 
-#: Bump when the meaning of cached values changes (e.g. a kernel rewrite
-#: that is not bit-compatible); old store files then self-invalidate.
-STORE_FORMAT = 1
+#: Bump when the meaning of cached values or the on-disk layout changes;
+#: old store files then self-invalidate (LUTs) or are migrated (indicator
+#: caches — format 1 has an explicit read path below).  Format 2: sharded
+#: append-only indicator segments + device-name-keyed LUT digests.
+STORE_FORMAT = 2
+
+#: Shard count for new cache directories (recorded in ``meta.json``).
+DEFAULT_SHARDS = 8
+
+#: Segment-count floor for auto-compaction: past this many files the
+#: store considers folding, but only actually rewrites the base once the
+#: accumulated segment bytes rival it (or the count is 16× the floor) —
+#: log-structured amortization that keeps every-gather flushing O(delta)
+#: amortized instead of rewriting the whole store every ``shards`` saves.
+DEFAULT_AUTO_COMPACT_SEGMENTS = 64
+
+_SEGMENT_RE = re.compile(
+    r"^shard-(?P<shard>\d+)\.seg-(?P<seq>\d+)\.(?P<pid>\d+)\.jsonl$"
+)
 
 
 class StoreError(ReproError):
@@ -89,6 +140,13 @@ def cache_fingerprint(proxy_config: ProxyConfig,
     }
 
 
+def _legacy_fingerprint(fingerprint: Dict) -> Dict:
+    """The same identity as format 1 wrote it (only ``format`` differs
+    — indicator values are bit-compatible across the layout change, which
+    is what makes read-side migration sound)."""
+    return dict(fingerprint, format=1)
+
+
 def _encode_key(key):
     """Tuples → lists, recursively (JSON has no tuple type)."""
     if isinstance(key, tuple):
@@ -118,31 +176,37 @@ def _atomic_write_text(path: Path, text: str) -> None:
 
 
 @contextlib.contextmanager
-def _file_lock(path: Path):
-    """Exclusive advisory lock on a ``.lock`` sidecar of ``path``.
+def _file_lock(path: Path, shared: bool = False):
+    """Advisory lock on a ``.lock`` sidecar of ``path`` (exclusive by
+    default; ``shared=True`` takes a read lock).
 
     Atomic renames alone keep concurrent *readers* safe but let two
     writers race read-merge-write: whoever renames last silently drops
-    the other's freshly computed rows.  Serialising the whole
-    read-merge-write through ``flock`` makes concurrent saves into one
-    store directory lose nothing.  Platforms without :mod:`fcntl`
-    degrade to the pre-lock behaviour (whole-file atomicity, last
-    writer wins) rather than failing.
+    the other's freshly computed rows.  Serialising writers through
+    ``flock`` — per cache shard, per LUT key, per base file — makes
+    concurrent saves into one store directory lose nothing; readers take
+    the base lock *shared*, so a fleet of warm-starting processes replay
+    concurrently while still excluding the compactor's fold-and-unlink.
+    Platforms without :mod:`fcntl` degrade to the pre-lock behaviour
+    (whole-file atomicity, last writer wins) rather than failing.
     """
     if fcntl is None:  # pragma: no cover - platform dependent
         yield
         return
     lock_path = path.with_name(f"{path.name}.lock")
     with open(lock_path, "w", encoding="utf-8") as handle:
-        fcntl.flock(handle, fcntl.LOCK_EX)
+        fcntl.flock(handle, fcntl.LOCK_SH if shared else fcntl.LOCK_EX)
         try:
             yield
         finally:
             fcntl.flock(handle, fcntl.LOCK_UN)
 
 
-def _lut_digest(precision: str, config: MacroConfig) -> str:
-    material = json.dumps([precision, _encode_key(astuple(config))])
+def _lut_digest(device_name: str, precision: str, config: MacroConfig) -> str:
+    # The raw device name is hashed alongside precision+macro: two names
+    # that collapse to one filename slug must still key distinct files.
+    material = json.dumps([device_name, precision,
+                           _encode_key(astuple(config))])
     return hashlib.sha1(material.encode("utf-8")).hexdigest()[:12]
 
 
@@ -151,110 +215,587 @@ def _fingerprint_digest(fingerprint: Dict) -> str:
     return hashlib.sha1(material.encode("utf-8")).hexdigest()[:12]
 
 
-class RuntimeStore:
-    """Directory-backed persistence for indicator caches and latency LUTs."""
+def _shard_of(encoded_key, n_shards: int) -> int:
+    """Stable shard assignment from the JSON-encoded key (process- and
+    run-independent, unlike ``hash()`` under PYTHONHASHSEED)."""
+    material = json.dumps(encoded_key, sort_keys=True, default=str)
+    digest = hashlib.sha1(material.encode("utf-8")).hexdigest()[:8]
+    return int(digest, 16) % n_shards
 
-    def __init__(self, root) -> None:
+
+class RuntimeStore:
+    """Directory-backed persistence for indicator caches and latency LUTs.
+
+    ``shards`` sets the bucket count for *new* cache directories (existing
+    directories keep the count recorded in their ``meta.json``);
+    ``auto_compact_segments`` is the segment-file count past which
+    :meth:`save_cache` *considers* folding a directory's segments into
+    its base — the fold actually triggers on the byte-amortized rule in
+    :meth:`_should_auto_compact` (``None`` disables auto-compaction —
+    e.g. for benchmarks isolating append cost).
+    """
+
+    def __init__(self, root, shards: int = DEFAULT_SHARDS,
+                 auto_compact_segments: Optional[int]
+                 = DEFAULT_AUTO_COMPACT_SEGMENTS) -> None:
+        if shards < 1:
+            raise StoreError("shards must be >= 1")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.shards = shards
+        self.auto_compact_segments = auto_compact_segments
         #: Why the last load/get returned nothing (diagnostics/reporting).
         self.last_rejection: Optional[str] = None
 
     # ------------------------------------------------------------------
-    # Indicator cache
+    # Indicator cache — paths and directory plumbing
     # ------------------------------------------------------------------
-    def cache_path(self, fingerprint: Dict) -> Path:
-        """Cache file for this fingerprint.  Files are fingerprint-keyed
-        so runs under different configurations (seed, proxy scale, macro)
-        sharing one store directory coexist instead of overwriting each
-        other's warm-start data."""
-        return self.root / (
-            f"indicator_cache__{_fingerprint_digest(fingerprint)}.json"
-        )
+    def cache_dir(self, fingerprint: Dict) -> Path:
+        """Format-2 cache directory for this fingerprint.  Directories are
+        fingerprint-keyed so runs under different configurations (seed,
+        proxy scale, macro, precision) sharing one store coexist instead
+        of overwriting each other's warm-start data."""
+        return self.root / f"cache2__{_fingerprint_digest(fingerprint)}"
 
+    def legacy_cache_path(self, fingerprint: Dict) -> Path:
+        """Where store format 1 kept this fingerprint's monolithic file
+        (still read, and migrated into :meth:`cache_dir` on first save)."""
+        digest = _fingerprint_digest(_legacy_fingerprint(fingerprint))
+        return self.root / f"indicator_cache__{digest}.json"
+
+    def _base_path(self, directory: Path) -> Path:
+        return directory / "base.json"
+
+    def _meta_path(self, directory: Path) -> Path:
+        return directory / "meta.json"
+
+    def _shard_lock_target(self, directory: Path, shard: int) -> Path:
+        # _file_lock appends ".lock"; the target itself is never created.
+        return directory / f"shard-{shard:02d}"
+
+    def _read_meta(self, directory: Path) -> Optional[Dict]:
+        try:
+            meta = json.loads(self._meta_path(directory)
+                              .read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def _ensure_dir(self, fingerprint: Dict) -> Tuple[Path, int]:
+        """Create the cache directory + ``meta.json`` if missing; returns
+        ``(directory, shard_count)`` (the recorded count wins, so every
+        writer agrees on the key→shard map).  A *present but unreadable*
+        meta is refused rather than rewritten: silently re-recording a
+        shard count would re-hash keys across shards and break the
+        per-shard ordering last-write-wins rests on."""
+        directory = self.cache_dir(fingerprint)
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = self._read_meta(directory)
+        if meta is None:
+            with _file_lock(self._meta_path(directory)):
+                meta = self._read_meta(directory)  # raced creation
+                if meta is None:
+                    if self._meta_path(directory).exists():
+                        raise StoreError(
+                            f"unreadable store meta: "
+                            f"{self._meta_path(directory)} — fix or "
+                            "remove the cache directory"
+                        )
+                    meta = {"format": STORE_FORMAT,
+                            "fingerprint": fingerprint,
+                            "shards": self.shards}
+                    _atomic_write_text(self._meta_path(directory),
+                                       json.dumps(meta) + "\n")
+        return directory, int(meta.get("shards", self.shards))
+
+    def _segment_files(self, directory: Path,
+                       shard: Optional[int] = None) -> List[Path]:
+        """Segment files in replay order: ``(shard, sequence, pid)``.
+        A key lives in exactly one shard, so cross-shard order is
+        irrelevant; within a shard the flock-issued sequence numbers
+        order saves, making last-write-wins well defined."""
+        found = []
+        for path in directory.glob("shard-*.seg-*.jsonl"):
+            match = _SEGMENT_RE.match(path.name)
+            if match is None:
+                continue
+            index = int(match.group("shard"))
+            if shard is not None and index != shard:
+                continue
+            found.append((index, int(match.group("seq")),
+                          int(match.group("pid")), path))
+        return [item[3] for item in sorted(found)]
+
+    def _next_segment_path(self, directory: Path, shard: int) -> Path:
+        """Next sequence number for this shard (call under its lock)."""
+        last = 0
+        for path in self._segment_files(directory, shard=shard):
+            last = max(last, int(_SEGMENT_RE.match(path.name).group("seq")))
+        return directory / (f"shard-{shard:02d}.seg-{last + 1:08d}"
+                            f".{os.getpid()}.jsonl")
+
+    # ------------------------------------------------------------------
+    # Indicator cache — save (O(delta) append)
+    # ------------------------------------------------------------------
     def save_cache(self, cache: IndicatorCache, fingerprint: Dict) -> int:
-        """Merge-save every cache entry under ``fingerprint``; returns the
-        number of entries the file holds afterwards.
+        """Append the cache's dirty rows under ``fingerprint``; returns
+        how many rows were appended (the delta — 0 when nothing changed
+        since the last load/save).
 
-        The save is a locked read-merge-write: rows another process
-        persisted since this cache was loaded are folded in rather than
-        clobbered, so concurrent runs sharing one store directory each
-        contribute their freshly computed rows and none are dropped.
-        In-memory values win on key collisions (both writers computed
-        them bit-identically anyway — see the determinism contract).
+        Cost is O(rows appended), independent of total store size: each
+        touched shard gets one new atomically-renamed segment file,
+        numbered under the shard's ``flock``, so concurrent runs sharing
+        one store directory each contribute their freshly computed rows
+        and none are dropped.  Replay is last-write-wins per key, and the
+        determinism contract makes colliding writers bit-identical
+        anyway.  A caller without dirty tracking (any mapping exposing
+        ``items()``) falls back to appending everything.
+
+        First save against a fingerprint also migrates its format-1
+        monolithic file into the directory, and once the directory
+        accumulates :attr:`auto_compact_segments` segment files the save
+        triggers a compaction.  A zero-delta save with nothing to
+        migrate returns without touching the directory at all, so the
+        harness's every-gather flush is free on cache-hit-heavy gathers.
         Non-JSON-serialisable values, which the engine never produces,
-        are skipped rather than corrupting the file.
-        """
-        path = self.cache_path(fingerprint)
-        with _file_lock(path):
-            entries: Dict[Tuple, object] = {}
-            if path.exists():
-                try:
-                    payload = json.loads(path.read_text(encoding="utf-8"))
-                except (ValueError, OSError):
-                    payload = None  # unreadable: rebuild from memory
-                if payload and payload.get("fingerprint") == fingerprint:
-                    for encoded_key, value in payload.get("entries", []):
-                        entries[_decode_key(encoded_key)] = value
-            for key, value in cache.items():
-                try:
-                    json.dumps(value)
-                except (TypeError, ValueError):
-                    continue
-                entries[key] = value
-            ordered = sorted(entries.items(), key=lambda kv: repr(kv[0]))
-            payload = {
-                "fingerprint": fingerprint,
-                "entries": [[_encode_key(key), value]
-                            for key, value in ordered],
-            }
-            _atomic_write_text(path, json.dumps(payload) + "\n")
-            return len(ordered)
+        are skipped rather than corrupting the store (and stay dirty).
 
+        Note the delta is relative to the last load/save against *any*
+        store (dirtiness lives on the cache, not per store root):
+        mirroring one cache into several stores needs ``items()``-level
+        copying, not repeated ``save_cache`` calls.
+        """
+        rows = list(getattr(cache, "dirty_items", cache.items)())
+        if not rows and not self.legacy_cache_path(fingerprint).exists():
+            return 0
+        directory, n_shards = self._ensure_dir(fingerprint)
+        self._migrate_legacy(directory, fingerprint)
+        by_shard: Dict[int, List[str]] = {}
+        appended_keys = []
+        for key, value in rows:
+            encoded = _encode_key(key)
+            try:
+                line = json.dumps([encoded, value])
+            except (TypeError, ValueError):
+                continue
+            by_shard.setdefault(_shard_of(encoded, n_shards), []).append(line)
+            appended_keys.append(key)
+        for shard in sorted(by_shard):
+            with _file_lock(self._shard_lock_target(directory, shard)):
+                _atomic_write_text(self._next_segment_path(directory, shard),
+                                   "\n".join(by_shard[shard]) + "\n")
+        if hasattr(cache, "mark_clean"):
+            cache.mark_clean(appended_keys)
+        if self._should_auto_compact(directory):
+            self._compact_dir(directory, fingerprint)
+        return len(appended_keys)
+
+    def _should_auto_compact(self, directory: Path) -> bool:
+        """Compact when the segment *bytes* have grown to rival the base
+        (a rewrite then costs at most ~2× what appending those rows
+        cost — classic log-structured amortization, keeping save cost
+        O(delta) amortized even with every-gather flushing), or when the
+        file count alone gets excessive (glob/replay overhead).  A bare
+        file-count trigger would fire every ``shards`` saves and rewrite
+        the whole store on the hot path."""
+        threshold = self.auto_compact_segments
+        if threshold is None:
+            return False
+        segments = self._segment_files(directory)
+        if len(segments) <= threshold:
+            return False
+        if len(segments) > threshold * 16:
+            return True
+        try:
+            base_bytes = self._base_path(directory).stat().st_size
+        except OSError:
+            return True  # no base yet: first fold is cheap by definition
+        segment_bytes = 0
+        for segment in segments:
+            with contextlib.suppress(OSError):
+                segment_bytes += segment.stat().st_size
+        return segment_bytes >= base_bytes
+
+    def _migrate_legacy(self, directory: Path, fingerprint: Dict) -> int:
+        """Fold a format-1 monolithic file into ``base.json`` and remove
+        it; returns rows migrated (0 when there is nothing to migrate).
+        Rows already in the format-2 base win — they are newer."""
+        legacy_path = self.legacy_cache_path(fingerprint)
+        if not legacy_path.exists():
+            return 0
+        with _file_lock(legacy_path):
+            if not legacy_path.exists():  # another process migrated first
+                return 0
+            entries = self._read_legacy(legacy_path, fingerprint)
+            if entries is None:
+                return 0  # unreadable/foreign: leave it for diagnosis
+            base_path = self._base_path(directory)
+            with _file_lock(base_path):
+                merged = dict(entries)
+                merged.update(self._read_base(directory, fingerprint) or {})
+                self._write_base(directory, fingerprint, merged)
+            legacy_path.unlink()
+            return len(entries)
+
+    def _read_entries(self, path: Path, expected_fingerprint: Dict
+                      ) -> Tuple[Optional[Dict[Tuple, object]],
+                                 Optional[str]]:
+        """Parse one monolithic payload file (legacy or base): returns
+        ``(entries, problem)`` with exactly one of them ``None`` — the
+        single parse/validate path every reader shares."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError) as exc:
+            return None, f"unreadable cache file: {exc}"
+        if (not isinstance(payload, dict)
+                or payload.get("fingerprint") != expected_fingerprint):
+            return None, (
+                "fingerprint mismatch: persisted cache was written under a "
+                "different proxy/macro configuration or store format"
+            )
+        try:
+            return ({_decode_key(encoded): value
+                     for encoded, value in payload.get("entries", [])},
+                    None)
+        except (TypeError, ValueError):
+            return None, f"malformed cache payload: {path.name}"
+
+    def _read_legacy(self, path: Path,
+                     fingerprint: Dict) -> Optional[Dict[Tuple, object]]:
+        return self._read_entries(path, _legacy_fingerprint(fingerprint))[0]
+
+    def _read_base(self, directory: Path,
+                   fingerprint: Dict) -> Optional[Dict[Tuple, object]]:
+        """Base entries, or ``None`` when absent/unreadable/mismatched."""
+        base_path = self._base_path(directory)
+        if not base_path.exists():
+            return None
+        return self._read_entries(base_path, fingerprint)[0]
+
+    def _write_base(self, directory: Path, fingerprint: Dict,
+                    entries: Dict[Tuple, object]) -> None:
+        ordered = sorted(entries.items(), key=lambda kv: repr(kv[0]))
+        payload = {
+            "fingerprint": fingerprint,
+            "entries": [[_encode_key(key), value] for key, value in ordered],
+        }
+        _atomic_write_text(self._base_path(directory),
+                           json.dumps(payload) + "\n")
+
+    # ------------------------------------------------------------------
+    # Indicator cache — load (replay with last-write-wins)
+    # ------------------------------------------------------------------
     def load_cache_into(self, cache: IndicatorCache, fingerprint: Dict,
                         strict: bool = False) -> int:
         """Merge persisted entries into ``cache``; returns how many landed.
 
-        A missing file, unreadable JSON or a fingerprint mismatch loads
-        nothing (``last_rejection`` says why); with ``strict=True`` a
-        *present but rejected* file raises :class:`StoreError` instead, so
-        CI can distinguish "cold" from "poisoned".  Entries already in the
-        cache keep their in-memory value.
+        Replays ``base.json`` then every segment in order (last write
+        wins per key), plus any not-yet-migrated format-1 file (oldest,
+        so format-2 rows override it).  A missing store, unreadable JSON
+        or a fingerprint mismatch loads nothing from the offending part
+        (``last_rejection`` says why); with ``strict=True`` a *present
+        but rejected* file raises :class:`StoreError` instead, so CI can
+        distinguish "cold" from "poisoned".  Entries already in the cache
+        keep their in-memory value; loaded rows are marked clean, so the
+        next :meth:`save_cache` does not re-append them.
         """
         self.last_rejection = None
-        path = self.cache_path(fingerprint)
-        if not path.exists():
+        directory = self.cache_dir(fingerprint)
+        legacy_path = self.legacy_cache_path(fingerprint)
+        entries: Dict[Tuple, object] = {}
+        problems: List[str] = []
+        if legacy_path.exists():
+            legacy_entries, problem = self._read_entries(
+                legacy_path, _legacy_fingerprint(fingerprint))
+            if problem is not None:
+                # A concurrent first-save may have migrated the file
+                # away between exists() and the read: that is a healthy
+                # store (the rows are in the format-2 directory read
+                # below), not a poisoned one.
+                if legacy_path.exists():
+                    problems.append(problem)
+            else:
+                entries.update(legacy_entries)
+        if directory.exists():
+            # Under the base lock, *shared*: concurrent warm-starting
+            # readers replay side by side, while the compactor (which
+            # holds it exclusively across fold-and-unlink) cannot swap
+            # the base and delete segments between our base read and
+            # segment glob — the reader half of the "racing a compaction
+            # loses nothing" guarantee.
+            with _file_lock(self._base_path(directory), shared=True):
+                entries.update(self._replay(directory, fingerprint,
+                                            problems))
+        elif not legacy_path.exists():
             self.last_rejection = "no persisted cache"
             return 0
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (ValueError, OSError) as exc:
-            self.last_rejection = f"unreadable cache file: {exc}"
+        if problems:
+            self.last_rejection = "; ".join(problems)
             if strict:
-                raise StoreError(self.last_rejection) from exc
-            return 0
-        if payload.get("fingerprint") != fingerprint:
-            self.last_rejection = (
+                raise StoreError(self.last_rejection)
+        merged_keys = []
+        for key, value in entries.items():
+            if key not in cache:
+                cache.put(key, value)
+                merged_keys.append(key)
+        if hasattr(cache, "mark_clean"):
+            cache.mark_clean(merged_keys)
+        return len(merged_keys)
+
+    def _replay(self, directory: Path, fingerprint: Dict,
+                problems: List[str]) -> Dict[Tuple, object]:
+        """Base + segments, later writes winning; unreadable parts are
+        reported into ``problems`` and skipped (readable rows still
+        load).  Malformed individual segment lines are tolerated — a
+        writer crash must not poison its shard.  Callers racing a
+        compactor must hold the base lock (``load_cache_into`` does;
+        ``_compact_dir`` already holds it), or the base-swap-then-unlink
+        sequence could hide segment-only rows from them."""
+        meta = self._read_meta(directory)
+        if (isinstance(meta, dict) and "fingerprint" in meta
+                and meta["fingerprint"] != fingerprint):
+            problems.append(
                 "fingerprint mismatch: persisted cache was written under a "
                 "different proxy/macro configuration or store format"
             )
-            if strict:
-                raise StoreError(self.last_rejection)
+            return {}
+        entries: Dict[Tuple, object] = {}
+        base_path = self._base_path(directory)
+        if base_path.exists():
+            base_entries, problem = self._read_entries(base_path,
+                                                       fingerprint)
+            if problem is not None:
+                problems.append(problem)
+            else:
+                entries.update(base_entries)
+        for segment in self._segment_files(directory):
+            try:
+                text = segment.read_text(encoding="utf-8")
+            except OSError:
+                continue  # compacted away between glob and read
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail from a crashed writer
+                if isinstance(record, list) and len(record) == 2:
+                    entries[_decode_key(record[0])] = record[1]
+        return entries
+
+    # ------------------------------------------------------------------
+    # Indicator cache — compaction and maintenance
+    # ------------------------------------------------------------------
+    def compact_cache(self, fingerprint: Dict) -> Dict:
+        """Fold this fingerprint's segments into ``base.json``; returns
+        ``{"segments_folded", "entries", "migrated"}``.  Idempotent: with
+        no segments pending the base is rewritten unchanged.  Also
+        migrates a lingering format-1 file and sweeps stale staging
+        files."""
+        directory, _ = self._ensure_dir(fingerprint)
+        migrated = self._migrate_legacy(directory, fingerprint)
+        stats = self._compact_dir(directory, fingerprint)
+        stats["migrated"] = migrated
+        return stats
+
+    def _compact_dir(self, directory: Path, fingerprint: Dict) -> Dict:
+        """Segments → base under the base lock plus *every* shard lock
+        (base first, shards in index order — appenders only ever hold a
+        single shard lock, so the ordering cannot deadlock).  Holding the
+        shard locks across read-fold-unlink is what guarantees no append
+        lands between reading a segment and deleting it.  The lock span
+        covers the recorded shard count *and* every shard index actually
+        present in segment filenames, so a damaged/missing meta can never
+        leave a live appender's shard unlocked while its segments are
+        swept."""
+        meta = self._read_meta(directory)
+        n_shards = (int(meta.get("shards", self.shards))
+                    if isinstance(meta, dict) else self.shards)
+        for path in directory.glob("shard-*.seg-*.jsonl"):
+            match = _SEGMENT_RE.match(path.name)
+            if match is not None:
+                n_shards = max(n_shards, int(match.group("shard")) + 1)
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(_file_lock(self._base_path(directory)))
+            for shard in range(n_shards):
+                stack.enter_context(
+                    _file_lock(self._shard_lock_target(directory, shard))
+                )
+            segments = self._segment_files(directory)
+            problems: List[str] = []
+            entries = self._replay(directory, fingerprint, problems)
+            self._write_base(directory, fingerprint, entries)
+            for segment in segments:
+                with contextlib.suppress(OSError):
+                    segment.unlink()
+        self._sweep_sidecars(directory)
+        return {"segments_folded": len(segments), "entries": len(entries)}
+
+    def compact_all(self) -> List[Dict]:
+        """Compact every indicator cache in the store; returns one stats
+        dict per cache.  Format-1 monoliths are migrated first (each
+        embeds the fingerprint it was written under, which maps it to
+        its format-2 directory), then every format-2 directory — keyed
+        by its ``meta.json`` fingerprint — has its segments folded."""
+        results = []
+        done = set()
+        for path in sorted(self.root.glob("indicator_cache__*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (ValueError, OSError):
+                continue
+            legacy = (payload.get("fingerprint")
+                      if isinstance(payload, dict) else None)
+            if not isinstance(legacy, dict) or legacy.get("format") != 1:
+                continue
+            fingerprint = dict(legacy, format=STORE_FORMAT)
+            if self.legacy_cache_path(fingerprint) != path:
+                continue  # hand-copied under a foreign digest: leave it
+            stats = self.compact_cache(fingerprint)
+            directory = self.cache_dir(fingerprint)
+            stats["digest"] = directory.name.split("__", 1)[1]
+            results.append(stats)
+            done.add(directory.name)
+        for directory in sorted(self.root.glob("cache2__*")):
+            if directory.name in done:
+                continue
+            meta = self._read_meta(directory)
+            if not isinstance(meta, dict) or "fingerprint" not in meta:
+                continue
+            stats = self._compact_dir(directory, meta["fingerprint"])
+            stats["digest"] = directory.name.split("__", 1)[1]
+            stats["migrated"] = 0
+            results.append(stats)
+        return results
+
+    def gc(self, max_age_seconds: float = 3600.0) -> Dict:
+        """Sweep stale ``.tmp`` staging files and ``.lock`` sidecars.
+
+        Crashed writers leave both behind forever (atomic-rename staging
+        files are normally renamed away; lock sidecars are recreated per
+        use, so their mtime tracks last use).  Only files untouched for
+        ``max_age_seconds`` go — a live writer's staging file or held
+        lock is always fresher than any sane threshold — and a lock is
+        only unlinked while this process *holds* it (see
+        :meth:`_unlink_free_lock`).  Returns removal counts per kind.
+        """
+        return self._sweep(self.root.rglob("*"), ("tmp", "lock"),
+                           time.time() - max_age_seconds)
+
+    def _sweep_sidecars(self, directory: Path,
+                        max_age_seconds: float = 3600.0) -> int:
+        """Compaction's narrower sweep: stale staging files only, in one
+        cache directory (locks there are in active use by definition)."""
+        return self._sweep(directory.glob("*"), ("tmp",),
+                           time.time() - max_age_seconds)["tmp"]
+
+    def _sweep(self, paths: Iterable[Path], kinds: Tuple[str, ...],
+               cutoff: float) -> Dict:
+        removed = {kind: 0 for kind in kinds}
+        for path in paths:
+            kind = next((k for k in kinds
+                         if path.name.endswith(f".{k}")), None)
+            if kind is None:
+                continue
+            try:
+                if path.stat().st_mtime > cutoff:
+                    continue
+                if kind == "lock":
+                    removed[kind] += self._unlink_free_lock(path, cutoff)
+                else:
+                    path.unlink()
+                    removed[kind] += 1
+            except OSError:  # vanished mid-sweep
+                continue
+        return removed
+
+    def _unlink_free_lock(self, path: Path, cutoff: float) -> int:
+        """Unlink a lock sidecar only while *holding* it (non-blocking
+        acquire, mtime re-checked under the lock), so an active holder's
+        lock is never pulled out from under it.  A waiter already
+        blocked on the old inode could in principle still split-brain
+        with a later writer, but waiting implies recent use, which the
+        mtime cutoff already filters out.  Platforms without
+        :mod:`fcntl` cannot make that check and skip lock sweeping."""
+        if fcntl is None:  # pragma: no cover - platform dependent
             return 0
-        merged = 0
-        for encoded_key, value in payload.get("entries", []):
-            key = _decode_key(encoded_key)
-            if key not in cache:
-                cache.put(key, value)
-                merged += 1
-        return merged
+        try:
+            with open(path, "r+", encoding="utf-8") as handle:
+                fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                try:
+                    if path.stat().st_mtime > cutoff:
+                        return 0
+                    path.unlink()
+                    return 1
+                finally:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+        except OSError:  # held elsewhere, or vanished mid-check
+            return 0
+
+    def cache_inventory(self) -> List[Dict]:
+        """One summary dict per persisted indicator cache (format-2
+        directories and any not-yet-migrated format-1 files)."""
+        inventory = []
+        for directory in sorted(self.root.glob("cache2__*")):
+            meta = self._read_meta(directory) or {}  # damaged: still listed
+            fingerprint = meta.get("fingerprint")
+            if not isinstance(fingerprint, dict):
+                fingerprint = None
+            base = (self._read_base(directory, fingerprint)
+                    if fingerprint else None)
+            segments = self._segment_files(directory)
+            size = 0
+            for path in directory.glob("*"):
+                # Tolerate files a concurrent compaction/gc removes
+                # between glob and stat — this is the diagnostic
+                # surface; it must never traceback on a live store.
+                with contextlib.suppress(OSError):
+                    if path.is_file():
+                        size += path.stat().st_size
+            inventory.append({
+                "digest": directory.name.split("__", 1)[1],
+                "format": 2,
+                "precision": (fingerprint or {}).get("precision"),
+                "shards": meta.get("shards"),
+                "base_rows": len(base) if base is not None else 0,
+                "segments": len(segments),
+                "bytes": size,
+            })
+        for path in sorted(self.root.glob("indicator_cache__*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (ValueError, OSError):
+                payload = {}
+            if not isinstance(payload, dict):  # damaged: still listed
+                payload = {}
+            fingerprint = payload.get("fingerprint")
+            if not isinstance(fingerprint, dict):
+                fingerprint = {}
+            entries = payload.get("entries")
+            size = 0
+            with contextlib.suppress(OSError):  # migrated away mid-listing
+                size = path.stat().st_size
+            inventory.append({
+                "digest": path.stem.split("__", 1)[1],
+                "format": fingerprint.get("format", 1),
+                "precision": fingerprint.get("precision"),
+                "shards": None,
+                "base_rows": len(entries) if isinstance(entries, list)
+                             else 0,
+                "segments": 0,
+                "bytes": size,
+            })
+        return inventory
 
     # ------------------------------------------------------------------
     # Device-keyed latency LUT store
     # ------------------------------------------------------------------
     def _lut_paths(self, device_name: str, precision: str,
                    config: MacroConfig) -> Tuple[Path, Path]:
-        stem = f"lut__{_slug(device_name)}__{_lut_digest(precision, config)}"
+        digest = _lut_digest(device_name, precision, config)
+        stem = f"lut__{_slug(device_name)}__{digest}"
         return self.root / f"{stem}.json", self.root / f"{stem}.meta.json"
 
     def _lut_meta(self, device_name: str, precision: str,
@@ -270,19 +811,23 @@ class RuntimeStore:
                 config: MacroConfig) -> Path:
         """Persist a profiled LUT under its ``(device, precision, macro)``
         key; the LUT payload itself is plain ``LatencyLUT.save_json``
-        output, interoperable with every other consumer."""
+        output, interoperable with every other consumer.  The write holds
+        the key's ``flock`` (the same discipline ``save_cache`` uses), so
+        two processes profiling the same board serialise instead of
+        racing payload against sidecar."""
         lut_path, meta_path = self._lut_paths(lut.device_name, precision,
                                               config)
-        tmp_path = lut_path.with_name(
-            f"{lut_path.name}.{os.getpid()}.tmp"
-        )
-        lut.save_json(str(tmp_path))
-        os.replace(tmp_path, lut_path)
-        _atomic_write_text(
-            meta_path,
-            json.dumps(self._lut_meta(lut.device_name, precision, config),
-                       indent=2) + "\n",
-        )
+        with _file_lock(lut_path):
+            tmp_path = lut_path.with_name(
+                f"{lut_path.name}.{os.getpid()}.tmp"
+            )
+            lut.save_json(str(tmp_path))
+            os.replace(tmp_path, lut_path)
+            _atomic_write_text(
+                meta_path,
+                json.dumps(self._lut_meta(lut.device_name, precision,
+                                          config), indent=2) + "\n",
+            )
         return lut_path
 
     def lut_get(self, device_name: str, precision: str,
@@ -325,4 +870,11 @@ class RuntimeStore:
         return keys
 
 
-__all__ = ["RuntimeStore", "StoreError", "cache_fingerprint", "STORE_FORMAT"]
+__all__ = [
+    "RuntimeStore",
+    "StoreError",
+    "cache_fingerprint",
+    "STORE_FORMAT",
+    "DEFAULT_SHARDS",
+    "DEFAULT_AUTO_COMPACT_SEGMENTS",
+]

@@ -65,7 +65,7 @@ def test_store_fingerprints_split_by_precision(tmp_path, genotype):
     assert fp64 != fp32
     assert fp64["precision"] == "float64"
     assert fp32["precision"] == "float32"
-    assert store.cache_path(fp64) != store.cache_path(fp32)
+    assert store.cache_dir(fp64) != store.cache_dir(fp32)
 
     engine64 = Engine(proxy_config=config64)
     engine64.ntk(genotype)
@@ -82,5 +82,5 @@ def test_store_fingerprints_split_by_precision(tmp_path, genotype):
     engine32 = Engine(proxy_config=config32)
     engine32.ntk(genotype)
     store.save_cache(engine32.cache, fp32)
-    assert store.cache_path(fp64).exists()
-    assert store.cache_path(fp32).exists()
+    assert store.cache_dir(fp64).exists()
+    assert store.cache_dir(fp32).exists()

@@ -182,6 +182,103 @@ class TestWorkerFailureRecovery:
         assert [r.value for r in results] == ["ok1", None, "ok2"]
         assert isinstance(results[1].error, ValueError)
 
+    def test_all_failed_gather_still_counts_as_gather(self,
+                                                      tiny_proxy_config,
+                                                      population):
+        """Regression: a gather whose every chunk failed used to skip
+        ``stats.gathers``, understating in reports how often the loop
+        synchronised with the pool."""
+
+        def dead_worker(payload):
+            raise ValueError("worker died")
+
+        engine = _engine(tiny_proxy_config)
+        executor = AsyncPopulationExecutor(n_workers=1, chunk_size=100,
+                                           mode="serial",
+                                           genotype_worker=dead_worker)
+        assert executor.submit_population(engine, population) == 1
+        with pytest.raises(ChunkGatherError) as info:
+            executor.gather_all()
+        assert info.value.gathered == []  # nothing landed...
+        assert executor.stats.gathers == 1  # ...but the gather happened
+
+    def test_on_gather_hook_fires_even_on_all_failure(self,
+                                                      tiny_proxy_config,
+                                                      population):
+        def dead_worker(payload):
+            raise ValueError("worker died")
+
+        flushes = []
+        engine = _engine(tiny_proxy_config)
+        executor = AsyncPopulationExecutor(n_workers=1, chunk_size=100,
+                                           mode="serial",
+                                           genotype_worker=dead_worker)
+        executor.on_gather = flushes.append
+        executor.submit_population(engine, population)
+        with pytest.raises(ChunkGatherError):
+            executor.gather_all()
+        assert flushes == [[]]
+        assert executor.stats.flushes == 1
+
+    def test_flush_error_never_masks_chunk_gather_error(self,
+                                                        tiny_proxy_config,
+                                                        population):
+        """A store hiccup in the flush hook must not swallow the worker
+        failures (and landed siblings) ChunkGatherError carries."""
+        calls = {"n": 0}
+
+        def flaky_worker(payload):
+            from repro.runtime.pool import _evaluate_genotype_chunk
+
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("worker died")
+            return _evaluate_genotype_chunk(payload)
+
+        engine = _engine(tiny_proxy_config)
+        executor = AsyncPopulationExecutor(n_workers=1, chunk_size=4,
+                                           mode="serial",
+                                           genotype_worker=flaky_worker)
+        def broken_flush(gathered):
+            raise OSError("disk full")
+
+        executor.on_gather = broken_flush
+        executor.submit_population(engine, population)
+        with pytest.raises(ChunkGatherError) as info:
+            executor.gather_all()
+        assert isinstance(info.value.__cause__, ValueError)
+        assert len(info.value.gathered) >= 1  # siblings still delivered
+
+    def test_flush_error_surfaces_when_no_worker_failed(
+            self, tiny_proxy_config, population):
+        engine = _engine(tiny_proxy_config)
+        executor = AsyncPopulationExecutor(n_workers=1, chunk_size=4,
+                                           mode="serial")
+
+        def broken_flush(gathered):
+            raise OSError("disk full")
+
+        executor.on_gather = broken_flush
+        executor.submit_population(engine, population)
+        with pytest.raises(OSError, match="disk full"):
+            executor.gather_all()
+        # The chunks themselves landed: their rows are in the cache.
+        table = engine.evaluate_population(population)
+        assert table.cache_misses == 0
+
+    def test_on_gather_hook_receives_landed_chunks(self, tiny_proxy_config,
+                                                   population):
+        flushes = []
+        engine = _engine(tiny_proxy_config)
+        executor = AsyncPopulationExecutor(n_workers=1, chunk_size=3,
+                                           mode="serial")
+        executor.on_gather = flushes.append
+        executor.submit_population(engine, population)
+        merged = sum(chunk.merged_rows for chunk in executor.gather_all())
+        assert merged > 0
+        assert len(flushes) == 1
+        assert sum(c.merged_rows for c in flushes[0]) == merged
+
     def test_executor_raises_but_releases_claims(self, tiny_proxy_config,
                                                  population):
         calls = {"n": 0}

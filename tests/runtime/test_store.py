@@ -4,6 +4,8 @@ import json
 
 import pytest
 
+pytestmark = pytest.mark.store
+
 from repro.engine import Engine, IndicatorCache
 from repro.hardware.device import NUCLEO_F411RE, NUCLEO_F746ZG
 from repro.hardware.latency import LatencyEstimator
@@ -81,11 +83,12 @@ class TestIndicatorCachePersistence:
         assert store.load_cache_into(target, stale) == 0
         assert "no persisted cache" in store.last_rejection
 
-        # A file copied across fingerprint keys (or hand-edited) is still
-        # rejected by the fingerprint embedded in the payload.
+        # A cache directory copied across fingerprint keys (or
+        # hand-edited) is still rejected by the fingerprint embedded in
+        # its meta/base payloads.
         import shutil
 
-        shutil.copy(store.cache_path(fingerprint), store.cache_path(stale))
+        shutil.copytree(store.cache_dir(fingerprint), store.cache_dir(stale))
         assert store.load_cache_into(target, stale) == 0
         assert len(target) == 0
         assert "fingerprint mismatch" in store.last_rejection
@@ -113,10 +116,14 @@ class TestIndicatorCachePersistence:
 
     def test_corrupt_file_rejected(self, store):
         fingerprint = cache_fingerprint_default()
-        store.cache_path(fingerprint).write_text("{not json",
-                                                 encoding="utf-8")
+        directory = store.cache_dir(fingerprint)
+        directory.mkdir(parents=True)
+        (directory / "base.json").write_text("{not json", encoding="utf-8")
         assert store.load_cache_into(IndicatorCache(), fingerprint) == 0
         assert "unreadable" in store.last_rejection
+        with pytest.raises(StoreError):
+            store.load_cache_into(IndicatorCache(), fingerprint,
+                                  strict=True)
 
     def test_in_memory_entries_win_over_persisted(self, store):
         fingerprint = cache_fingerprint_default()
@@ -146,9 +153,9 @@ class TestConcurrentWriters:
         second = IndicatorCache()
         second.put(("flops", 2, (4,)), 2.0)
         assert store.save_cache(first, fingerprint) == 1
-        # The second save must fold the first writer's rows in, not
-        # clobber them (pre-lock behaviour: last rename wins, row lost).
-        assert store.save_cache(second, fingerprint) == 2
+        # The second save appends its own delta (returning only its own
+        # row count) without clobbering the first writer's segments.
+        assert store.save_cache(second, fingerprint) == 1
         restored = IndicatorCache()
         assert store.load_cache_into(restored, fingerprint) == 2
         assert restored.get(("flops", 1, (4,))) == 1.0
@@ -166,14 +173,23 @@ class TestConcurrentWriters:
         store.load_cache_into(restored, fingerprint)
         assert restored.get(("flops", 1, (4,))) == 99.0
 
-    def test_corrupt_existing_file_rebuilt_from_memory(self, store):
+    def test_corrupt_existing_base_rebuilt_from_memory(self, store):
         fingerprint = cache_fingerprint_default()
-        store.cache_path(fingerprint).write_text("{torn", encoding="utf-8")
+        directory = store.cache_dir(fingerprint)
+        directory.mkdir(parents=True)
+        (directory / "base.json").write_text("{torn", encoding="utf-8")
         cache = IndicatorCache()
         cache.put(("flops", 7, (4,)), 7.0)
         assert store.save_cache(cache, fingerprint) == 1
         restored = IndicatorCache()
         assert store.load_cache_into(restored, fingerprint) == 1
+        assert restored.get(("flops", 7, (4,))) == 7.0
+        # Compaction discards the unreadable base and rebuilds it from
+        # the surviving segments (the format-1 rebuild-from-memory
+        # behaviour, now at the compaction layer).
+        store.compact_cache(fingerprint)
+        fresh = IndicatorCache()
+        assert store.load_cache_into(fresh, fingerprint, strict=True) == 1
 
     def test_two_processes_racing_drop_no_rows(self, store):
         """Atomic-write property test: each forked writer repeatedly

@@ -45,6 +45,48 @@ class TestProxies:
             assert name in out
 
 
+@pytest.mark.store
+class TestStoreMaintenance:
+    def test_inventory_empty_store(self, capsys, tmp_path):
+        assert main(["store", "inventory",
+                     "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "inventory" in out
+        assert "(empty)" in out
+
+    def test_inventory_lists_caches_and_luts(self, capsys, tmp_path,
+                                             tiny_macro_config):
+        from repro.engine.cache import IndicatorCache
+        from repro.hardware.device import NUCLEO_F746ZG
+        from repro.hardware.latency import LatencyEstimator
+        from repro.proxies.base import ProxyConfig
+        from repro.runtime.store import RuntimeStore, cache_fingerprint
+        from repro.searchspace.network import MacroConfig
+
+        store_dir = str(tmp_path / "store")
+        store = RuntimeStore(store_dir)
+        cache = IndicatorCache()
+        cache.put(("flops", 1, (4,)), 1.0)
+        fingerprint = cache_fingerprint(ProxyConfig(), MacroConfig.full())
+        store.save_cache(cache, fingerprint)
+        LatencyEstimator(NUCLEO_F746ZG, config=tiny_macro_config,
+                         lut_store=store)
+        assert main(["store", "inventory", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "format 2" in out
+        assert "lut nucleo-f746zg" in out
+
+        assert main(["store", "compact", "--store", store_dir]) == 0
+        assert "segments folded" in capsys.readouterr().out
+
+        assert main(["store", "gc", "--store", store_dir]) == 0
+        assert "store gc" in capsys.readouterr().out
+
+    def test_store_dir_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "inventory"])
+
+
 class TestPareto:
     def test_prints_front(self, capsys):
         assert main(["pareto", "--samples", "8", "--fast"]) == 0
