@@ -141,6 +141,8 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         fast=not args.full_scale,
         precision=args.precision,
         parent_selection=args.parent_selection,
+        chunk_timeout=args.chunk_timeout,
+        max_retries=args.max_retries,
     )
     try:
         report = RunHarness(config).run()
@@ -162,6 +164,13 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     if config.async_mode:
         rows.append(["worker idle fraction",
                      f"{report.pool['idle_fraction']:.1%}"])
+        faults = [f"{report.pool[key]} {key}"
+                  for key in ("retries", "timeouts", "respawns",
+                              "quarantined")
+                  if report.pool.get(key)]
+        rows.append(["faults recovered", ", ".join(faults) or "none"])
+        if report.status != "completed":
+            rows.append(["status", report.status])
     rows.append(["cache warm-start",
                  f"{report.cache['warm_start_entries']} entries"])
     rows.append(["cache hits / misses", f"{report.cache['hits']} / "
@@ -193,7 +202,9 @@ def cmd_store(args: argparse.Namespace) -> int:
             rows.append([
                 f"cache {entry['digest']}", f"format {entry['format']}",
                 entry["precision"] or "?",
-                f"{entry['base_rows']} rows + {entry['segments']} segments",
+                f"{entry['base_rows']} rows + {entry['segments']} segments"
+                + (f" + {entry['quarantined']} quarantined"
+                   if entry.get("quarantined") else ""),
                 f"{entry['bytes'] / 1024:.1f} KB",
             ])
         for meta in store.lut_keys():
@@ -206,6 +217,19 @@ def cmd_store(args: argparse.Namespace) -> int:
             rows,
             headers=["entry", "format", "precision", "contents", "size"],
             title=f"runtime store inventory: {args.store}",
+        ))
+        return 0
+    if args.action == "quarantine":
+        entries = store.quarantine_entries()
+        if not entries:
+            print(f"no quarantined candidates in {args.store}")
+            return 0
+        print(format_table(
+            [[e["digest"], e["kind"], str(e["identity"]),
+              str(e["attempts"]), e["reason"]] for e in entries],
+            headers=["cache digest", "kind", "identity", "attempts",
+                     "reason"],
+            title=f"quarantined candidates: {args.store}",
         ))
         return 0
     if args.action == "compact":
@@ -484,6 +508,12 @@ parallel evaluation runtime examples:
   micronas runtime --algorithm random --samples 256 --precision float32 \\
       --store ~/.cache/micronas
   micronas search --algorithm micronas --fast --precision float32
+
+  # fault-tolerant async run: 30s per-chunk deadline, 3 retries for
+  # transient failures; poison candidates are quarantined in the store
+  # (inspect with 'micronas store quarantine')
+  micronas runtime --async --algorithm steady-state --workers 4 \\
+      --chunk-timeout 30 --max-retries 3 --store ~/.cache/micronas
 """
 
 
@@ -567,6 +597,17 @@ def build_parser() -> argparse.ArgumentParser:
                            default="crowding",
                            help="steady-state Pareto parent pick: crowding-"
                                 "distance-weighted (default) or uniform")
+    p_runtime.add_argument("--chunk-timeout", type=float, default=None,
+                           help="async runs: per-chunk deadline in seconds "
+                                "— a chunk running longer is abandoned, "
+                                "counted as a timeout, and retried under "
+                                "--max-retries (default: no deadline)")
+    p_runtime.add_argument("--max-retries", type=int, default=2,
+                           help="async runs: retry budget for transient "
+                                "chunk failures (timeouts, I/O errors); "
+                                "deterministic-poison candidates are "
+                                "bisected out and quarantined in the store "
+                                "instead of retried")
     p_runtime.add_argument("--report", default=None,
                            help="also write the structured run report "
                                 "(JSON) to this path")
@@ -580,9 +621,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "rows, pending segments) and device LUTs; 'compact' "
                     "folds every cache's append-only segments into its "
                     "base file; 'gc' sweeps stale .tmp/.lock sidecars "
-                    "that crashed writers left behind.",
+                    "that crashed writers left behind; 'quarantine' lists "
+                    "poison candidates the fault-tolerant runtime "
+                    "quarantined (never re-shipped by later runs).",
     )
-    p_store.add_argument("action", choices=("inventory", "compact", "gc"))
+    p_store.add_argument("action",
+                         choices=("inventory", "compact", "gc",
+                                  "quarantine"))
     p_store.add_argument("--store", required=True,
                          help="store directory (as passed to "
                               "'micronas runtime --store')")

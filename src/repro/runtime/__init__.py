@@ -34,6 +34,15 @@ engine ever importing it:
    :class:`RunReport`.  The harness owns executor lifecycle: pools are
    closed deterministically when the run finishes (or via the harness's
    context manager), never left to GC timing.
+5. **Fault tolerance** (:mod:`repro.runtime.faults`) — the failure
+   policy the async layers execute: transient-vs-poison classification,
+   deterministic retry backoff, per-chunk deadlines, pool respawn after
+   worker death, a persistent quarantine ledger for poison candidates,
+   and a deterministic fault-injection harness (:class:`FaultPlan`) that
+   makes every failure mode replayable in tests.  SIGINT/SIGTERM during
+   an async harness run triggers a graceful drain: submission stops,
+   in-flight chunks land and flush, and the report comes back marked
+   ``interrupted`` with nothing lost.
 
 The composition seam is deliberately thin: ``Engine.evaluate_population``
 and every search loop accept an optional ``executor=`` object they only
@@ -52,6 +61,14 @@ from repro.runtime.async_pool import (
     FuturePool,
     GatheredChunk,
 )
+from repro.runtime.faults import (
+    ChunkTimeoutError,
+    FaultPlan,
+    FaultPolicy,
+    QuarantineLedger,
+    TransientWorkerError,
+    classify_failure,
+)
 from repro.runtime.store import RuntimeStore, cache_fingerprint
 from repro.runtime.harness import (
     ALGORITHMS,
@@ -67,8 +84,14 @@ __all__ = [
     "AsyncPopulationExecutor",
     "AsyncPoolStats",
     "ChunkGatherError",
+    "ChunkTimeoutError",
+    "FaultPlan",
+    "FaultPolicy",
     "FuturePool",
     "GatheredChunk",
+    "QuarantineLedger",
+    "TransientWorkerError",
+    "classify_failure",
     "RuntimeStore",
     "cache_fingerprint",
     "RuntimeConfig",

@@ -29,6 +29,24 @@ request order.  Completion order can therefore reorder *when* rows land,
 never *what* they say — the property the completion-order fuzzing tests
 pin down.
 
+**Fault tolerance.**  Both layers carry the failure semantics a worker
+fleet needs (policy objects in :mod:`repro.runtime.faults`):
+
+* the transport enforces per-chunk deadlines (``chunk_timeout``), counts
+  hung futures it had to abandon, and survives pool death
+  (``BrokenProcessPool``): it terminates the carcass, spawns a fresh
+  pool, and resubmits every lost in-flight task exactly once per death,
+  up to ``max_respawns``;
+* the executor — when given a :class:`~repro.runtime.faults.FaultPolicy`
+  — classifies chunk failures: *transient* ones retry with deterministic
+  exponential backoff under a retry budget; *poison* ones bisect, so one
+  bad genotype cannot sink its chunk-mates, and the lone offender left
+  at the bottom lands in the (optionally persistent)
+  :class:`~repro.runtime.faults.QuarantineLedger`, after which it is
+  never shipped again.  Without a policy the legacy semantics hold: any
+  worker failure surfaces as :class:`ChunkGatherError` after siblings
+  merge.
+
 The executor also implements the synchronous ``warm_population`` /
 ``warm_supernets`` hooks (submit + gather-all), so it is a drop-in
 ``executor=`` for every existing search loop; the steady-state
@@ -38,19 +56,29 @@ split halves.
 
 Worker functions are injectable (``genotype_worker=`` /
 ``supernet_worker=``): the seam through which a remote transport (or a
-test/benchmark wrapping workers with simulated device latency) plugs in
-without touching scheduling.
+test/benchmark wrapping workers with simulated device latency — or a
+:class:`~repro.runtime.faults.FaultPlan` injecting scripted failures)
+plugs in without touching scheduling.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
+from concurrent.futures import BrokenExecutor
 from dataclasses import astuple, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.core import supernet_state_key
 from repro.errors import SearchError
+from repro.runtime.faults import (
+    POISON,
+    TRANSIENT,
+    ChunkTimeoutError,
+    FaultPolicy,
+    chunk_item_identity,
+    classify_failure,
+)
 from repro.runtime.pool import (
     _chunked,
     _evaluate_genotype_chunk,
@@ -73,13 +101,36 @@ class TaskResult:
     A task whose worker raised completes with ``error`` set and ``value``
     ``None`` — it still leaves the pending queue, so one poisoned chunk
     can neither wedge the pool nor drop the results of siblings gathered
-    in the same call.
+    in the same call.  A task that outlived its deadline completes with a
+    :class:`~repro.runtime.faults.ChunkTimeoutError`.
     """
 
     task_id: int
     tag: object
     value: object
     error: Optional[BaseException] = None
+
+
+class _PendingTask:
+    """One submitted-but-ungathered task.
+
+    Keeps the worker and payload alongside the live future so the pool
+    can *resubmit* the task after a pool death (``future`` is replaced,
+    identity and tag survive).  The pending list stays a plain reorderable
+    list of these — the completion-order fuzzing harness permutes it.
+    """
+
+    __slots__ = ("task_id", "tag", "worker", "payload", "future", "deadline")
+
+    def __init__(self, task_id: int, tag: object, worker: Callable,
+                 payload: object, future: object,
+                 deadline: Optional[float]) -> None:
+        self.task_id = task_id
+        self.tag = tag
+        self.worker = worker
+        self.payload = payload
+        self.future = future      # None under the serial fallback
+        self.deadline = deadline  # monotonic seconds; None = no deadline
 
 
 class FuturePool:
@@ -97,14 +148,38 @@ class FuturePool:
     * ``"auto"`` (default) — ``"fork"`` when available and
       ``n_workers > 1``, else ``"serial"``.
 
+    **Deadlines.**  With ``chunk_timeout`` set, a task that *runs* longer
+    than the timeout is expired during :meth:`gather`: its future is
+    cancelled, and it completes with a :class:`~repro.runtime.faults.
+    ChunkTimeoutError`.  The clock starts when the task starts executing
+    (queued tasks don't age).  A running future usually cannot be
+    cancelled — the worker is *hung* and keeps occupying its slot; the
+    pool tracks these and, once every worker is wedged behind one,
+    respawns the backend (fork workers are terminated; threads cannot be
+    killed and leak until they return — use fork mode when workers can
+    genuinely hang).
+
+    **Pool death.**  ``BrokenProcessPool`` (a worker died mid-task, e.g.
+    segfault or ``os._exit``) does not kill the run: the pool terminates
+    the broken backend, spawns a fresh one and resubmits every lost
+    in-flight task exactly once per death.  Each recovery — death or
+    hung-worker sweep — spends one unit of the ``max_respawns`` budget;
+    past the budget, pending tasks complete with the error instead.
+
     Span accounting starts at the first submit and advances on every
     gather; :meth:`idle_fraction` is the fraction of ``n_workers × span``
     no worker spent computing — the number the async-overlap benchmark
     reports.
     """
 
+    #: Poll interval while waiting for queued tasks to start running
+    #: (only relevant when a deadline is configured).
+    _POLL_SECONDS = 0.05
+
     def __init__(self, n_workers: Optional[int] = None,
-                 mode: str = "auto") -> None:
+                 mode: str = "auto",
+                 chunk_timeout: Optional[float] = None,
+                 max_respawns: int = 3) -> None:
         if n_workers is None:
             n_workers = multiprocessing.cpu_count()
         if n_workers < 1:
@@ -117,12 +192,21 @@ class FuturePool:
         if mode == "fork" and not _fork_available():
             raise SearchError("fork start method unavailable on this "
                               "platform; use mode='thread' or 'serial'")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise SearchError("chunk_timeout must be positive (or None)")
         self.n_workers = n_workers
         self.mode = mode
+        self.chunk_timeout = chunk_timeout
+        self.max_respawns = max_respawns
         self._pool = None
         self._next_id = 0
-        #: Pending tasks in submission order: (task_id, tag, future|thunk).
-        self._pending: List[Tuple[int, object, object]] = []
+        #: Pending tasks in submission order.
+        self._pending: List[_PendingTask] = []
+        #: Abandoned (timed-out, uncancellable) futures still occupying
+        #: worker slots.
+        self._hung: List[object] = []
+        self.timeouts = 0            # tasks expired past their deadline
+        self.respawns = 0            # backend recoveries performed
         self.busy_seconds = 0.0      # sum of measured task durations
         self._first_submit: Optional[float] = None
         self._last_gather: Optional[float] = None
@@ -143,9 +227,18 @@ class FuturePool:
                 )
         return self._pool
 
+    def _deadline(self) -> Optional[float]:
+        if self.chunk_timeout is None:
+            return None
+        return time.monotonic() + self.chunk_timeout
+
     def submit(self, worker: Callable, payload: object,
                tag: object = None) -> int:
-        """Queue one task; returns its id.  Never blocks."""
+        """Queue one task; returns its id.  Never blocks.
+
+        Submitting into a broken pool respawns it first (within the
+        respawn budget) instead of propagating ``BrokenProcessPool``.
+        """
         task_id = self._next_id
         self._next_id += 1
         if self._first_submit is None:
@@ -153,17 +246,110 @@ class FuturePool:
         if self.mode == "serial":
             # Deferred thunk: runs inside gather(), so submission really is
             # instantaneous and completion order is FIFO by construction.
-            entry = (task_id, tag, (worker, payload))
+            future = None
         else:
-            entry = (task_id, tag, self._ensure_pool().submit(worker,
-                                                              payload))
-        self._pending.append(entry)
+            try:
+                future = self._ensure_pool().submit(worker, payload)
+            except (BrokenExecutor, RuntimeError):
+                # Broken (or shut-down-by-breakage) backend: recover and
+                # retry once; a spent budget propagates the failure.
+                if not self._respawn():
+                    raise
+                future = self._ensure_pool().submit(worker, payload)
+        self._pending.append(_PendingTask(task_id, tag, worker, payload,
+                                          future, self._deadline()))
         return task_id
 
     @property
     def num_pending(self) -> int:
         return len(self._pending)
 
+    # ------------------------------------------------------------------
+    # Fault mechanics
+    # ------------------------------------------------------------------
+    def _respawn(self) -> bool:
+        """Replace the backend and resubmit every pending task.
+
+        Returns ``False`` (doing nothing) when the respawn budget is
+        spent.  Fork workers of the old backend are terminated first so
+        hung or crashed processes don't linger.
+        """
+        if self.respawns >= self.max_respawns:
+            return False
+        self.respawns += 1
+        pool, self._pool = self._pool, None
+        self._hung = []
+        if pool is not None:
+            for process in list((getattr(pool, "_processes", None)
+                                 or {}).values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+        fresh = self._ensure_pool()
+        for task in self._pending:
+            task.future = fresh.submit(task.worker, task.payload)
+            task.deadline = self._deadline()
+        return True
+
+    def _expire_overdue(self, results: List[TaskResult]) -> None:
+        """Expire running tasks past their deadline into ``results``."""
+        if self.chunk_timeout is None:
+            return
+        now = time.monotonic()
+        still: List[_PendingTask] = []
+        for task in self._pending:
+            future = task.future
+            if future.done():
+                still.append(task)  # collected by the wait path
+            elif not future.running():
+                # Still queued: the deadline clock starts at dispatch.
+                task.deadline = now + self.chunk_timeout
+                still.append(task)
+            elif task.deadline is not None and now >= task.deadline:
+                self.timeouts += 1
+                if not future.cancel():
+                    # Uncancellable = genuinely executing = hung worker.
+                    self._hung.append(future)
+                results.append(TaskResult(
+                    task.task_id, task.tag, None,
+                    ChunkTimeoutError(
+                        f"chunk exceeded its {self.chunk_timeout:g}s "
+                        "deadline"),
+                ))
+            else:
+                still.append(task)
+        self._pending = still
+
+    def _expire_all(self, results: List[TaskResult],
+                    error: Optional[BaseException] = None) -> None:
+        """Fail every pending task (respawn budget spent, can't progress)."""
+        for task in self._pending:
+            if error is None:
+                self.timeouts += 1
+                task_error: BaseException = ChunkTimeoutError(
+                    "all workers hung and the respawn budget is spent")
+            else:
+                task_error = error
+            results.append(TaskResult(task.task_id, task.tag, None,
+                                      task_error))
+        self._pending = []
+
+    def _wait_timeout(self) -> Optional[float]:
+        """How long the next ``wait`` may block before a deadline check."""
+        if self.chunk_timeout is None:
+            return None
+        deadlines = [task.deadline for task in self._pending
+                     if task.deadline is not None and task.future.running()]
+        if not deadlines:
+            return self._POLL_SECONDS  # queued tasks: poll for startup
+        return max(0.0, min(deadlines) - time.monotonic()) + 0.01
+
+    # ------------------------------------------------------------------
     def gather(self, k: int = 1) -> List[TaskResult]:
         """Block until at least ``k`` pending tasks finish; return them
         **in completion order** (FIFO under the serial fallback).  Fewer
@@ -176,30 +362,51 @@ class FuturePool:
         results: List[TaskResult] = []
         if self.mode == "serial":
             take, self._pending = self._pending[:k], self._pending[k:]
-            for task_id, tag, (worker, payload) in take:
+            for task in take:
                 try:
-                    results.append(TaskResult(task_id, tag, worker(payload)))
+                    results.append(TaskResult(task.task_id, task.tag,
+                                              task.worker(task.payload)))
                 except Exception as exc:
-                    results.append(TaskResult(task_id, tag, None, exc))
+                    results.append(TaskResult(task.task_id, task.tag, None,
+                                              exc))
         else:
             from concurrent.futures import FIRST_COMPLETED, wait
 
-            while len(results) < k:
-                futures = {entry[2] for entry in self._pending}
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                still_pending = []
-                for entry in self._pending:
-                    task_id, tag, future = entry
-                    if future in done:
-                        try:
-                            results.append(TaskResult(task_id, tag,
-                                                      future.result()))
-                        except Exception as exc:
-                            results.append(TaskResult(task_id, tag, None,
-                                                      exc))
-                    else:
-                        still_pending.append(entry)
+            while len(results) < k and self._pending:
+                self._expire_overdue(results)
+                if len(results) >= k or not self._pending:
+                    break
+                if len(self._hung) >= self.n_workers:
+                    # Every worker is wedged behind an abandoned future:
+                    # nothing pending can ever start.
+                    if not self._respawn():
+                        self._expire_all(results)
+                        break
+                futures = {task.future for task in self._pending}
+                done, _ = wait(futures, timeout=self._wait_timeout(),
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    continue  # deadline sweep runs next iteration
+                still_pending: List[_PendingTask] = []
+                broken: Optional[BaseException] = None
+                for task in self._pending:
+                    if task.future not in done:
+                        still_pending.append(task)
+                        continue
+                    try:
+                        results.append(TaskResult(task.task_id, task.tag,
+                                                  task.future.result()))
+                    except BrokenExecutor as exc:
+                        # The pool died under this task — keep it (and
+                        # everything else) pending for resubmission.
+                        broken = exc
+                        still_pending.append(task)
+                    except Exception as exc:
+                        results.append(TaskResult(task.task_id, task.tag,
+                                                  None, exc))
                 self._pending = still_pending
+                if broken is not None and not self._respawn():
+                    self._expire_all(results, error=broken)
         self._last_gather = time.perf_counter()
         return results
 
@@ -235,17 +442,34 @@ class FuturePool:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the backing pool down *now* (idempotent).
+        """Shut the backing pool down *now* (idempotent, never raises).
 
         Pending serial thunks are dropped and queued futures cancelled —
         their results would be discarded anyway, and an aborted run must
         not block behind a backlog of straggler chunks; only tasks
-        already executing are waited out.
+        already executing are waited out.  A broken backend or hung
+        workers cannot make close raise or block: with hung workers the
+        shutdown doesn't wait (fork workers are terminated outright), so
+        harness cleanup never masks the failure that triggered it.
         """
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        pool, self._pool = self._pool, None
         self._pending = []
+        hung, self._hung = bool(self._hung), []
+        if pool is None:
+            return
+        try:
+            if hung:
+                for process in list((getattr(pool, "_processes", None)
+                                     or {}).values()):
+                    try:
+                        process.terminate()
+                    except Exception:
+                        pass
+            pool.shutdown(wait=not hung, cancel_futures=True)
+        except Exception:
+            # A pool that broke mid-run may fail its own shutdown;
+            # cleanup must stay silent so the original error surfaces.
+            pass
 
     def __enter__(self) -> "FuturePool":
         return self
@@ -272,6 +496,10 @@ class AsyncPoolStats:
     flushes: int = 0          # on_gather flush-hook invocations
     tasks: int = 0            # candidate rows computed by workers
     merged_rows: int = 0      # cache entries merged
+    retries: int = 0          # transient chunk failures retried
+    timeouts: int = 0         # chunks expired past their deadline
+    respawns: int = 0         # pool backends replaced after death/hang
+    quarantined: int = 0      # poison candidates quarantined
     worker_seconds: float = 0.0
     idle_fraction: float = 0.0
     span_seconds: float = 0.0
@@ -286,6 +514,10 @@ class AsyncPoolStats:
             "flushes": self.flushes,
             "tasks": self.tasks,
             "merged_rows": self.merged_rows,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "respawns": self.respawns,
+            "quarantined": self.quarantined,
             "worker_seconds": self.worker_seconds,
             "idle_fraction": self.idle_fraction,
             "span_seconds": self.span_seconds,
@@ -294,13 +526,21 @@ class AsyncPoolStats:
 
 @dataclass
 class GatheredChunk:
-    """What one landed chunk contributed (the search loop's event unit)."""
+    """What one landed chunk contributed (the search loop's event unit).
+
+    A quarantine event surfaces as a chunk with empty indices/states and
+    the offender in ``quarantined_indices`` / ``quarantined_states`` —
+    the search loop's signal to stop waiting for (and stop re-proposing)
+    that candidate.
+    """
 
     kind: str                      # "genotype" | "supernet"
     canonical_indices: Tuple[int, ...] = ()   # genotype chunks
     states: Tuple = ()             # supernet chunks
     merged_rows: int = 0
     worker_seconds: float = 0.0
+    quarantined_indices: Tuple[int, ...] = ()
+    quarantined_states: Tuple = ()
 
 
 class ChunkGatherError(SearchError):
@@ -329,17 +569,42 @@ class ChunkGatherError(SearchError):
 
 
 class _ChunkContext:
-    """Submission-time context a gathered chunk needs to merge itself."""
+    """Submission-time context a gathered chunk needs to merge itself —
+    and, under a fault policy, to retry, bisect or quarantine itself:
+    the chunk's items and per-item key claims ride along so a failed
+    chunk can be resubmitted (or split) without re-deriving anything."""
 
-    __slots__ = ("kind", "engine", "proxy_key", "macro_key", "keys")
+    __slots__ = ("kind", "engine", "proxy_key", "macro_key", "keys",
+                 "worker", "build_payload", "items", "item_claims",
+                 "attempts")
 
     def __init__(self, kind: str, engine, proxy_key: Tuple,
-                 macro_key: Optional[Tuple], keys: Tuple) -> None:
+                 macro_key: Optional[Tuple], worker: Callable,
+                 build_payload: Callable, items: Tuple,
+                 item_claims: Tuple, attempts: int = 0) -> None:
         self.kind = kind
         self.engine = engine
         self.proxy_key = proxy_key
         self.macro_key = macro_key
-        self.keys = keys  # pending-set members to release on landing
+        self.worker = worker
+        self.build_payload = build_payload
+        self.items = items              # the (head, needs) chunk slice
+        self.item_claims = item_claims  # per-item claimed key tuples
+        self.attempts = attempts        # completed attempts of THIS chunk
+        #: Pending-set members to release on landing (all claims, flat).
+        self.keys = tuple(key for claims in item_claims for key in claims)
+
+    def split(self) -> Tuple["_ChunkContext", "_ChunkContext"]:
+        """Bisect into two halves (claims follow their items)."""
+        mid = len(self.items) // 2
+        halves = []
+        for lo, hi in ((0, mid), (mid, len(self.items))):
+            halves.append(_ChunkContext(
+                self.kind, self.engine, self.proxy_key, self.macro_key,
+                self.worker, self.build_payload,
+                self.items[lo:hi], self.item_claims[lo:hi], attempts=0,
+            ))
+        return halves[0], halves[1]
 
 
 class AsyncPopulationExecutor:
@@ -358,6 +623,15 @@ class AsyncPopulationExecutor:
     mutation loops revisit architectures constantly, and double-computing
     them would waste exactly the capacity the async runtime frees up.
 
+    **Fault policy.**  Pass ``fault_policy=`` to enable failure recovery
+    (and ``quarantine_ledger=`` to persist quarantine decisions in the
+    store directory): transient failures retry with deterministic
+    backoff, poison chunks bisect down to the offending candidate which
+    is quarantined and never re-shipped — submits consult the quarantine
+    sets, which are seeded from the ledger, so a restart keeps earlier
+    decisions.  Without a policy, failures raise :class:`ChunkGatherError`
+    exactly as before.
+
     The synchronous ``warm_population`` / ``warm_supernets`` hooks make
     this a drop-in for :class:`~repro.runtime.pool.PopulationExecutor`
     anywhere an ``executor=`` is accepted.
@@ -367,10 +641,20 @@ class AsyncPopulationExecutor:
                  mode: str = "auto",
                  genotype_worker: Callable = _evaluate_genotype_chunk,
                  supernet_worker: Callable = _evaluate_supernet_chunk,
+                 fault_policy: Optional[FaultPolicy] = None,
+                 quarantine_ledger=None,
                  ) -> None:
         if chunk_size < 1:
             raise SearchError("chunk_size must be >= 1")
-        self.pool = FuturePool(n_workers=n_workers, mode=mode)
+        self.fault_policy = fault_policy
+        self.quarantine_ledger = quarantine_ledger
+        self.pool = FuturePool(
+            n_workers=n_workers, mode=mode,
+            chunk_timeout=(fault_policy.chunk_timeout
+                           if fault_policy else None),
+            max_respawns=(fault_policy.max_respawns
+                          if fault_policy else 3),
+        )
         self.n_workers = self.pool.n_workers
         self.chunk_size = chunk_size
         self.genotype_worker = genotype_worker
@@ -380,6 +664,20 @@ class AsyncPopulationExecutor:
         #: Cache keys owned by in-flight chunks, per engine identity —
         #: the in-flight half of the dedupe (the cache is the landed half).
         self._in_flight: Dict[int, set] = {}
+        #: Quarantined candidate identities — consulted at submit time so
+        #: a poison candidate is never shipped again.  Seeded from the
+        #: ledger (when given), so the set survives restarts.
+        self.quarantined_genotypes: set = set()
+        self.quarantined_states: set = set()
+        if quarantine_ledger is not None:
+            self.quarantined_genotypes |= quarantine_ledger.identities(
+                "genotype")
+            self.quarantined_states |= quarantine_ledger.identities(
+                "supernet")
+        #: Set by :meth:`request_drain` (the harness's signal handlers):
+        #: search loops consult it to stop proposing new work while the
+        #: executor stays fully functional for gathering what's in flight.
+        self.drain_requested = False
         #: Called after every gather that drained >= 1 chunk, with the
         #: chunks that landed (possibly empty when all failed) — the seam
         #: the harness uses for O(delta) mid-run store flushes, so rows
@@ -393,14 +691,23 @@ class AsyncPopulationExecutor:
     def _pending_keys(self, engine) -> set:
         return self._in_flight.setdefault(id(engine), set())
 
+    def request_drain(self) -> None:
+        """Ask search loops to stop proposing new work (sticky flag).
+
+        Gathering, merging and store flushing stay fully functional —
+        drain means *finish what's in flight, start nothing new*.
+        """
+        self.drain_requested = True
+
     def submit_population(self, engine, genotypes: Sequence[Genotype],
                           with_latency: bool = False,
                           assume_canonical: bool = False) -> int:
         """Submit missing unique-canonical indicator rows; returns the
         number of chunk futures shipped (0 = everything cached or already
-        in flight).  Never blocks.  ``with_latency`` is accepted for hook
-        compatibility; latency stays in the parent (LUT composition is
-        cheap, the profiled estimator lives there)."""
+        in flight).  Never blocks.  Quarantined candidates are skipped.
+        ``with_latency`` is accepted for hook compatibility; latency
+        stays in the parent (LUT composition is cheap, the profiled
+        estimator lives there)."""
         proxy_key = astuple(engine.proxy_config)
         macro_key = astuple(engine.macro_config)
         pending = self._pending_keys(engine)
@@ -411,7 +718,7 @@ class AsyncPopulationExecutor:
             canon = (genotype if assume_canonical
                      else canonicalize(genotype))
             index = canon.to_index()
-            if index in seen:
+            if index in seen or index in self.quarantined_genotypes:
                 continue
             seen.add(index)
             keys = genotype_indicator_keys(index, proxy_key, macro_key)
@@ -440,7 +747,7 @@ class AsyncPopulationExecutor:
         seen = set()
         for specs in spec_lists:
             state = supernet_state_key(specs)
-            if state in seen:
+            if state in seen or state in self.quarantined_states:
                 continue
             seen.add(state)
             keys = supernet_indicator_keys(state, proxy_key)
@@ -466,21 +773,23 @@ class AsyncPopulationExecutor:
         pending = self._pending_keys(engine)
         shipped = 0
         for chunk_index in range(0, len(missing), self.chunk_size):
-            chunk = missing[chunk_index:chunk_index + self.chunk_size]
-            chunk_keys = tuple(
-                key
-                for claims in claimed[chunk_index:chunk_index
-                                      + self.chunk_size]
-                for key in claims
-            )
-            pending.update(chunk_keys)
+            chunk = tuple(missing[chunk_index:chunk_index + self.chunk_size])
+            chunk_claims = tuple(
+                claimed[chunk_index:chunk_index + self.chunk_size])
             context = _ChunkContext(kind, engine, proxy_key, macro_key,
-                                    chunk_keys)
+                                    worker, build_payload, chunk,
+                                    chunk_claims)
+            pending.update(context.keys)
             self.pool.submit(worker, build_payload(chunk), tag=context)
             shipped += 1
         self.stats.dispatches += 1
         self.stats.chunks += shipped
         return shipped
+
+    def _resubmit(self, context: _ChunkContext) -> None:
+        """Ship a retry/bisection context (claims are already held)."""
+        self.pool.submit(context.worker,
+                         context.build_payload(context.items), tag=context)
 
     # ------------------------------------------------------------------
     # Gathering
@@ -490,19 +799,135 @@ class AsyncPopulationExecutor:
         """Chunk futures submitted but not yet gathered."""
         return self.pool.num_pending
 
+    def _merge_landed(self, context: _ChunkContext,
+                      value: Tuple) -> GatheredChunk:
+        """Merge one landed chunk into its engine's cache; release its
+        claims; return the search-loop event."""
+        rows, seconds = value
+        engine = context.engine
+        keyed: List[Tuple[Tuple, float]] = []
+        indices: List[int] = []
+        states: List[Tuple] = []
+        for identity, row in rows:
+            if context.kind == "genotype":
+                keys = genotype_indicator_keys(identity,
+                                               context.proxy_key,
+                                               context.macro_key)
+                indices.append(identity)
+            else:
+                keys = supernet_indicator_keys(identity,
+                                               context.proxy_key)
+                states.append(identity)
+            for name, value_ in row.items():
+                keyed.append((keys[name], value_))
+        merged = engine.merge_indicator_rows(keyed)
+        self._pending_keys(engine).difference_update(context.keys)
+        self.pool.record_busy(seconds)
+        engine.ledger.add("pool_eval", seconds=seconds, count=len(rows))
+        self.stats.tasks += len(rows)
+        self.stats.merged_rows += merged
+        self.stats.worker_seconds += seconds
+        return GatheredChunk(
+            kind=context.kind,
+            canonical_indices=tuple(indices),
+            states=tuple(states),
+            merged_rows=merged,
+            worker_seconds=seconds,
+        )
+
+    def _quarantine(self, context: _ChunkContext,
+                    error: BaseException) -> GatheredChunk:
+        """Quarantine the single candidate of a bisected-down context."""
+        identity = chunk_item_identity(context.kind, context.items[0])
+        if context.kind == "genotype":
+            self.quarantined_genotypes.add(identity)
+        else:
+            self.quarantined_states.add(identity)
+        if self.quarantine_ledger is not None:
+            self.quarantine_ledger.add(context.kind, identity,
+                                       reason=repr(error),
+                                       attempts=context.attempts + 1)
+        self._pending_keys(context.engine).difference_update(context.keys)
+        self.stats.quarantined += 1
+        return GatheredChunk(
+            kind=context.kind,
+            quarantined_indices=((identity,)
+                                 if context.kind == "genotype" else ()),
+            quarantined_states=((identity,)
+                                if context.kind == "supernet" else ()),
+        )
+
+    def _handle_failure(self, context: _ChunkContext,
+                        error: BaseException,
+                        failures: List[BaseException],
+                        gathered: List[GatheredChunk]) -> int:
+        """React to one failed chunk under the fault policy.
+
+        Returns the number of *resolved* chunk events (0 when the chunk
+        was retried or bisected and is back in flight).
+        """
+        policy = self.fault_policy
+        label = classify_failure(error)
+        if label == TRANSIENT and context.attempts < policy.max_retries:
+            self.stats.retries += 1
+            context.attempts += 1
+            policy.sleep(policy.backoff_delay(
+                (context.kind, context.keys), context.attempts - 1))
+            self._resubmit(context)
+            return 0
+        if label == POISON and policy.quarantine:
+            if len(context.items) > 1:
+                # One bad candidate mustn't sink its chunk-mates: split
+                # and retry the halves (claims follow their items).
+                for half in context.split():
+                    self._resubmit(half)
+                return 0
+            gathered.append(self._quarantine(context, error))
+            return 1
+        # Worker-lost past the respawn budget, transient past the retry
+        # budget, or quarantine disabled: surface as a plain failure.
+        self._pending_keys(context.engine).difference_update(context.keys)
+        failures.append(error)
+        return 1
+
     def gather(self, k: int = 1) -> List[GatheredChunk]:
         """Block until ``k`` chunks land; merge each into its engine's
         cache immediately and return them in completion order.  Gathers
         everything when fewer than ``k`` chunks are pending; returns
         ``[]`` when nothing is.
 
-        A chunk whose worker raised surfaces as :class:`ChunkGatherError`
-        — but only after the sibling chunks gathered in the same call
-        have merged (they ride along on the error's ``gathered``
-        attribute) and the failed chunk's in-flight key claims have been
-        released, so the executor stays drainable and the candidates can
-        be resubmitted (or computed serially by the engine).
+        Without a fault policy, a chunk whose worker raised surfaces as
+        :class:`ChunkGatherError` — but only after the sibling chunks
+        gathered in the same call have merged (they ride along on the
+        error's ``gathered`` attribute) and the failed chunk's in-flight
+        key claims have been released, so the executor stays drainable
+        and the candidates can be resubmitted (or computed serially by
+        the engine).  With a policy, transient failures retry and poison
+        chunks bisect/quarantine first; only unrecoverable failures
+        raise.
         """
+        if self.fault_policy is None:
+            return self._gather_legacy(k)
+        gathered: List[GatheredChunk] = []
+        failures: List[BaseException] = []
+        drain_all = k >= self.pool.num_pending
+        resolved = 0
+        saw_results = False
+        while self.pool.num_pending and (drain_all or resolved < k):
+            for result in self.pool.gather(1):
+                saw_results = True
+                context: _ChunkContext = result.tag
+                if result.error is None:
+                    gathered.append(self._merge_landed(context,
+                                                       result.value))
+                    resolved += 1
+                else:
+                    resolved += self._handle_failure(context, result.error,
+                                                     failures, gathered)
+        return self._finish_gather(gathered, failures, saw_results)
+
+    def _gather_legacy(self, k: int) -> List[GatheredChunk]:
+        """Policy-free gather: any worker failure is surfaced as-is."""
         gathered: List[GatheredChunk] = []
         failures: List[BaseException] = []
         results = self.pool.gather(k)
@@ -514,46 +939,23 @@ class AsyncPopulationExecutor:
                 )
                 failures.append(result.error)
                 continue
-            rows, seconds = result.value
-            engine = context.engine
-            keyed: List[Tuple[Tuple, float]] = []
-            indices: List[int] = []
-            states: List[Tuple] = []
-            for identity, row in rows:
-                if context.kind == "genotype":
-                    keys = genotype_indicator_keys(identity,
-                                                   context.proxy_key,
-                                                   context.macro_key)
-                    indices.append(identity)
-                else:
-                    keys = supernet_indicator_keys(identity,
-                                                   context.proxy_key)
-                    states.append(identity)
-                for name, value in row.items():
-                    keyed.append((keys[name], value))
-            merged = engine.merge_indicator_rows(keyed)
-            self._pending_keys(engine).difference_update(context.keys)
-            self.pool.record_busy(seconds)
-            engine.ledger.add("pool_eval", seconds=seconds, count=len(rows))
-            self.stats.tasks += len(rows)
-            self.stats.merged_rows += merged
-            self.stats.worker_seconds += seconds
-            gathered.append(GatheredChunk(
-                kind=context.kind,
-                canonical_indices=tuple(indices),
-                states=tuple(states),
-                merged_rows=merged,
-                worker_seconds=seconds,
-            ))
-        if results:
+            gathered.append(self._merge_landed(context, result.value))
+        return self._finish_gather(gathered, failures, bool(results))
+
+    def _finish_gather(self, gathered: List[GatheredChunk],
+                       failures: List[BaseException],
+                       saw_results: bool) -> List[GatheredChunk]:
+        if saw_results:
             # Count the gather even when every chunk in it failed —
             # the loop still synchronised with the pool, and reports
             # must not understate that.
             self.stats.gathers += 1
         self.stats.idle_fraction = self.pool.idle_fraction()
         self.stats.span_seconds = self.pool.span_seconds()
+        self.stats.timeouts = self.pool.timeouts
+        self.stats.respawns = self.pool.respawns
         flush_error: Optional[BaseException] = None
-        if results and self.on_gather is not None:
+        if saw_results and self.on_gather is not None:
             # Flush before surfacing failures: the sibling chunks that
             # landed are already merged and deserve to be persisted.
             self.stats.flushes += 1

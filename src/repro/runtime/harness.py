@@ -19,6 +19,8 @@ in without touching this module.
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -53,6 +55,9 @@ class RuntimeConfig:
     save_store: bool = True     # persist the warmed cache after the run
     precision: str = "float64"  # proxy compute policy (float32|float64)
     parent_selection: str = "crowding"  # steady-state Pareto parent pick
+    chunk_timeout: Optional[float] = None  # async per-chunk deadline (s)
+    max_retries: int = 2        # async transient-failure retry budget
+    graceful_shutdown: bool = True  # SIGINT/SIGTERM drain (async runs)
 
     def proxy_config(self) -> ProxyConfig:
         from repro.eval.benchconfig import reduced_proxy_config
@@ -82,6 +87,10 @@ class RunReport:
     store: Dict[str, object]
     weights_used: Optional[Dict[str, float]] = None
     history: List[Dict] = field(default_factory=list)
+    #: "completed", or "interrupted" when a SIGINT/SIGTERM drain cut the
+    #: run short — everything gathered before the drain is still in the
+    #: report (and persisted, when a store is configured).
+    status: str = "completed"
 
     def to_dict(self) -> Dict:
         payload = asdict(self)
@@ -284,11 +293,25 @@ class RunHarness:
         self.macro_config = config.macro_config()
         self.store = (RuntimeStore(config.store_dir)
                       if config.store_dir else None)
+        self.fingerprint = cache_fingerprint(self.proxy_config,
+                                             self.macro_config)
         if config.async_mode:
             from repro.runtime.async_pool import AsyncPopulationExecutor
+            from repro.runtime.faults import FaultPolicy
 
             self.executor = AsyncPopulationExecutor(
-                n_workers=config.n_workers, chunk_size=config.chunk_size
+                n_workers=config.n_workers, chunk_size=config.chunk_size,
+                fault_policy=FaultPolicy(
+                    chunk_timeout=config.chunk_timeout,
+                    max_retries=config.max_retries,
+                ),
+                # Quarantine decisions persist in the store directory
+                # (and pre-seed the executor) when a store is configured;
+                # store-less runs quarantine in memory only.
+                quarantine_ledger=(
+                    self.store.quarantine_ledger(self.fingerprint)
+                    if self.store is not None else None
+                ),
             )
         else:
             self.executor = PopulationExecutor(n_workers=config.n_workers,
@@ -299,14 +322,15 @@ class RunHarness:
             device=self.device,
             lut_store=self.store,
         )
-        self.fingerprint = cache_fingerprint(self.proxy_config,
-                                             self.macro_config)
         self.warm_entries = (
             self.store.load_cache_into(self.engine.cache, self.fingerprint)
             if self.store is not None else 0
         )
         #: Rows appended to the store by mid-run flushes (async only).
         self.flushed_entries = 0
+        #: Set by the first SIGINT/SIGTERM during :meth:`run`: the run is
+        #: draining and its report will carry ``status="interrupted"``.
+        self._drain_requested = False
         if (config.async_mode and config.save_store
                 and self.store is not None):
             # Store format 2 appends only dirty rows (O(delta)), so
@@ -352,13 +376,54 @@ class RunHarness:
         )
 
     # ------------------------------------------------------------------
+    # Graceful drain
+    # ------------------------------------------------------------------
+    def _handle_drain_signal(self, signum, frame) -> None:
+        """First SIGINT/SIGTERM: drain.  Second: abort for real."""
+        if self._drain_requested:
+            raise KeyboardInterrupt(
+                f"second signal {signum} during drain")
+        self._drain_requested = True
+        self.executor.request_drain()
+
+    def _install_drain_handlers(self) -> List:
+        """Route SIGINT/SIGTERM into a graceful drain; returns the
+        ``(signum, previous_handler)`` pairs to restore afterwards.
+
+        Only armed for async runs (the executor must expose
+        ``request_drain``) from the main thread — synchronous runs keep
+        stock Ctrl-C semantics, and signal handlers cannot be installed
+        off the main thread anyway.
+        """
+        if (not self.config.graceful_shutdown
+                or not hasattr(self.executor, "request_drain")
+                or threading.current_thread()
+                is not threading.main_thread()):
+            return []
+        installed = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous = signal.signal(signum, self._handle_drain_signal)
+            installed.append((signum, previous))
+        return installed
+
+    # ------------------------------------------------------------------
     def run(self) -> RunReport:
-        """Run the configured algorithm; persist and report."""
+        """Run the configured algorithm; persist and report.
+
+        For async runs, SIGINT/SIGTERM triggers a **graceful drain**
+        rather than an abort: submission stops, in-flight chunks are
+        gathered and flushed, and the report comes back marked
+        ``status="interrupted"`` with everything computed so far
+        persisted (a second signal aborts immediately).
+        """
         stats_before = self.engine.cache.stats
+        installed = self._install_drain_handlers()
         try:
             with Timer() as timer:
                 result = ALGORITHMS[self.config.algorithm](self)
         finally:
+            for signum, previous in installed:
+                signal.signal(signum, previous)
             self.close()  # forked workers don't outlive the run
         stats_after = self.engine.cache.stats
         saved_entries = self.flushed_entries
@@ -392,6 +457,8 @@ class RunHarness:
             },
             weights_used=result.weights_used,
             history=result.history,
+            status=("interrupted" if self._drain_requested
+                    else "completed"),
         )
 
 

@@ -734,6 +734,42 @@ class RuntimeStore:
         except OSError:  # held elsewhere, or vanished mid-check
             return 0
 
+    # ------------------------------------------------------------------
+    # Quarantine ledger (fault tolerance)
+    # ------------------------------------------------------------------
+    def quarantine_path(self, fingerprint: Dict) -> Path:
+        """Where this fingerprint's quarantine ledger lives.
+
+        It sits inside the format-2 cache directory: quarantine is a
+        property of the candidate *under this configuration* (a genotype
+        poisoning the float32 proxies may be fine under float64), and it
+        shares the directory's lifecycle (``gc`` of the cache dir drops
+        its quarantine decisions with it).
+        """
+        return self.cache_dir(fingerprint) / "quarantine.jsonl"
+
+    def quarantine_ledger(self, fingerprint: Dict):
+        """The shared :class:`~repro.runtime.faults.QuarantineLedger` for
+        this fingerprint (creating the cache directory if needed, so the
+        ledger can be written before the first indicator row lands)."""
+        from repro.runtime.faults import QuarantineLedger
+
+        self._ensure_dir(fingerprint)
+        return QuarantineLedger(self.quarantine_path(fingerprint))
+
+    def quarantine_entries(self) -> List[Dict]:
+        """Every quarantine entry across all cache directories, with the
+        owning digest attached (the ``micronas store quarantine`` view)."""
+        from repro.runtime.faults import QuarantineLedger
+
+        entries = []
+        for path in sorted(self.root.glob("cache2__*/quarantine.jsonl")):
+            digest = path.parent.name.split("__", 1)[1]
+            for entry in QuarantineLedger(path).entries():
+                entry["digest"] = digest
+                entries.append(entry)
+        return entries
+
     def cache_inventory(self) -> List[Dict]:
         """One summary dict per persisted indicator cache (format-2
         directories and any not-yet-migrated format-1 files)."""
@@ -754,6 +790,12 @@ class RuntimeStore:
                 with contextlib.suppress(OSError):
                     if path.is_file():
                         size += path.stat().st_size
+            quarantined = 0
+            quarantine = directory / "quarantine.jsonl"
+            if quarantine.exists():
+                from repro.runtime.faults import QuarantineLedger
+
+                quarantined = len(QuarantineLedger(quarantine))
             inventory.append({
                 "digest": directory.name.split("__", 1)[1],
                 "format": 2,
@@ -761,6 +803,7 @@ class RuntimeStore:
                 "shards": meta.get("shards"),
                 "base_rows": len(base) if base is not None else 0,
                 "segments": len(segments),
+                "quarantined": quarantined,
                 "bytes": size,
             })
         for path in sorted(self.root.glob("indicator_cache__*.json")):
@@ -785,6 +828,7 @@ class RuntimeStore:
                 "base_rows": len(entries) if isinstance(entries, list)
                              else 0,
                 "segments": 0,
+                "quarantined": 0,
                 "bytes": size,
             })
         return inventory

@@ -299,9 +299,23 @@ class SteadyStateEvolutionarySearch:
                 pareto_cache = self._pareto_parents(population)
             return pareto_cache
 
+        def quarantined() -> set:
+            # Canonical indices the executor has quarantined as poison
+            # (empty for executors without fault tolerance).
+            return getattr(self.executor, "quarantined_genotypes", set())
+
+        def draining() -> bool:
+            # Sticky graceful-drain flag (the harness's signal handlers
+            # set it): finish what's in flight, propose nothing new.
+            return getattr(self.executor, "drain_requested", False)
+
         def submit(genotype: Genotype) -> None:
             """Submit one candidate; commit immediately on a warm cache."""
             canon_index = canonicalize(genotype).to_index()
+            if canon_index in quarantined():
+                # Poison candidate (possibly from a previous run's
+                # ledger): proposing it again would just re-poison.
+                return
             shipped = self.executor.submit_population(engine, [genotype])
             self.objective.ledger.add("evolution_candidates", count=1)
             if shipped == 0 and canon_index not in outstanding:
@@ -315,7 +329,8 @@ class SteadyStateEvolutionarySearch:
         def spawn_children() -> None:
             """Top the pipeline back up to ``n_workers`` futures."""
             nonlocal children_spawned
-            while (children_spawned < self.config.cycles
+            while (not draining()
+                   and children_spawned < self.config.cycles
                    and self.executor.num_pending < n_workers):
                 parents, weights = pareto_parents()
                 if weights is not None:
@@ -348,6 +363,10 @@ class SteadyStateEvolutionarySearch:
                     for index in chunk.canonical_indices:
                         for genotype in outstanding.pop(index, []):
                             commit(genotype)
+                    for index in getattr(chunk, "quarantined_indices", ()):
+                        # Poison candidate: drop its waiters uncommitted —
+                        # nothing will ever land for them.
+                        outstanding.pop(index, None)
                 if population:
                     spawn_children()
                 if committed >= last_logged + 50:
@@ -364,7 +383,19 @@ class SteadyStateEvolutionarySearch:
 
             # Final selection over every distinct candidate seen, in
             # canonical-sort order so ties never break on arrival order.
-            candidates = [seen[index] for index in sorted(seen)]
+            # Quarantined candidates are excluded — their indicators are
+            # uncomputable by definition.
+            banned = quarantined()
+            candidates = [seen[index] for index in sorted(seen)
+                          if not banned
+                          or canonicalize(seen[index]).to_index()
+                          not in banned]
+            if not candidates:
+                raise SearchError(
+                    "steady-state search has no surviving candidates: the "
+                    "run drained (or quarantined every proposal) before "
+                    "anything was committed"
+                )
             if self._checker is not None:
                 feasible = [g for g in candidates
                             if self._checker.satisfied(g)]
@@ -456,6 +487,10 @@ class TrainlessEvolutionarySearch:
             for genotype in initial:
                 note(genotype)
             for cycle in range(self.config.cycles):
+                if getattr(self.executor, "drain_requested", False):
+                    # Graceful drain: stop proposing; the final selection
+                    # below runs over everything committed so far.
+                    break
                 contender_ids = rng.integers(0, len(population),
                                              size=self.config.sample_size)
                 contenders = [population[int(i)] for i in contender_ids]
