@@ -57,7 +57,8 @@ def run_once(store_dir: str, label: str) -> None:
                 ["warm-start entries", loaded],
                 ["chunk futures shipped", executor.stats.chunks],
                 ["worker idle fraction",
-                 f"{executor.stats.idle_fraction:.1%}"],
+                 "n/a" if executor.stats.idle_fraction is None
+                 else f"{executor.stats.idle_fraction:.1%}"],
                 ["cache entries persisted", saved],
                 ["wall time", f"{result.wall_seconds:.2f} s"],
             ],
@@ -84,7 +85,8 @@ def run_harness(store_dir: str) -> None:
             ["cache hits / misses", f"{report.cache['hits']} / "
                                     f"{report.cache['misses']}"],
             ["worker idle fraction",
-             f"{report.pool['idle_fraction']:.1%}"],
+             "n/a" if report.pool["idle_fraction"] is None
+             else f"{report.pool['idle_fraction']:.1%}"],
             ["wall time", f"{report.wall_seconds:.2f} s"],
         ],
         title="the same run through RunHarness (async_mode=True)",

@@ -11,6 +11,9 @@ store
     Inspect and maintain a runtime store directory: ``inventory`` lists
     persisted caches/LUTs, ``compact`` folds append-only segments into
     each cache's base file, ``gc`` sweeps stale sidecar files.
+trace
+    Summarize a telemetry trace written by ``runtime --trace``: wall
+    clock, span coverage, and a per-phase time breakdown.
 pareto
     Zero-shot quality/latency Pareto front over a sampled population.
 profile
@@ -143,6 +146,8 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         parent_selection=args.parent_selection,
         chunk_timeout=args.chunk_timeout,
         max_retries=args.max_retries,
+        trace_path=args.trace,
+        heartbeat=args.heartbeat,
     )
     try:
         report = RunHarness(config).run()
@@ -153,6 +158,7 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     # Rows are appended in display order (optional rows at their natural
     # position) — no positional insert bookkeeping to keep in sync.
     rows = [
+        ["run id", report.run_id],
         ["algorithm", report.algorithm],
         ["architecture", report.arch_str],
         ["precision", config.precision],
@@ -162,8 +168,9 @@ def cmd_runtime(args: argparse.Namespace) -> int:
                                f"{report.pool['chunks']}"],
     ]
     if config.async_mode:
+        idle = report.pool.get("idle_fraction")
         rows.append(["worker idle fraction",
-                     f"{report.pool['idle_fraction']:.1%}"])
+                     "n/a" if idle is None else f"{idle:.1%}"])
         faults = [f"{report.pool[key]} {key}"
                   for key in ("retries", "timeouts", "respawns",
                               "quarantined")
@@ -182,6 +189,8 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         rows.append(["LUTs in store (all runs)",
                      str(len(report.store["luts"]))])
     rows.append(["wall time", f"{report.wall_seconds:.2f} s"])
+    if args.trace:
+        rows.append(["trace", args.trace])
     for name, value in sorted(report.indicators.items()):
         rows.append([f"indicator: {name}", f"{value:.6g}"])
     print(format_table(rows, title="parallel-runtime search run"))
@@ -248,6 +257,41 @@ def cmd_store(args: argparse.Namespace) -> int:
     removed = store.gc(max_age_seconds=args.max_age)
     print(f"store gc: removed {removed['tmp']} stale .tmp and "
           f"{removed['lock']} stale .lock files from {args.store}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a Chrome-trace JSON written by ``runtime --trace``."""
+    from repro.runtime.telemetry import load_trace, summarize_trace
+
+    try:
+        payload = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read trace {args.path!r}: {exc}")
+    summary = summarize_trace(payload)
+    rows = [
+        ["run id", summary["run_id"] or "?"],
+        ["spans", summary["n_spans"]],
+        ["wall clock", f"{summary['wall_seconds']:.3f} s"],
+        ["span coverage", f"{summary['coverage']:.1%}"],
+    ]
+    print(format_table(rows, title=f"trace summary: {args.path}"))
+    if summary["phases"]:
+        print()
+        print(format_table(
+            [[p["name"], p["count"], f"{p['seconds']:.3f}",
+              f"{p['share']:.1%}"] for p in summary["phases"]],
+            headers=["phase", "spans", "seconds", "share of traced time"],
+            title="time by phase (span category)",
+        ))
+    if summary["spans"]:
+        print()
+        print(format_table(
+            [[s["name"], s["count"], f"{s['seconds']:.3f}",
+              f"{s['share']:.1%}"] for s in summary["spans"]],
+            headers=["span", "count", "seconds", "share of traced time"],
+            title="time by span name",
+        ))
     return 0
 
 
@@ -611,7 +655,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_runtime.add_argument("--report", default=None,
                            help="also write the structured run report "
                                 "(JSON) to this path")
+    p_runtime.add_argument("--trace", default=None,
+                           help="arm run telemetry and write a Chrome "
+                                "trace_event JSON (load in Perfetto / "
+                                "chrome://tracing, or inspect with "
+                                "'micronas trace summarize PATH')")
+    p_runtime.add_argument("--heartbeat", type=float, default=None,
+                           metavar="SECS",
+                           help="print a one-line progress heartbeat to "
+                                "stderr every SECS seconds (evals/s, "
+                                "in-flight, idle %%, retries, store rows)")
     p_runtime.set_defaults(fn=cmd_runtime)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect a telemetry trace written by 'runtime --trace'",
+        description="Offline analysis of a Chrome trace_event JSON "
+                    "written by 'micronas runtime --trace PATH': "
+                    "'summarize' prints wall clock, span coverage, and "
+                    "a phase-by-phase time breakdown.",
+    )
+    p_trace.add_argument("action", choices=("summarize",))
+    p_trace.add_argument("path", help="trace JSON path")
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_store = sub.add_parser(
         "store",

@@ -77,12 +77,18 @@ class Engine:
         cache: Optional[IndicatorCache] = None,
         ledger: Optional[CostLedger] = None,
         lut_store=None,
+        telemetry=None,
     ) -> None:
         self.proxy_config = proxy_config or ProxyConfig()
         self.macro_config = macro_config or MacroConfig.full()
         self.cache = cache if cache is not None else IndicatorCache()
         self.ledger = ledger if ledger is not None else CostLedger()
         self.lut_store = lut_store
+        #: Duck-typed run telemetry (``span``/``gauge``/``count`` with an
+        #: ``enabled`` flag) or ``None``.  Deliberately untyped: the
+        #: engine never imports the runtime package, the runtime hands
+        #: the object in — the same direction as the ``executor=`` hook.
+        self.telemetry = telemetry
         self._device = device
         self._profiler = profiler
         self._latency_estimator = latency_estimator
@@ -129,6 +135,7 @@ class Engine:
             cache=self.cache,
             ledger=self.ledger,
             lut_store=self.lut_store,
+            telemetry=self.telemetry,
         )
 
     def _estimator_for(self, config: MacroConfig):
@@ -352,6 +359,29 @@ class Engine:
         shared cache, the resulting table is identical no matter how (or
         whether) an executor warmed it.
         """
+        genotypes = list(genotypes)
+        tel = self.telemetry
+        if tel is None or not tel.enabled:
+            return self._evaluate_population_impl(genotypes, with_latency,
+                                                  executor)
+        with tel.span("evaluate_population", "engine",
+                      candidates=len(genotypes)) as span:
+            table = self._evaluate_population_impl(genotypes, with_latency,
+                                                   executor)
+            span.note(unique=table.unique_canonical,
+                      cache_hits=table.cache_hits,
+                      cache_misses=table.cache_misses)
+            stats = self.cache.stats
+            tel.gauge("cache.hit_rate", stats.hit_rate)
+            tel.gauge("cache.entries", stats.entries)
+            return table
+
+    def _evaluate_population_impl(
+        self,
+        genotypes: Sequence[Genotype],
+        with_latency: bool = False,
+        executor=None,
+    ) -> IndicatorTable:
         genotypes = list(genotypes)
         # One canonicalization pass serves the executor hook, the stacked
         # eigensolve and the dedupe below (canonicalize builds a cell

@@ -43,6 +43,16 @@ engine ever importing it:
    an async harness run triggers a graceful drain: submission stops,
    in-flight chunks land and flush, and the report comes back marked
    ``interrupted`` with nothing lost.
+6. **Telemetry** (:mod:`repro.runtime.telemetry` +
+   :mod:`repro.runtime.tracing`) — a strict-observer instrumentation
+   substrate: one run-scoped :class:`Telemetry` object threaded through
+   harness → executors → pool → store → engine records spans (dispatch,
+   worker compute, gather, merge, flush, compaction, backoff, respawn)
+   and a lock-free metrics registry; fork workers self-report through a
+   ``flock``'d JSONL sidecar.  Exports Chrome ``trace_event`` JSON
+   (Perfetto-loadable) plus a metrics snapshot in the
+   :class:`RunReport`; disabled by default with <2% armed overhead and
+   zero effect on computed rows.
 
 The composition seam is deliberately thin: ``Engine.evaluate_population``
 and every search loop accept an optional ``executor=`` object they only
@@ -77,6 +87,15 @@ from repro.runtime.harness import (
     RuntimeConfig,
     register_algorithm,
 )
+from repro.runtime.telemetry import (
+    Heartbeat,
+    MetricsRegistry,
+    Telemetry,
+    load_trace,
+    span_coverage,
+    summarize_trace,
+)
+from repro.runtime.tracing import Tracer, write_chrome_trace
 
 __all__ = [
     "PopulationExecutor",
@@ -99,4 +118,12 @@ __all__ = [
     "RunReport",
     "ALGORITHMS",
     "register_algorithm",
+    "Heartbeat",
+    "MetricsRegistry",
+    "Telemetry",
+    "Tracer",
+    "load_trace",
+    "span_coverage",
+    "summarize_trace",
+    "write_chrome_trace",
 ]

@@ -87,6 +87,13 @@ from repro.runtime.pool import (
     genotype_indicator_keys,
     supernet_indicator_keys,
 )
+from repro.runtime.telemetry import Telemetry
+from repro.runtime.tracing import (
+    CAT_DISPATCH,
+    CAT_FAULT,
+    CAT_GATHER,
+    CAT_MERGE,
+)
 from repro.searchspace.canonical import canonicalize
 from repro.searchspace.genotype import Genotype
 
@@ -179,7 +186,8 @@ class FuturePool:
     def __init__(self, n_workers: Optional[int] = None,
                  mode: str = "auto",
                  chunk_timeout: Optional[float] = None,
-                 max_respawns: int = 3) -> None:
+                 max_respawns: int = 3,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if n_workers is None:
             n_workers = multiprocessing.cpu_count()
         if n_workers < 1:
@@ -198,6 +206,8 @@ class FuturePool:
         self.mode = mode
         self.chunk_timeout = chunk_timeout
         self.max_respawns = max_respawns
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry.disabled())
         self._pool = None
         self._next_id = 0
         #: Pending tasks in submission order.
@@ -208,6 +218,7 @@ class FuturePool:
         self.timeouts = 0            # tasks expired past their deadline
         self.respawns = 0            # backend recoveries performed
         self.busy_seconds = 0.0      # sum of measured task durations
+        self._busy_reported = False  # has record_busy ever been fed?
         self._first_submit: Optional[float] = None
         self._last_gather: Optional[float] = None
 
@@ -258,6 +269,9 @@ class FuturePool:
                 future = self._ensure_pool().submit(worker, payload)
         self._pending.append(_PendingTask(task_id, tag, worker, payload,
                                           future, self._deadline()))
+        if self.telemetry.enabled:
+            self.telemetry.gauge("pool.queue_depth", len(self._pending))
+            self.telemetry.observe("queue_depth", len(self._pending))
         return task_id
 
     @property
@@ -277,23 +291,26 @@ class FuturePool:
         if self.respawns >= self.max_respawns:
             return False
         self.respawns += 1
-        pool, self._pool = self._pool, None
-        self._hung = []
-        if pool is not None:
-            for process in list((getattr(pool, "_processes", None)
-                                 or {}).values()):
+        self.telemetry.count("pool.respawns")
+        with self.telemetry.span("pool_respawn", CAT_FAULT,
+                                 resubmitted=len(self._pending)):
+            pool, self._pool = self._pool, None
+            self._hung = []
+            if pool is not None:
+                for process in list((getattr(pool, "_processes", None)
+                                     or {}).values()):
+                    try:
+                        process.terminate()
+                    except Exception:
+                        pass
                 try:
-                    process.terminate()
+                    pool.shutdown(wait=False, cancel_futures=True)
                 except Exception:
                     pass
-            try:
-                pool.shutdown(wait=False, cancel_futures=True)
-            except Exception:
-                pass
-        fresh = self._ensure_pool()
-        for task in self._pending:
-            task.future = fresh.submit(task.worker, task.payload)
-            task.deadline = self._deadline()
+            fresh = self._ensure_pool()
+            for task in self._pending:
+                task.future = fresh.submit(task.worker, task.payload)
+                task.deadline = self._deadline()
         return True
 
     def _expire_overdue(self, results: List[TaskResult]) -> None:
@@ -312,6 +329,7 @@ class FuturePool:
                 still.append(task)
             elif task.deadline is not None and now >= task.deadline:
                 self.timeouts += 1
+                self.telemetry.count("pool.timeouts")
                 if not future.cancel():
                     # Uncancellable = genuinely executing = hung worker.
                     self._hung.append(future)
@@ -426,6 +444,7 @@ class FuturePool:
         :meth:`idle_fraction` is meaningless without it.
         """
         self.busy_seconds += seconds
+        self._busy_reported = True
 
     def span_seconds(self) -> float:
         """Wall-clock from the first submit to the last gather so far."""
@@ -433,11 +452,19 @@ class FuturePool:
             return 0.0
         return max(0.0, self._last_gather - self._first_submit)
 
-    def idle_fraction(self) -> float:
-        """Fraction of worker capacity (``n_workers × span``) left idle."""
+    def idle_fraction(self) -> Optional[float]:
+        """Fraction of worker capacity (``n_workers × span``) left idle.
+
+        ``None`` means *no data* — no gather has landed yet, or no caller
+        ever fed :meth:`record_busy` — which is distinct from ``0.0``
+        ("fully utilised").  Conflating the two made fresh pools read as
+        perfectly busy in reports.
+        """
+        if not self._busy_reported:
+            return None
         capacity = self.n_workers * self.span_seconds()
         if capacity <= 0.0:
-            return 0.0
+            return None
         return max(0.0, 1.0 - self.busy_seconds / capacity)
 
     # ------------------------------------------------------------------
@@ -496,12 +523,17 @@ class AsyncPoolStats:
     flushes: int = 0          # on_gather flush-hook invocations
     tasks: int = 0            # candidate rows computed by workers
     merged_rows: int = 0      # cache entries merged
+    # Candidates skipped at submit time because a submitted-but-ungathered
+    # chunk already owned every key they were missing.
+    dedupe_hits: int = 0
     retries: int = 0          # transient chunk failures retried
     timeouts: int = 0         # chunks expired past their deadline
     respawns: int = 0         # pool backends replaced after death/hang
     quarantined: int = 0      # poison candidates quarantined
     worker_seconds: float = 0.0
-    idle_fraction: float = 0.0
+    # None = no utilisation data yet (nothing gathered / record_busy never
+    # fed) — deliberately distinct from 0.0, "no idle at all".
+    idle_fraction: Optional[float] = None
     span_seconds: float = 0.0
 
     def to_dict(self) -> Dict:
@@ -514,6 +546,7 @@ class AsyncPoolStats:
             "flushes": self.flushes,
             "tasks": self.tasks,
             "merged_rows": self.merged_rows,
+            "dedupe_hits": self.dedupe_hits,
             "retries": self.retries,
             "timeouts": self.timeouts,
             "respawns": self.respawns,
@@ -576,12 +609,13 @@ class _ChunkContext:
 
     __slots__ = ("kind", "engine", "proxy_key", "macro_key", "keys",
                  "worker", "build_payload", "items", "item_claims",
-                 "attempts")
+                 "attempts", "chunk_id")
 
     def __init__(self, kind: str, engine, proxy_key: Tuple,
                  macro_key: Optional[Tuple], worker: Callable,
                  build_payload: Callable, items: Tuple,
-                 item_claims: Tuple, attempts: int = 0) -> None:
+                 item_claims: Tuple, attempts: int = 0,
+                 chunk_id: Optional[int] = None) -> None:
         self.kind = kind
         self.engine = engine
         self.proxy_key = proxy_key
@@ -591,11 +625,15 @@ class _ChunkContext:
         self.items = items              # the (head, needs) chunk slice
         self.item_claims = item_claims  # per-item claimed key tuples
         self.attempts = attempts        # completed attempts of THIS chunk
+        #: Telemetry correlation key: ties the chunk's dispatch span to
+        #: its worker-compute and merge spans across retries/bisection.
+        self.chunk_id = chunk_id
         #: Pending-set members to release on landing (all claims, flat).
         self.keys = tuple(key for claims in item_claims for key in claims)
 
     def split(self) -> Tuple["_ChunkContext", "_ChunkContext"]:
-        """Bisect into two halves (claims follow their items)."""
+        """Bisect into two halves (claims follow their items; halves keep
+        the parent's chunk id so the trace shows one lineage)."""
         mid = len(self.items) // 2
         halves = []
         for lo, hi in ((0, mid), (mid, len(self.items))):
@@ -603,6 +641,7 @@ class _ChunkContext:
                 self.kind, self.engine, self.proxy_key, self.macro_key,
                 self.worker, self.build_payload,
                 self.items[lo:hi], self.item_claims[lo:hi], attempts=0,
+                chunk_id=self.chunk_id,
             ))
         return halves[0], halves[1]
 
@@ -643,17 +682,21 @@ class AsyncPopulationExecutor:
                  supernet_worker: Callable = _evaluate_supernet_chunk,
                  fault_policy: Optional[FaultPolicy] = None,
                  quarantine_ledger=None,
+                 telemetry: Optional[Telemetry] = None,
                  ) -> None:
         if chunk_size < 1:
             raise SearchError("chunk_size must be >= 1")
         self.fault_policy = fault_policy
         self.quarantine_ledger = quarantine_ledger
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry.disabled())
         self.pool = FuturePool(
             n_workers=n_workers, mode=mode,
             chunk_timeout=(fault_policy.chunk_timeout
                            if fault_policy else None),
             max_respawns=(fault_policy.max_respawns
                           if fault_policy else 3),
+            telemetry=self.telemetry,
         )
         self.n_workers = self.pool.n_workers
         self.chunk_size = chunk_size
@@ -661,6 +704,9 @@ class AsyncPopulationExecutor:
         self.supernet_worker = supernet_worker
         self.stats = AsyncPoolStats(mode=self.pool.mode,
                                     n_workers=self.pool.n_workers)
+        #: Monotone chunk ids — the telemetry correlation key tying a
+        #: dispatch span to its worker-compute and merge spans.
+        self._next_chunk_id = 0
         #: Cache keys owned by in-flight chunks, per engine identity —
         #: the in-flight half of the dedupe (the cache is the landed half).
         self._in_flight: Dict[int, set] = {}
@@ -732,6 +778,11 @@ class AsyncPopulationExecutor:
                 claimed.append(tuple(keys[name]
                                      for name, need in zip(names, needs)
                                      if need))
+            elif any(keys[name] in pending for name in names):
+                # Nothing to ship, but only because an in-flight chunk
+                # already owns the missing keys: an in-flight dedupe hit.
+                self.stats.dedupe_hits += 1
+                self.telemetry.count("executor.dedupe_hits")
         return self._ship("genotype", engine, missing, claimed,
                           lambda chunk: (tuple(chunk), engine.proxy_config,
                                          engine.macro_config),
@@ -761,6 +812,9 @@ class AsyncPopulationExecutor:
                 claimed.append(tuple(keys[name]
                                      for name, need in zip(names, needs)
                                      if need))
+            elif any(keys[name] in pending for name in names):
+                self.stats.dedupe_hits += 1
+                self.telemetry.count("executor.dedupe_hits")
         return self._ship("supernet", engine, missing, claimed,
                           lambda chunk: (tuple(chunk), engine.proxy_config),
                           self.supernet_worker, proxy_key, None)
@@ -770,26 +824,42 @@ class AsyncPopulationExecutor:
               proxy_key: Tuple, macro_key: Optional[Tuple]) -> int:
         if not missing:
             return 0
+        tel = self.telemetry
         pending = self._pending_keys(engine)
         shipped = 0
         for chunk_index in range(0, len(missing), self.chunk_size):
             chunk = tuple(missing[chunk_index:chunk_index + self.chunk_size])
             chunk_claims = tuple(
                 claimed[chunk_index:chunk_index + self.chunk_size])
+            chunk_id = self._next_chunk_id
+            self._next_chunk_id += 1
             context = _ChunkContext(kind, engine, proxy_key, macro_key,
                                     worker, build_payload, chunk,
-                                    chunk_claims)
+                                    chunk_claims, chunk_id=chunk_id)
             pending.update(context.keys)
-            self.pool.submit(worker, build_payload(chunk), tag=context)
+            with tel.span("dispatch", CAT_DISPATCH, chunk=chunk_id,
+                          kind=kind, items=len(chunk)):
+                self.pool.submit(
+                    tel.wrap_worker(worker, chunk=chunk_id,
+                                    local=self.pool.mode != "fork"),
+                    build_payload(chunk), tag=context)
             shipped += 1
         self.stats.dispatches += 1
         self.stats.chunks += shipped
+        if tel.enabled:
+            tel.gauge("executor.in_flight", self.pool.num_pending)
         return shipped
 
     def _resubmit(self, context: _ChunkContext) -> None:
         """Ship a retry/bisection context (claims are already held)."""
-        self.pool.submit(context.worker,
-                         context.build_payload(context.items), tag=context)
+        tel = self.telemetry
+        with tel.span("dispatch", CAT_DISPATCH, chunk=context.chunk_id,
+                      kind=context.kind, items=len(context.items),
+                      resubmit=True):
+            self.pool.submit(
+                tel.wrap_worker(context.worker, chunk=context.chunk_id,
+                                local=self.pool.mode != "fork"),
+                context.build_payload(context.items), tag=context)
 
     # ------------------------------------------------------------------
     # Gathering
@@ -803,6 +873,22 @@ class AsyncPopulationExecutor:
                       value: Tuple) -> GatheredChunk:
         """Merge one landed chunk into its engine's cache; release its
         claims; return the search-loop event."""
+        tel = self.telemetry
+        if not tel.enabled:
+            return self._merge_landed_impl(context, value)
+        with tel.span("merge", CAT_MERGE, chunk=context.chunk_id,
+                      kind=context.kind) as span:
+            chunk = self._merge_landed_impl(context, value)
+            evals = len(chunk.canonical_indices) + len(chunk.states)
+            span.note(rows=evals, merged=chunk.merged_rows)
+            tel.count("executor.evals", evals)
+            tel.count("executor.merged_rows", chunk.merged_rows)
+            tel.observe("chunk_seconds", chunk.worker_seconds)
+            tel.gauge("executor.in_flight", self.pool.num_pending)
+            return chunk
+
+    def _merge_landed_impl(self, context: _ChunkContext,
+                           value: Tuple) -> GatheredChunk:
         rows, seconds = value
         engine = context.engine
         keyed: List[Tuple[Tuple, float]] = []
@@ -849,6 +935,7 @@ class AsyncPopulationExecutor:
                                        attempts=context.attempts + 1)
         self._pending_keys(context.engine).difference_update(context.keys)
         self.stats.quarantined += 1
+        self.telemetry.count("executor.quarantined")
         return GatheredChunk(
             kind=context.kind,
             quarantined_indices=((identity,)
@@ -870,9 +957,15 @@ class AsyncPopulationExecutor:
         label = classify_failure(error)
         if label == TRANSIENT and context.attempts < policy.max_retries:
             self.stats.retries += 1
+            self.telemetry.count("executor.retries")
             context.attempts += 1
-            policy.sleep(policy.backoff_delay(
-                (context.kind, context.keys), context.attempts - 1))
+            delay = policy.backoff_delay(
+                (context.kind, context.keys), context.attempts - 1)
+            with self.telemetry.span("backoff_wait", CAT_FAULT,
+                                     chunk=context.chunk_id,
+                                     attempt=context.attempts,
+                                     delay_seconds=delay):
+                policy.sleep(delay)
             self._resubmit(context)
             return 0
         if label == POISON and policy.quarantine:
@@ -906,6 +999,16 @@ class AsyncPopulationExecutor:
         chunks bisect/quarantine first; only unrecoverable failures
         raise.
         """
+        tel = self.telemetry
+        if not tel.enabled:
+            return self._gather_inner(k)
+        with tel.span("gather", CAT_GATHER, requested=k,
+                      pending=self.pool.num_pending) as span:
+            chunks = self._gather_inner(k)
+            span.note(chunks=len(chunks))
+            return chunks
+
+    def _gather_inner(self, k: int) -> List[GatheredChunk]:
         if self.fault_policy is None:
             return self._gather_legacy(k)
         gathered: List[GatheredChunk] = []

@@ -19,19 +19,27 @@ in without touching this module.
 from __future__ import annotations
 
 import json
+import os
 import signal
 import threading
 from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import SearchError
 from repro.proxies.base import ProxyConfig
 from repro.runtime.pool import PopulationExecutor
 from repro.runtime.store import RuntimeStore, cache_fingerprint
+from repro.runtime.telemetry import Heartbeat, Telemetry
 from repro.search.result import SearchResult
 from repro.searchspace.genotype import Genotype
 from repro.searchspace.network import MacroConfig
 from repro.utils.timing import Timer
+
+
+def _utc_now() -> str:
+    """ISO-8601 UTC timestamp (the cross-process correlation format)."""
+    return datetime.now(timezone.utc).isoformat()
 
 @dataclass(frozen=True)
 class RuntimeConfig:
@@ -58,6 +66,8 @@ class RuntimeConfig:
     chunk_timeout: Optional[float] = None  # async per-chunk deadline (s)
     max_retries: int = 2        # async transient-failure retry budget
     graceful_shutdown: bool = True  # SIGINT/SIGTERM drain (async runs)
+    trace_path: Optional[str] = None  # write a Chrome trace JSON here
+    heartbeat: Optional[float] = None  # progress line every N seconds
 
     def proxy_config(self) -> ProxyConfig:
         from repro.eval.benchconfig import reduced_proxy_config
@@ -91,6 +101,15 @@ class RunReport:
     #: run short — everything gathered before the drain is still in the
     #: report (and persisted, when a store is configured).
     status: str = "completed"
+    #: Short random hex minted at harness construction — stamped on every
+    #: telemetry event too, so fleet-mode logs from several processes can
+    #: be correlated after the fact.
+    run_id: str = ""
+    started_at: str = ""   # ISO-8601 UTC
+    finished_at: str = ""  # ISO-8601 UTC
+    #: Metrics snapshot (counters/gauges/histograms) when telemetry was
+    #: armed for the run; ``None`` otherwise.
+    telemetry: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
         payload = asdict(self)
@@ -291,7 +310,20 @@ class RunHarness:
         self.device = devices[config.device]
         self.proxy_config = config.proxy_config()
         self.macro_config = config.macro_config()
-        self.store = (RuntimeStore(config.store_dir)
+        #: Short random hex correlating this run across processes, logs
+        #: and telemetry events (minted even when telemetry is off — the
+        #: report always carries it).
+        self.run_id = os.urandom(4).hex()
+        #: Armed when the run wants a trace file or a heartbeat; the
+        #: shared disabled singleton otherwise — every layer below takes
+        #: it unconditionally and no-ops when disabled.
+        self.telemetry = (
+            Telemetry.armed(run_id=self.run_id, trace_path=config.trace_path)
+            if (config.trace_path or config.heartbeat)
+            else Telemetry.disabled()
+        )
+        self.store = (RuntimeStore(config.store_dir,
+                                   telemetry=self.telemetry)
                       if config.store_dir else None)
         self.fingerprint = cache_fingerprint(self.proxy_config,
                                              self.macro_config)
@@ -312,15 +344,18 @@ class RunHarness:
                     self.store.quarantine_ledger(self.fingerprint)
                     if self.store is not None else None
                 ),
+                telemetry=self.telemetry,
             )
         else:
             self.executor = PopulationExecutor(n_workers=config.n_workers,
-                                               chunk_size=config.chunk_size)
+                                               chunk_size=config.chunk_size,
+                                               telemetry=self.telemetry)
         self.engine = Engine(
             proxy_config=self.proxy_config,
             macro_config=self.macro_config,
             device=self.device,
             lut_store=self.store,
+            telemetry=self.telemetry,
         )
         self.warm_entries = (
             self.store.load_cache_into(self.engine.cache, self.fingerprint)
@@ -343,6 +378,18 @@ class RunHarness:
     def _flush_store(self, gathered) -> None:
         self.flushed_entries += self.store.save_cache(self.engine.cache,
                                                       self.fingerprint)
+
+    def _heartbeat_source(self) -> Dict:
+        """One reading for the heartbeat line (reads shared counters only,
+        so it is safe from the heartbeat thread mid-run)."""
+        stats = self.executor.stats
+        return {
+            "evals": getattr(stats, "tasks", 0),
+            "in_flight": getattr(self.executor, "num_pending", 0),
+            "idle_fraction": getattr(stats, "idle_fraction", None),
+            "retries": getattr(stats, "retries", 0),
+            "store_rows": self.flushed_entries,
+        }
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -418,13 +465,34 @@ class RunHarness:
         """
         stats_before = self.engine.cache.stats
         installed = self._install_drain_handlers()
+        started_at = _utc_now()
+        finished_at = ""
+        heartbeat: Optional[Heartbeat] = None
+        if self.config.heartbeat:
+            heartbeat = Heartbeat(self.config.heartbeat,
+                                  self._heartbeat_source,
+                                  run_id=self.run_id).start()
         try:
             with Timer() as timer:
                 result = ALGORITHMS[self.config.algorithm](self)
         finally:
+            if heartbeat is not None:
+                heartbeat.stop()
             for signum, previous in installed:
                 signal.signal(signum, previous)
             self.close()  # forked workers don't outlive the run
+            finished_at = _utc_now()
+            # Write the trace even when the run raised or was drained —
+            # an interrupted timeline is exactly when you want one — and
+            # never let a telemetry write failure mask the run's outcome.
+            try:
+                self.telemetry.write_trace(other_data={
+                    "started_at": started_at,
+                    "finished_at": finished_at,
+                    "interrupted": self._drain_requested,
+                })
+            except Exception:
+                pass
         stats_after = self.engine.cache.stats
         saved_entries = self.flushed_entries
         if self.store is not None and self.config.save_store:
@@ -459,6 +527,11 @@ class RunHarness:
             history=result.history,
             status=("interrupted" if self._drain_requested
                     else "completed"),
+            run_id=self.run_id,
+            started_at=started_at,
+            finished_at=finished_at,
+            telemetry=(self.telemetry.metrics_snapshot()
+                       if self.telemetry.enabled else None),
         )
 
 

@@ -38,6 +38,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.core import supernet_state_key
 from repro.errors import SearchError
+from repro.runtime.telemetry import Telemetry
+from repro.runtime.tracing import CAT_DISPATCH
 from repro.searchspace.canonical import canonicalize
 from repro.searchspace.cell import EdgeSpec
 from repro.searchspace.genotype import Genotype
@@ -175,7 +177,8 @@ class PopulationExecutor:
     """
 
     def __init__(self, n_workers: Optional[int] = None,
-                 chunk_size: int = 8) -> None:
+                 chunk_size: int = 8,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if n_workers is None:
             n_workers = multiprocessing.cpu_count()
         if n_workers < 1:
@@ -184,6 +187,8 @@ class PopulationExecutor:
             raise SearchError("chunk_size must be >= 1")
         self.n_workers = n_workers
         self.chunk_size = chunk_size
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry.disabled())
         self.stats = PoolStats(n_workers=n_workers)
         self._pool = None
 
@@ -232,12 +237,16 @@ class PopulationExecutor:
             self.stats.mode = "fork-pool"
         self.stats.dispatches += 1
         self.stats.chunks += len(payloads)
-        if not parallel:
-            return [worker(payload) for payload in payloads]
-        # Results come back in submission order regardless of which
-        # worker finishes first; merge order is thus deterministic
-        # (and irrelevant anyway — keys are unique after dedupe).
-        return list(self._ensure_pool().map(worker, payloads))
+        tel = self.telemetry
+        run_worker = tel.wrap_worker(worker, local=not parallel)
+        with tel.span("pool_run_chunks", CAT_DISPATCH,
+                      chunks=len(payloads), parallel=parallel):
+            if not parallel:
+                return [run_worker(payload) for payload in payloads]
+            # Results come back in submission order regardless of which
+            # worker finishes first; merge order is thus deterministic
+            # (and irrelevant anyway — keys are unique after dedupe).
+            return list(self._ensure_pool().map(run_worker, payloads))
 
     def _merge(self, engine, keyed_rows: List[Tuple[Tuple, float]]) -> int:
         merged = engine.merge_indicator_rows(keyed_rows)
@@ -295,6 +304,8 @@ class PopulationExecutor:
                                               payloads):
             self.stats.tasks += len(rows)
             self.stats.worker_seconds += seconds
+            self.telemetry.observe("chunk_seconds", seconds)
+            self.telemetry.count("executor.evals", len(rows))
             engine.ledger.add("pool_eval", seconds=seconds, count=len(rows))
             for index, row in rows:
                 keys = genotype_indicator_keys(index, proxy_key, macro_key)
@@ -331,6 +342,8 @@ class PopulationExecutor:
                                               payloads):
             self.stats.tasks += len(rows)
             self.stats.worker_seconds += seconds
+            self.telemetry.observe("chunk_seconds", seconds)
+            self.telemetry.count("executor.evals", len(rows))
             engine.ledger.add("pool_eval", seconds=seconds, count=len(rows))
             for state, row in rows:
                 keys = supernet_indicator_keys(state, proxy_key)

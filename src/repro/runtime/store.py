@@ -87,6 +87,8 @@ from repro.engine.core import INDICATOR_NAMES
 from repro.errors import ReproError
 from repro.hardware.profiler import LatencyLUT
 from repro.proxies.base import ProxyConfig
+from repro.runtime.telemetry import Telemetry
+from repro.runtime.tracing import CAT_STORE
 from repro.searchspace.network import MacroConfig
 
 #: Bump when the meaning of cached values or the on-disk layout changes;
@@ -237,13 +239,16 @@ class RuntimeStore:
 
     def __init__(self, root, shards: int = DEFAULT_SHARDS,
                  auto_compact_segments: Optional[int]
-                 = DEFAULT_AUTO_COMPACT_SEGMENTS) -> None:
+                 = DEFAULT_AUTO_COMPACT_SEGMENTS,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if shards < 1:
             raise StoreError("shards must be >= 1")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.shards = shards
         self.auto_compact_segments = auto_compact_segments
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry.disabled())
         #: Why the last load/get returned nothing (diagnostics/reporting).
         self.last_rejection: Optional[str] = None
 
@@ -365,6 +370,18 @@ class RuntimeStore:
         mirroring one cache into several stores needs ``items()``-level
         copying, not repeated ``save_cache`` calls.
         """
+        tel = self.telemetry
+        if not tel.enabled:
+            return self._save_cache_impl(cache, fingerprint)
+        with tel.span("store_flush", CAT_STORE) as span:
+            appended = self._save_cache_impl(cache, fingerprint)
+            span.note(rows=appended)
+            tel.count("store.rows_appended", appended)
+            tel.count("store.flushes")
+            return appended
+
+    def _save_cache_impl(self, cache: IndicatorCache,
+                         fingerprint: Dict) -> int:
         rows = list(getattr(cache, "dirty_items", cache.items)())
         if not rows and not self.legacy_cache_path(fingerprint).exists():
             return 0
@@ -499,6 +516,16 @@ class RuntimeStore:
         keep their in-memory value; loaded rows are marked clean, so the
         next :meth:`save_cache` does not re-append them.
         """
+        tel = self.telemetry
+        if not tel.enabled:
+            return self._load_cache_impl(cache, fingerprint, strict)
+        with tel.span("store_load", CAT_STORE) as span:
+            loaded = self._load_cache_impl(cache, fingerprint, strict)
+            span.note(rows=loaded)
+            return loaded
+
+    def _load_cache_impl(self, cache: IndicatorCache, fingerprint: Dict,
+                         strict: bool) -> int:
         self.last_rejection = None
         directory = self.cache_dir(fingerprint)
         legacy_path = self.legacy_cache_path(fingerprint)
@@ -610,27 +637,31 @@ class RuntimeStore:
         present in segment filenames, so a damaged/missing meta can never
         leave a live appender's shard unlocked while its segments are
         swept."""
-        meta = self._read_meta(directory)
-        n_shards = (int(meta.get("shards", self.shards))
-                    if isinstance(meta, dict) else self.shards)
-        for path in directory.glob("shard-*.seg-*.jsonl"):
-            match = _SEGMENT_RE.match(path.name)
-            if match is not None:
-                n_shards = max(n_shards, int(match.group("shard")) + 1)
-        with contextlib.ExitStack() as stack:
-            stack.enter_context(_file_lock(self._base_path(directory)))
-            for shard in range(n_shards):
-                stack.enter_context(
-                    _file_lock(self._shard_lock_target(directory, shard))
-                )
-            segments = self._segment_files(directory)
-            problems: List[str] = []
-            entries = self._replay(directory, fingerprint, problems)
-            self._write_base(directory, fingerprint, entries)
-            for segment in segments:
-                with contextlib.suppress(OSError):
-                    segment.unlink()
-        self._sweep_sidecars(directory)
+        tel = self.telemetry
+        with tel.span("compaction", CAT_STORE) as span:
+            meta = self._read_meta(directory)
+            n_shards = (int(meta.get("shards", self.shards))
+                        if isinstance(meta, dict) else self.shards)
+            for path in directory.glob("shard-*.seg-*.jsonl"):
+                match = _SEGMENT_RE.match(path.name)
+                if match is not None:
+                    n_shards = max(n_shards, int(match.group("shard")) + 1)
+            with contextlib.ExitStack() as stack:
+                stack.enter_context(_file_lock(self._base_path(directory)))
+                for shard in range(n_shards):
+                    stack.enter_context(
+                        _file_lock(self._shard_lock_target(directory, shard))
+                    )
+                segments = self._segment_files(directory)
+                problems: List[str] = []
+                entries = self._replay(directory, fingerprint, problems)
+                self._write_base(directory, fingerprint, entries)
+                for segment in segments:
+                    with contextlib.suppress(OSError):
+                        segment.unlink()
+            self._sweep_sidecars(directory)
+            span.note(segments_folded=len(segments), entries=len(entries))
+            tel.count("store.compactions")
         return {"segments_folded": len(segments), "entries": len(entries)}
 
     def compact_all(self) -> List[Dict]:

@@ -401,12 +401,17 @@ class TestFuturePoolMechanics:
 
     def test_idle_fraction_accounting(self):
         pool = FuturePool(n_workers=2, mode="serial")
-        assert pool.idle_fraction() == 0.0  # no span yet
+        # No span and no busy data yet: "no data", not "fully utilised".
+        assert pool.idle_fraction() is None
         pool.submit(lambda x: x, 1)
         pool.gather_all()
-        assert 0.0 <= pool.idle_fraction() <= 1.0
+        # A gather landed but record_busy was never fed — still no data.
+        assert pool.idle_fraction() is None
         pool.record_busy(10.0)
         assert pool.busy_seconds >= 10.0
+        fraction = pool.idle_fraction()
+        assert fraction is not None
+        assert 0.0 <= fraction <= 1.0
 
     def test_invalid_configuration_rejected(self):
         with pytest.raises(SearchError):

@@ -1,0 +1,566 @@
+"""Telemetry is a strict observer: spans/metrics record, results don't change.
+
+Covers the tracing substrate (spans, Chrome export), the metrics
+registry, the cross-process worker log, the run-scoped ``Telemetry``
+facade, executor/harness integration (trace files, run ids, drain), the
+heartbeat, and the schema-stability contracts downstream report readers
+rely on.
+"""
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine
+from repro.runtime import RunHarness, RuntimeConfig
+from repro.runtime.async_pool import AsyncPoolStats, AsyncPopulationExecutor
+from repro.runtime.telemetry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Heartbeat,
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+    TelemetryLog,
+    TracedWorker,
+    load_trace,
+    span_coverage,
+    summarize_trace,
+)
+from repro.searchspace.space import NasBench201Space
+from repro.runtime.tracing import (
+    CAT_DISPATCH,
+    CAT_GATHER,
+    CAT_MERGE,
+    CAT_WORKER,
+    NULL_SPAN,
+    Tracer,
+    write_chrome_trace,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _quick_config(**overrides):
+    defaults = dict(algorithm="random", samples=6, seed=3, fast=True)
+    defaults.update(overrides)
+    return RuntimeConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Tracing substrate
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_span_records_name_cat_args_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("merge", CAT_MERGE, {"chunk": 3}) as span:
+            span.note(rows=8)
+        (event,) = tracer.events()
+        assert event["name"] == "merge"
+        assert event["cat"] == CAT_MERGE
+        assert event["args"] == {"chunk": 3, "rows": 8}
+        assert event["dur"] >= 0.0
+        assert event["pid"] == tracer.pid
+
+    def test_span_records_on_exception_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("dispatch", CAT_DISPATCH):
+                raise ValueError("boom")
+        (event,) = tracer.events()
+        assert event["args"]["error"] == "ValueError"
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.note(anything=1)  # discarded, no error
+        assert span is NULL_SPAN
+
+    def test_chrome_events_use_integer_microseconds_and_run_id(self):
+        tracer = Tracer()
+        tracer.record("gather", CAT_GATHER, ts=10.0, duration=0.25)
+        events = tracer.chrome_events(run_id="cafe0123")
+        complete = [e for e in events if e.get("ph") == "X"]
+        (event,) = complete
+        assert event["ts"] == 10_000_000
+        assert event["dur"] == 250_000
+        assert isinstance(event["ts"], int) and isinstance(event["dur"], int)
+        assert event["args"]["run_id"] == "cafe0123"
+        # Metadata events label every pid track.
+        meta = [e for e in events if e.get("ph") == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+
+    def test_chrome_events_label_worker_tracks(self):
+        tracer = Tracer()
+        tracer.record("worker_compute", CAT_WORKER, ts=1.0, duration=0.1,
+                      pid=tracer.pid + 1, tid=1)
+        labels = [e["args"]["name"] for e in tracer.chrome_events()
+                  if e.get("ph") == "M"]
+        assert any(label.startswith("micronas-worker") for label in labels)
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        tracer = Tracer()
+        tracer.record("flush", "store", ts=5.0, duration=0.01)
+        path = write_chrome_trace(tmp_path / "t.json",
+                                  tracer.chrome_events("ab"),
+                                  other_data={"run_id": "ab"})
+        payload = load_trace(path)
+        assert payload["otherData"]["run_id"] == "ab"
+        assert payload["displayTimeUnit"] == "ms"
+        assert any(e["name"] == "flush" for e in payload["traceEvents"])
+        assert not list(tmp_path.glob("*.tmp"))  # atomic: no staging left
+
+    def test_load_trace_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "not_a_trace.json"
+        path.write_text(json.dumps({"events": []}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_gauge_histogram_semantics(self):
+        counter, gauge, histogram = Counter(), Gauge(), Histogram()
+        counter.inc()
+        counter.inc(4)
+        gauge.set(3)
+        gauge.set(7.5)
+        for value in (0.003, 0.003, 2.0, 999.0):
+            histogram.observe(value)
+        assert counter.value == 5
+        assert gauge.value == 7.5
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(0.003 + 0.003 + 2.0 + 999.0)
+        # 0.003 x2 -> the 0.005 bucket; 2.0 -> the 5.0 bucket;
+        # 999 -> overflow (the extra trailing slot).
+        assert len(snap["counts"]) == len(DEFAULT_BUCKETS) + 1
+        assert snap["counts"][DEFAULT_BUCKETS.index(0.005)] == 2
+        assert snap["counts"][DEFAULT_BUCKETS.index(5.0)] == 1
+        assert snap["counts"][-1] == 1
+
+    def test_registry_reuses_instruments_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.2)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_record_folds_worker_side_records(self):
+        registry = MetricsRegistry()
+        registry.counter("worker.chunks").inc()
+        registry.merge_record({
+            "counters": {"worker.chunks": 2, "worker.rows": 7},
+            "gauges": {"depth": 3},
+            "observations": {"worker_chunk_seconds": [0.2, 0.4]},
+        })
+        snap = registry.snapshot()
+        assert snap["counters"] == {"worker.chunks": 3, "worker.rows": 7}
+        assert snap["gauges"] == {"depth": 3.0}
+        assert snap["histograms"]["worker_chunk_seconds"]["count"] == 2
+
+
+# ----------------------------------------------------------------------
+# Cross-process worker log
+# ----------------------------------------------------------------------
+class TestTelemetryLog:
+    def test_append_read_round_trip(self, tmp_path):
+        log = TelemetryLog(tmp_path / "w.jsonl")
+        log.append({"kind": "metrics", "counters": {"x": 1}})
+        log.append({"kind": "span", "name": "worker_compute"})
+        records = log.read()
+        assert [r["kind"] for r in records] == ["metrics", "span"]
+
+    def test_torn_tail_line_is_skipped_not_fatal(self, tmp_path):
+        log = TelemetryLog(tmp_path / "w.jsonl")
+        log.append({"kind": "metrics", "counters": {"x": 1}})
+        with open(log.path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "span", "name": "worker_co')  # killed writer
+        records = log.read()
+        assert len(records) == 1
+        assert records[0]["kind"] == "metrics"
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert TelemetryLog(tmp_path / "absent.jsonl").read() == []
+
+
+class TestTracedWorker:
+    def test_result_passes_through_bit_identical(self, tmp_path):
+        rows = [("key", np.arange(4, dtype=np.float64))]
+
+        def inner(payload):
+            return rows, 0.125
+
+        worker = TracedWorker(str(tmp_path / "w.jsonl"), inner, chunk=7,
+                              run_id="ab")
+        result = worker("payload")
+        assert result[0] is rows  # the very same object, untouched
+        assert result[1] == 0.125
+
+    def test_records_span_and_metrics(self, tmp_path):
+        worker = TracedWorker(str(tmp_path / "w.jsonl"),
+                              lambda payload: ([1, 2, 3], 0.5), chunk=7)
+        worker(None)
+        records = TelemetryLog(tmp_path / "w.jsonl").read()
+        span = next(r for r in records if r["kind"] == "span")
+        metrics = next(r for r in records if r["kind"] == "metrics")
+        assert span["name"] == "worker_compute"
+        assert span["cat"] == CAT_WORKER
+        assert span["args"]["chunk"] == 7
+        assert span["args"]["rows"] == 3
+        assert metrics["counters"] == {"worker.chunks": 1, "worker.rows": 3}
+        assert metrics["observations"]["worker_chunk_seconds"]
+
+    def test_raising_inner_logs_error_and_reraises(self, tmp_path):
+        def inner(payload):
+            raise RuntimeError("poison")
+
+        worker = TracedWorker(str(tmp_path / "w.jsonl"), inner, chunk=1)
+        with pytest.raises(RuntimeError):
+            worker(None)
+        (span,) = TelemetryLog(tmp_path / "w.jsonl").read()
+        assert span["args"]["error"] == "RuntimeError"
+
+
+# ----------------------------------------------------------------------
+# The run-scoped facade
+# ----------------------------------------------------------------------
+class TestTelemetryFacade:
+    def test_disabled_is_a_shared_no_op(self):
+        tel = Telemetry.disabled()
+        assert tel is Telemetry.disabled()
+        assert not tel.enabled
+        assert tel.span("anything") is NULL_SPAN
+        worker = object()
+        assert tel.wrap_worker(worker) is worker
+        tel.count("c")
+        tel.gauge("g", 1)
+        tel.observe("h", 1)  # all silently dropped
+        assert tel.metrics_snapshot() == {"counters": {}, "gauges": {},
+                                          "histograms": {}}
+
+    def test_armed_records_spans_and_metrics(self):
+        tel = Telemetry.armed(run_id="ab")
+        with tel.span("dispatch", CAT_DISPATCH, chunk=0):
+            pass
+        tel.count("executor.evals", 3)
+        tel.observe("chunk_seconds", 0.2)
+        assert len(tel.tracer) == 1
+        snap = tel.metrics_snapshot()
+        assert snap["counters"]["executor.evals"] == 3
+        assert snap["histograms"]["chunk_seconds"]["count"] == 1
+
+    def test_drain_worker_log_is_idempotent_and_consumes_sidecar(
+            self, tmp_path):
+        trace = tmp_path / "t.json"
+        tel = Telemetry.armed(run_id="ab", trace_path=trace)
+        tel.wrap_worker(lambda payload: ([1], 0.1), chunk=0)(None)
+        assert tel.worker_log.path.exists()
+        first = tel.drain_worker_log()
+        assert first == 2  # one span + one metrics record
+        assert not tel.worker_log.path.exists()
+        assert tel.drain_worker_log() == 0  # idempotent
+        names = [e["name"] for e in tel.tracer.events()]
+        assert names == ["worker_compute"]
+        assert tel.metrics_snapshot()["counters"]["worker.chunks"] == 1
+
+    def test_export_payload_shape(self, tmp_path):
+        tel = Telemetry.armed(run_id="ab", trace_path=tmp_path / "t.json")
+        with tel.span("gather", CAT_GATHER):
+            pass
+        payload = tel.export(other_data={"extra": 1})
+        assert set(payload) == {"traceEvents", "displayTimeUnit",
+                                "otherData"}
+        assert payload["otherData"]["run_id"] == "ab"
+        assert payload["otherData"]["extra"] == 1
+        assert "metrics" in payload["otherData"]
+
+    def test_write_trace_only_when_armed_with_path(self, tmp_path):
+        assert Telemetry.disabled().write_trace() is None
+        assert Telemetry.armed(run_id="x").write_trace() is None
+        tel = Telemetry.armed(run_id="x", trace_path=tmp_path / "t.json")
+        path = tel.write_trace()
+        assert path is not None and path.exists()
+        load_trace(path)  # well-formed
+
+
+# ----------------------------------------------------------------------
+# Executor integration
+# ----------------------------------------------------------------------
+class TestExecutorTelemetry:
+    def test_async_executor_spans_correlate_by_chunk_id(
+            self, tiny_proxy_config, tmp_path):
+        tel = Telemetry.armed(run_id="ab", trace_path=tmp_path / "t.json")
+        engine = Engine(proxy_config=tiny_proxy_config)
+        population = NasBench201Space().sample(6, rng=5)
+        with AsyncPopulationExecutor(n_workers=1, chunk_size=2,
+                                     mode="serial",
+                                     telemetry=tel) as executor:
+            executor.submit_population(engine, population)
+            while executor.num_pending:
+                executor.gather(1)
+        tel.drain_worker_log()
+        events = tel.tracer.events()
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        assert set(by_name) >= {"dispatch", "gather", "merge",
+                                "worker_compute"}
+        # chunk ids tie a dispatch to its worker compute and its merge.
+        dispatched = {e["args"]["chunk"] for e in by_name["dispatch"]}
+        computed = {e["args"]["chunk"] for e in by_name["worker_compute"]}
+        merged = {e["args"]["chunk"] for e in by_name["merge"]}
+        assert dispatched == computed == merged
+        assert len(dispatched) == len(by_name["dispatch"])
+        snap = tel.metrics_snapshot()
+        assert snap["counters"]["executor.evals"] > 0
+        assert snap["histograms"]["chunk_seconds"]["count"] >= 1
+
+    def test_results_identical_with_and_without_telemetry(
+            self, tiny_proxy_config, tmp_path):
+        population = NasBench201Space().sample(6, rng=5)
+
+        def run(telemetry):
+            engine = Engine(proxy_config=tiny_proxy_config)
+            with AsyncPopulationExecutor(n_workers=1, chunk_size=2,
+                                         mode="serial",
+                                         telemetry=telemetry) as executor:
+                executor.submit_population(engine, population)
+                while executor.num_pending:
+                    executor.gather(1)
+            return engine.evaluate_population(population)
+
+        plain = run(None)
+        traced = run(Telemetry.armed(run_id="ab",
+                                     trace_path=tmp_path / "t.json"))
+        for name in plain.columns:
+            assert np.array_equal(plain.columns[name], traced.columns[name])
+
+    def test_dedupe_hits_counted(self, tiny_proxy_config):
+        tel = Telemetry.armed(run_id="ab")
+        engine = Engine(proxy_config=tiny_proxy_config)
+        (genotype,) = NasBench201Space().sample(1, rng=9)
+        with AsyncPopulationExecutor(n_workers=1, chunk_size=2,
+                                     mode="serial",
+                                     telemetry=tel) as executor:
+            assert executor.submit_population(engine, [genotype]) == 1
+            # The same candidate while its chunk is still in flight:
+            # deduped at submit, not shipped again.
+            assert executor.submit_population(engine, [genotype]) == 0
+            assert executor.stats.dedupe_hits == 1
+            while executor.num_pending:
+                executor.gather(1)
+        assert tel.metrics_snapshot()["counters"]["executor.dedupe_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# Harness integration
+# ----------------------------------------------------------------------
+class TestHarnessTelemetry:
+    def test_run_id_and_utc_timestamps_in_report(self):
+        report = RunHarness(_quick_config()).run()
+        assert re.fullmatch(r"[0-9a-f]{8}", report.run_id)
+        assert report.started_at.endswith("+00:00")
+        assert report.finished_at.endswith("+00:00")
+        assert report.started_at <= report.finished_at  # ISO sorts
+        assert report.telemetry is None  # not armed by default
+
+    def test_run_ids_are_distinct_per_harness(self):
+        config = _quick_config()
+        assert RunHarness(config).run_id != RunHarness(config).run_id
+
+    def test_traced_run_writes_valid_chrome_trace(self, tmp_path):
+        trace = tmp_path / "run.json"
+        report = RunHarness(_quick_config(
+            async_mode=True, trace_path=str(trace))).run()
+        payload = load_trace(trace)
+        assert payload["otherData"]["run_id"] == report.run_id
+        assert payload["otherData"]["interrupted"] is False
+        names = {e["name"] for e in payload["traceEvents"]
+                 if e.get("ph") == "X"}
+        assert names >= {"dispatch", "gather", "merge",
+                         "evaluate_population"}
+        assert report.telemetry is not None
+        assert report.telemetry["counters"]["executor.evals"] > 0
+        summary = summarize_trace(payload)
+        assert summary["coverage"] > 0.5
+        assert {p["name"] for p in summary["phases"]} >= {"dispatch",
+                                                          "gather"}
+
+    def test_drain_interrupted_run_still_writes_well_formed_trace(
+            self, tmp_path):
+        trace = tmp_path / "run.json"
+        harness = RunHarness(_quick_config(
+            algorithm="steady-state", async_mode=True, population_size=4,
+            cycles=40, trace_path=str(trace)))
+
+        def hook(gathered):
+            # What the SIGINT/SIGTERM handler does, minus the signal.
+            harness._drain_requested = True
+            harness.executor.request_drain()
+
+        harness.executor.on_gather = hook
+        report = harness.run()
+        assert report.status == "interrupted"
+        payload = load_trace(trace)
+        assert payload["otherData"]["interrupted"] is True
+        assert summarize_trace(payload)["n_spans"] > 0
+
+    def test_heartbeat_config_emits_progress_lines(self, capsys):
+        report = RunHarness(_quick_config(heartbeat=0.01,
+                                          async_mode=True)).run()
+        # The harness armed telemetry for the heartbeat even with no
+        # trace path, so the metrics snapshot rides in the report.
+        assert report.telemetry is not None
+
+
+# ----------------------------------------------------------------------
+# Schema stability: downstream readers parse these dicts
+# ----------------------------------------------------------------------
+class TestReportSchemas:
+    def test_async_pool_stats_to_dict_keys_are_pinned(self):
+        expected = ["mode", "n_workers", "dispatches", "chunks", "gathers",
+                    "flushes", "tasks", "merged_rows", "dedupe_hits",
+                    "retries", "timeouts", "respawns", "quarantined",
+                    "worker_seconds", "idle_fraction", "span_seconds"]
+        assert list(AsyncPoolStats().to_dict()) == expected
+
+    def test_async_pool_stats_idle_fraction_defaults_to_none(self):
+        assert AsyncPoolStats().to_dict()["idle_fraction"] is None
+
+    def test_run_report_dict_carries_identity_fields(self, tmp_path):
+        report = RunHarness(_quick_config()).run()
+        payload = report.to_dict()
+        for key in ("run_id", "started_at", "finished_at", "status",
+                    "telemetry", "config", "pool", "cache", "store",
+                    "indicators", "wall_seconds"):
+            assert key in payload
+        path = tmp_path / "report.json"
+        report.save_json(str(path))
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded["run_id"] == report.run_id
+        assert loaded["config"]["trace_path"] is None
+        assert loaded["config"]["heartbeat"] is None
+
+
+# ----------------------------------------------------------------------
+# Heartbeat
+# ----------------------------------------------------------------------
+class TestHeartbeat:
+    def test_beat_line_format_and_rate(self):
+        readings = iter([
+            {"evals": 0, "in_flight": 2, "idle_fraction": None,
+             "retries": 0, "store_rows": 0},
+            {"evals": 10, "in_flight": 1, "idle_fraction": 0.25,
+             "retries": 1, "store_rows": 32},
+        ])
+        lines = []
+        heartbeat = Heartbeat(60.0, lambda: next(readings),
+                              emit=lines.append, run_id="cafe0123")
+        first = heartbeat.beat()
+        second = heartbeat.beat()
+        assert lines == [first, second]
+        assert first.startswith("[run cafe0123] 0 evals (0.0/s)")
+        assert "idle n/a" in first
+        assert "| in-flight 1 |" in second
+        assert "idle 25%" in second
+        assert "retries 1" in second
+        assert "store rows 32" in second
+        assert float(re.search(r"\((\d+\.\d)/s\)", second).group(1)) > 0
+
+    def test_thread_starts_beats_and_stops(self):
+        import time
+
+        lines = []
+        heartbeat = Heartbeat(0.01, lambda: {"evals": 1},
+                              emit=lines.append).start()
+        for _ in range(500):
+            if heartbeat.beats:
+                break
+            time.sleep(0.01)
+        heartbeat.stop()
+        assert heartbeat.beats >= 1
+        assert lines
+        stopped_at = heartbeat.beats
+        time.sleep(0.05)
+        assert heartbeat.beats == stopped_at  # no beats after stop()
+
+    def test_a_raising_source_never_kills_the_thread(self):
+        import time
+
+        heartbeat = Heartbeat(0.001, lambda: 1 / 0).start()
+        time.sleep(0.02)
+        heartbeat.stop()  # joins cleanly: the loop swallowed the errors
+
+
+# ----------------------------------------------------------------------
+# Trace analysis + CLI surface
+# ----------------------------------------------------------------------
+def _payload(events):
+    return {"traceEvents": events, "otherData": {"run_id": "ab"}}
+
+
+def _event(name, cat, ts_s, dur_s):
+    return {"name": name, "cat": cat, "ph": "X",
+            "ts": int(ts_s * 1e6), "dur": int(dur_s * 1e6),
+            "pid": 1, "tid": 1, "args": {}}
+
+
+class TestTraceAnalysis:
+    def test_span_coverage_unions_overlaps_and_sees_gaps(self):
+        # [0,1] and [0.5,1.5] overlap -> union 1.5; window [0,2] with
+        # [1.5,2] uncovered by the third span starting at 1.8.
+        payload = _payload([
+            _event("a", "x", 0.0, 1.0),
+            _event("b", "y", 0.5, 1.0),
+            _event("c", "x", 1.8, 0.2),
+        ])
+        assert span_coverage(payload) == pytest.approx(1.7 / 2.0)
+
+    def test_span_coverage_empty_trace_is_zero(self):
+        assert span_coverage(_payload([])) == 0.0
+
+    def test_summarize_groups_by_phase_and_span_name(self):
+        payload = _payload([
+            _event("dispatch", "dispatch", 0.0, 0.2),
+            _event("dispatch", "dispatch", 0.2, 0.2),
+            _event("gather", "gather", 0.4, 1.6),
+        ])
+        summary = summarize_trace(payload)
+        assert summary["run_id"] == "ab"
+        assert summary["n_spans"] == 3
+        assert summary["wall_seconds"] == pytest.approx(2.0)
+        phases = {p["name"]: p for p in summary["phases"]}
+        assert phases["dispatch"]["count"] == 2
+        assert phases["dispatch"]["seconds"] == pytest.approx(0.4)
+        assert phases["dispatch"]["share"] == pytest.approx(0.2)
+        assert phases["gather"]["share"] == pytest.approx(0.8)
+        # Sorted by descending time.
+        assert summary["phases"][0]["name"] == "gather"
+
+    def test_cli_trace_summarize(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "run.json"
+        RunHarness(_quick_config(async_mode=True,
+                                 trace_path=str(trace))).run()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span coverage" in out
+        assert "gather" in out
+
+    def test_cli_trace_summarize_rejects_garbage(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "bad.json"
+        path.write_text("{}", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["trace", "summarize", str(path)])

@@ -1,0 +1,80 @@
+"""Tier-1 wiring for the BENCH artifact schema checker.
+
+``benchmarks/`` is not a package and its ``bench_*.py`` files are not
+collected by plain pytest (``python_files = test_*.py``), so the checker
+is imported by path and driven here.  This keeps "a bench renamed a key"
+failures inside the tier-1 lane instead of surfacing weeks later in a
+reader.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.obs
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    path = REPO_ROOT / "benchmarks" / "check_bench_schemas.py"
+    spec = importlib.util.spec_from_file_location("check_bench_schemas",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+def test_repo_bench_artifacts_conform():
+    problems = checker.check_bench_schemas()
+    assert problems == []
+
+
+def test_every_existing_artifact_has_a_registered_schema():
+    present = {path.name for path in REPO_ROOT.glob("BENCH_*.json")}
+    assert present <= set(checker.SCHEMAS)
+
+
+def test_missing_required_key_is_reported(tmp_path):
+    (tmp_path / "BENCH_faults.json").write_text(
+        json.dumps({"bench_scale": "fast", "overhead": {}}),
+        encoding="utf-8")
+    problems = checker.check_bench_schemas(tmp_path)
+    assert len(problems) == 1
+    assert "faulted" in problems[0]
+
+
+def test_unknown_artifact_is_reported(tmp_path):
+    (tmp_path / "BENCH_mystery.json").write_text("{}", encoding="utf-8")
+    problems = checker.check_bench_schemas(tmp_path)
+    assert any("unknown BENCH artifact" in p for p in problems)
+
+
+def test_nan_and_infinity_are_rejected(tmp_path):
+    (tmp_path / "BENCH_precision.json").write_text(
+        '{"bench_scale": "fast", "kernel": NaN, "population": 1, '
+        '"rank_agreement": Infinity}',
+        encoding="utf-8")
+    problems = checker.check_bench_schemas(tmp_path)
+    assert len(problems) == 1
+    assert "NaN" in problems[0] or "non-JSON constant" in problems[0]
+
+
+def test_non_object_top_level_is_rejected(tmp_path):
+    (tmp_path / "BENCH_store.json").write_text("[1, 2]", encoding="utf-8")
+    problems = checker.check_bench_schemas(tmp_path)
+    assert any("JSON object" in p for p in problems)
+
+
+def test_not_yet_generated_artifacts_are_skipped(tmp_path):
+    assert checker.check_bench_schemas(tmp_path) == []
+
+
+def test_standalone_main_passes_on_this_repo(capsys):
+    assert checker.main() == 0
+    assert "ok:" in capsys.readouterr().out
