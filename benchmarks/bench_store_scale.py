@@ -19,6 +19,14 @@ then asserts the format-2 cost stays roughly flat across store sizes
 while the rewrite grows linearly (≥10× slower by ~100k rows).  A
 round-trip check guards against benchmarking a store that drops rows.
 
+**Warm-start load scaling** (the read-side claim): against stores of up
+to 1M+ rows, loading a fixed ~16-key population is timed through all
+three ``load_cache_into`` read modes — ``full`` (whole-store replay,
+O(store)), ``selective`` (only the shards the keys hash to) and
+``index`` (per-shard index point lookups, O(population)).  The bench
+asserts the three modes return bit-identical rows, that the index path
+stays flat as the store grows 100×, and reports the index hit rate.
+
 Results land in ``BENCH_store.json`` at the repo root.  Run directly
 (``python benchmarks/bench_store_scale.py``) or via pytest
 (``pytest benchmarks/bench_store_scale.py``).
@@ -44,6 +52,11 @@ from repro.utils.timing import Timer, format_duration
 
 STORE_SIZES = (1_000, 10_000, 100_000)
 DELTA_ROWS = 256
+#: Read-side scaling: stores of these sizes, a fixed small population.
+LOAD_STORE_SIZES = (10_000, 100_000, 1_000_000)
+LOAD_SHARDS = 64          # a fleet-scale shard count
+LOAD_POPULATION = 16      # keys one warm-start asks for
+LOAD_FILL_BATCH = 100_000  # rows per save while building big stores
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
 
 
@@ -78,6 +91,82 @@ def _format1_rewrite_save(path: Path, fingerprint: Dict,
     }
     path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
     return len(ordered)
+
+
+def run_load_scale() -> Dict:
+    """Warm-start read cost for a fixed population vs store size."""
+    proxy_config = ProxyConfig()
+    macro_config = MacroConfig.full()
+    fingerprint = cache_fingerprint(proxy_config, macro_config)
+
+    load_points = []
+    bit_identical = True
+    with tempfile.TemporaryDirectory() as tmp:
+        for size in LOAD_STORE_SIZES:
+            root = Path(tmp) / f"load_store_{size}"
+            store = RuntimeStore(root, shards=LOAD_SHARDS,
+                                 auto_compact_segments=None)
+            # Build in batches (one cache of 1M rows would be most of a
+            # GB of tuples); compact once, so reads hit per-shard bases
+            # + fresh indexes — the steady state of a long-lived store.
+            filled = 0
+            while filled < size:
+                batch = min(LOAD_FILL_BATCH, size - filled)
+                store.save_cache(_filled_cache(filled, batch), fingerprint)
+                filled += batch
+            store.compact_cache(fingerprint)
+
+            # A population's worth of keys, spread across the store.
+            stride = size // LOAD_POPULATION
+            population = [_key(j * stride) for j in range(LOAD_POPULATION)]
+
+            timings = {}
+            results = {}
+            for mode in ("full", "selective", "index"):
+                target = IndicatorCache()
+                with Timer() as timer:
+                    loaded = store.load_cache_into(target, fingerprint,
+                                                   keys=population,
+                                                   read_mode=mode)
+                assert loaded == LOAD_POPULATION, (mode, loaded)
+                timings[mode] = timer.elapsed
+                results[mode] = dict(target.items())
+            stats = store.last_load_stats  # the index-mode load's stats
+            if not (results["full"] == results["selective"]
+                    == results["index"]):
+                bit_identical = False
+
+            load_points.append({
+                "store_size": size,
+                "requested": LOAD_POPULATION,
+                "full_load_seconds": timings["full"],
+                "selective_load_seconds": timings["selective"],
+                "index_load_seconds": timings["index"],
+                "index_hit_rate": (stats["index_hits"]
+                                   / max(stats["requested"], 1)),
+                "selective_speedup": (timings["full"]
+                                      / max(timings["selective"], 1e-9)),
+                "index_speedup": (timings["full"]
+                                  / max(timings["index"], 1e-9)),
+            })
+
+    index_flat = (load_points[-1]["index_load_seconds"]
+                  / max(load_points[0]["index_load_seconds"], 1e-9))
+    return {
+        "load_store_sizes": list(LOAD_STORE_SIZES),
+        "load_shards": LOAD_SHARDS,
+        "load_population": LOAD_POPULATION,
+        "load_points": load_points,
+        # Index-mode load time at the largest store over the smallest:
+        # ~1.0 means warm-start latency is O(population), flat in store
+        # size across a 100x growth.
+        "index_load_flatness_ratio": index_flat,
+        "selective_load_speedup_at_largest":
+            load_points[-1]["selective_speedup"],
+        "index_load_speedup_at_largest": load_points[-1]["index_speedup"],
+        "index_hit_rate": load_points[-1]["index_hit_rate"],
+        "read_paths_bit_identical": bit_identical,
+    }
 
 
 def run_store_scale() -> Dict:
@@ -136,6 +225,7 @@ def run_store_scale() -> Dict:
         "format2_flatness_ratio": flat_ratio,
         "speedup_at_largest": points[-1]["rewrite_over_append"],
     }
+    result.update(run_load_scale())
     OUTPUT_PATH.write_text(json.dumps(result, indent=2) + "\n",
                            encoding="utf-8")
     return result
@@ -150,12 +240,25 @@ def test_store_scale(benchmark):
     # ...and append cost is roughly flat in store size (generous bound:
     # the rewrite grows ~100x over the same range).
     assert result["format2_flatness_ratio"] <= 10.0
+    # Read side: the three read modes must agree bit-for-bit...
+    assert result["read_paths_bit_identical"] is True
+    # ...every requested key must come off the index (fresh after
+    # compaction; hit rate 1.0 means zero replay fallbacks)...
+    assert result["index_hit_rate"] == 1.0
+    # ...and indexed warm-start latency must stay flat while the store
+    # grows 100x (generous bound — full replay grows ~100x; a truly
+    # store-size-dependent index path would blow far past this).
+    assert result["index_load_flatness_ratio"] <= 10.0
+    # Selective replay reads shards_touched/shards of the store; with 16
+    # keys over 64 shards that is at most a quarter, so even the weakest
+    # selective win must beat full replay clearly at 1M rows.
+    assert result["selective_load_speedup_at_largest"] >= 2.0
 
 
 def _report(result: Dict) -> None:
     print()
     for point in result["points"]:
-        print(f"store {point['store_size']:>7,} rows | "
+        print(f"store {point['store_size']:>9,} rows | "
               f"append {point['delta_rows']}: "
               f"{format_duration(point['format2_save_seconds'])}"
               f" | format-1 rewrite: "
@@ -166,6 +269,22 @@ def _report(result: Dict) -> None:
           f"(largest/smallest store)")
     print(f"speedup at largest      : "
           f"{result['speedup_at_largest']:.1f}x")
+    print()
+    for point in result["load_points"]:
+        print(f"store {point['store_size']:>9,} rows | "
+              f"load {point['requested']} keys | "
+              f"full: {format_duration(point['full_load_seconds'])} | "
+              f"selective: "
+              f"{format_duration(point['selective_load_seconds'])} "
+              f"({point['selective_speedup']:.1f}x) | "
+              f"index: {format_duration(point['index_load_seconds'])} "
+              f"({point['index_speedup']:.1f}x, "
+              f"hit rate {point['index_hit_rate']:.2f})")
+    print(f"index flatness ratio    : "
+          f"{result['index_load_flatness_ratio']:.2f} "
+          f"(largest/smallest store)")
+    print(f"read paths bit-identical: "
+          f"{result['read_paths_bit_identical']}")
     print(f"written                 : {OUTPUT_PATH}")
 
 

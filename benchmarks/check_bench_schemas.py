@@ -64,6 +64,11 @@ SCHEMAS: Dict[str, List[str]] = {
     "BENCH_store.json": [
         "store_sizes", "delta_rows", "points", "format2_flatness_ratio",
         "speedup_at_largest",
+        # Read-side (warm-start) scaling: selective/index load modes.
+        "load_store_sizes", "load_points", "index_load_flatness_ratio",
+        "selective_load_speedup_at_largest",
+        "index_load_speedup_at_largest", "index_hit_rate",
+        "read_paths_bit_identical",
     ],
     "BENCH_telemetry.json": [
         "bench_scale", "overhead", "traced",

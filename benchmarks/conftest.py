@@ -2,6 +2,13 @@
 
 Scale knobs live in :mod:`repro.eval.benchconfig`; set
 ``REPRO_BENCH_SCALE=paper`` for the paper's exact proxy operating point.
+
+Benchmarks are not collected by the tier-1 run (``bench_*.py`` naming).
+When iterating on store/persistence code, the fast lane is the unit
+tests carrying the ``store`` marker — ``PYTHONPATH=src python -m pytest
+-q -m store`` (seconds) — before paying for a full
+``pytest benchmarks/bench_store_scale.py`` pass, which builds stores up
+to 1M+ rows to pin the warm-start scaling claims.
 """
 
 from __future__ import annotations

@@ -133,6 +133,8 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         async_mode=args.async_mode,
         store_dir=args.store,
+        store_read_mode=args.store_read_mode,
+        max_cache_rows=args.max_cache_rows,
         device=args.device,
         samples=args.samples,
         population_size=args.population,
@@ -178,6 +180,8 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         rows.append(["faults recovered", ", ".join(faults) or "none"])
         if report.status != "completed":
             rows.append(["status", report.status])
+    if config.store_dir:
+        rows.append(["store read mode", config.store_read_mode])
     rows.append(["cache warm-start",
                  f"{report.cache['warm_start_entries']} entries"])
     rows.append(["cache hits / misses", f"{report.cache['hits']} / "
@@ -617,6 +621,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_runtime.add_argument("--store", default=None,
                            help="directory for the persistent indicator/LUT "
                                 "store (created if missing)")
+    p_runtime.add_argument("--store-read-mode", dest="store_read_mode",
+                           choices=("full", "selective", "index"),
+                           default="full",
+                           help="how warm-start reads the store: full "
+                                "(eager whole-store replay), selective "
+                                "(replay only the shards each population's "
+                                "keys hash to) or index (per-shard index "
+                                "point lookups — O(population), for "
+                                "million-row stores)")
+    p_runtime.add_argument("--max-cache-rows", dest="max_cache_rows",
+                           type=int, default=None,
+                           help="LRU bound on in-memory cache rows "
+                                "(default: unbounded; dirty rows stay "
+                                "pinned until flushed to the store)")
     p_runtime.add_argument("--device", default="nucleo-f746zg")
     p_runtime.add_argument("--samples", type=int, default=64,
                            help="population for random search")

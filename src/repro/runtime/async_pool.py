@@ -683,11 +683,20 @@ class AsyncPopulationExecutor:
                  fault_policy: Optional[FaultPolicy] = None,
                  quarantine_ledger=None,
                  telemetry: Optional[Telemetry] = None,
+                 cache_loader: Optional[Callable] = None,
                  ) -> None:
         if chunk_size < 1:
             raise SearchError("chunk_size must be >= 1")
         self.fault_policy = fault_policy
         self.quarantine_ledger = quarantine_ledger
+        #: Optional warm-start hook: called at submit time with the
+        #: candidate cache keys neither cached nor owned by an in-flight
+        #: chunk, and expected to merge whatever the persistent store
+        #: holds for them into the engine's cache (the harness wires it
+        #: to a shard-selective / indexed store read — see
+        #: ``RuntimeConfig.store_read_mode``).  Keys the loader fills are
+        #: then never shipped for recompute.
+        self.cache_loader = cache_loader
         self.telemetry = (telemetry if telemetry is not None
                           else Telemetry.disabled())
         self.pool = FuturePool(
@@ -737,6 +746,19 @@ class AsyncPopulationExecutor:
     def _pending_keys(self, engine) -> set:
         return self._in_flight.setdefault(id(engine), set())
 
+    def _preload(self, engine, pending: set, key_sets: List[Dict]) -> None:
+        """Give :attr:`cache_loader` one shot at the candidate keys that
+        are neither cached nor in flight, before needs masks are computed
+        — rows it pulls from the store are never shipped for recompute.
+        In-flight keys are excluded: their chunk already owns them, and
+        the store cannot have them yet anyway."""
+        if self.cache_loader is None:
+            return
+        wanted = [key for keys in key_sets for key in keys.values()
+                  if key not in engine.cache and key not in pending]
+        if wanted:
+            self.cache_loader(wanted)
+
     def request_drain(self) -> None:
         """Ask search loops to stop proposing new work (sticky flag).
 
@@ -757,8 +779,7 @@ class AsyncPopulationExecutor:
         proxy_key = astuple(engine.proxy_config)
         macro_key = astuple(engine.macro_config)
         pending = self._pending_keys(engine)
-        missing: List[Tuple] = []   # (ops, need mask)
-        claimed: List[Tuple] = []   # keys each list item claims
+        candidates: List[Tuple] = []  # (canon, key dict), unique
         seen = set()
         for genotype in genotypes:
             canon = (genotype if assume_canonical
@@ -767,7 +788,13 @@ class AsyncPopulationExecutor:
             if index in seen or index in self.quarantined_genotypes:
                 continue
             seen.add(index)
-            keys = genotype_indicator_keys(index, proxy_key, macro_key)
+            candidates.append(
+                (canon, genotype_indicator_keys(index, proxy_key,
+                                                macro_key)))
+        self._preload(engine, pending, [keys for _, keys in candidates])
+        missing: List[Tuple] = []   # (ops, need mask)
+        claimed: List[Tuple] = []   # keys each list item claims
+        for canon, keys in candidates:
             names = ("ntk", "linear_regions", "flops")
             needs = tuple(
                 keys[name] not in engine.cache and keys[name] not in pending
@@ -793,15 +820,19 @@ class AsyncPopulationExecutor:
         """Submit missing supernet-state rows; returns chunks shipped."""
         proxy_key = astuple(engine.proxy_config)
         pending = self._pending_keys(engine)
-        missing: List[Tuple] = []
-        claimed: List[Tuple] = []
+        candidates: List[Tuple] = []  # (state, key dict), unique
         seen = set()
         for specs in spec_lists:
             state = supernet_state_key(specs)
             if state in seen or state in self.quarantined_states:
                 continue
             seen.add(state)
-            keys = supernet_indicator_keys(state, proxy_key)
+            candidates.append(
+                (state, supernet_indicator_keys(state, proxy_key)))
+        self._preload(engine, pending, [keys for _, keys in candidates])
+        missing: List[Tuple] = []
+        claimed: List[Tuple] = []
+        for state, keys in candidates:
             names = ("supernet_ntk", "supernet_lr")
             needs = tuple(
                 keys[name] not in engine.cache and keys[name] not in pending

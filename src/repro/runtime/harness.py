@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional
 from repro.errors import SearchError
 from repro.proxies.base import ProxyConfig
 from repro.runtime.pool import PopulationExecutor
-from repro.runtime.store import RuntimeStore, cache_fingerprint
+from repro.runtime.store import READ_MODES, RuntimeStore, cache_fingerprint
 from repro.runtime.telemetry import Heartbeat, Telemetry
 from repro.search.result import SearchResult
 from repro.searchspace.genotype import Genotype
@@ -50,6 +50,16 @@ class RuntimeConfig:
     chunk_size: int = 8
     async_mode: bool = False   # futures-per-chunk async executor
     store_dir: Optional[str] = None
+    #: How warm-start reads the store: "full" (eager whole-store replay
+    #: at harness construction — right when the run will touch most of
+    #: it), "selective" (replay only the shards each population's keys
+    #: hash to, at submit time) or "index" (point lookups through the
+    #: per-shard index sidecars — O(population), the million-row-store
+    #: mode).  See :mod:`repro.runtime.store`.
+    store_read_mode: str = "full"
+    #: LRU bound on in-memory cache rows (None = unbounded).  Dirty rows
+    #: are pinned until flushed; see :mod:`repro.engine.cache`.
+    max_cache_rows: Optional[int] = None
     device: str = "nucleo-f746zg"
     samples: int = 64          # random / pareto population size
     population_size: int = 20  # evolutionary population
@@ -306,6 +316,13 @@ class RunHarness:
         from repro.autograd.precision import resolve_policy
 
         resolve_policy(config.precision)
+        if config.store_read_mode not in READ_MODES:
+            raise SearchError(
+                f"unknown store_read_mode {config.store_read_mode!r}; "
+                f"valid: {READ_MODES}"
+            )
+        if config.max_cache_rows is not None and config.max_cache_rows < 1:
+            raise SearchError("max_cache_rows must be >= 1 (or None)")
         self.config = config
         self.device = devices[config.device]
         self.proxy_config = config.proxy_config()
@@ -327,6 +344,17 @@ class RunHarness:
                       if config.store_dir else None)
         self.fingerprint = cache_fingerprint(self.proxy_config,
                                              self.macro_config)
+        # Rows warm-started from the store (eagerly below for "full";
+        # accumulated per submit-time preload for selective/index reads).
+        self.warm_entries = 0
+        # The executors' warm-start seam: selective/index read modes
+        # defer store reads to submit time, loading only what each
+        # population actually asks for — O(population), not O(store).
+        cache_loader = (
+            self._load_store_keys
+            if self.store is not None and config.store_read_mode != "full"
+            else None
+        )
         if config.async_mode:
             from repro.runtime.async_pool import AsyncPopulationExecutor
             from repro.runtime.faults import FaultPolicy
@@ -345,22 +373,26 @@ class RunHarness:
                     if self.store is not None else None
                 ),
                 telemetry=self.telemetry,
+                cache_loader=cache_loader,
             )
         else:
             self.executor = PopulationExecutor(n_workers=config.n_workers,
                                                chunk_size=config.chunk_size,
-                                               telemetry=self.telemetry)
+                                               telemetry=self.telemetry,
+                                               cache_loader=cache_loader)
+        from repro.engine.cache import IndicatorCache
+
         self.engine = Engine(
             proxy_config=self.proxy_config,
             macro_config=self.macro_config,
             device=self.device,
             lut_store=self.store,
             telemetry=self.telemetry,
+            cache=IndicatorCache(max_rows=config.max_cache_rows),
         )
-        self.warm_entries = (
-            self.store.load_cache_into(self.engine.cache, self.fingerprint)
-            if self.store is not None else 0
-        )
+        if self.store is not None and config.store_read_mode == "full":
+            self.warm_entries = self.store.load_cache_into(
+                self.engine.cache, self.fingerprint)
         #: Rows appended to the store by mid-run flushes (async only).
         self.flushed_entries = 0
         #: Set by the first SIGINT/SIGTERM during :meth:`run`: the run is
@@ -378,6 +410,15 @@ class RunHarness:
     def _flush_store(self, gathered) -> None:
         self.flushed_entries += self.store.save_cache(self.engine.cache,
                                                       self.fingerprint)
+
+    def _load_store_keys(self, keys) -> int:
+        """The executors' ``cache_loader`` hook: pull exactly the
+        requested keys from the store via the configured read mode."""
+        loaded = self.store.load_cache_into(
+            self.engine.cache, self.fingerprint, keys=keys,
+            read_mode=self.config.store_read_mode)
+        self.warm_entries += loaded
+        return loaded
 
     def _heartbeat_source(self) -> Dict:
         """One reading for the heartbeat line (reads shared counters only,
@@ -518,6 +559,7 @@ class RunHarness:
             pool=self.executor.stats.to_dict(),
             store={
                 "dir": self.config.store_dir,
+                "read_mode": self.config.store_read_mode,
                 "cache_loaded": self.warm_entries,
                 "cache_saved": saved_entries,
                 "luts": (self.store.lut_keys()

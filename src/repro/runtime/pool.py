@@ -34,7 +34,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import astuple, dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.core import supernet_state_key
 from repro.errors import SearchError
@@ -178,7 +178,8 @@ class PopulationExecutor:
 
     def __init__(self, n_workers: Optional[int] = None,
                  chunk_size: int = 8,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 cache_loader: Optional[Callable] = None) -> None:
         if n_workers is None:
             n_workers = multiprocessing.cpu_count()
         if n_workers < 1:
@@ -189,6 +190,13 @@ class PopulationExecutor:
         self.chunk_size = chunk_size
         self.telemetry = (telemetry if telemetry is not None
                           else Telemetry.disabled())
+        #: Optional warm-start hook: called with the candidate cache keys
+        #: still missing before any compute ships, and expected to merge
+        #: whatever the persistent store holds for them into the engine's
+        #: cache (the harness wires it to a shard-selective / indexed
+        #: store read — see ``RuntimeConfig.store_read_mode``).  Keys the
+        #: loader fills are then not recomputed.
+        self.cache_loader = cache_loader
         self.stats = PoolStats(n_workers=n_workers)
         self._pool = None
 
@@ -253,6 +261,17 @@ class PopulationExecutor:
         self.stats.merged_rows += merged
         return merged
 
+    def _preload(self, engine, key_sets: List[Dict]) -> None:
+        """Give :attr:`cache_loader` one shot at the candidate keys still
+        missing from the cache, before needs masks are computed — rows it
+        pulls from the store are never shipped for recompute."""
+        if self.cache_loader is None:
+            return
+        wanted = [key for keys in key_sets for key in keys.values()
+                  if key not in engine.cache]
+        if wanted:
+            self.cache_loader(wanted)
+
     # ------------------------------------------------------------------
     # Engine hooks (duck-typed from Engine.evaluate_population and
     # HybridObjective.supernet_population)
@@ -276,7 +295,7 @@ class PopulationExecutor:
         """
         proxy_key = astuple(engine.proxy_config)
         macro_key = astuple(engine.macro_config)
-        missing: List[Tuple] = []  # (ops, per-indicator need mask)
+        candidates: List[Tuple] = []  # (canon, key dict), unique
         seen = set()
         for genotype in genotypes:
             canon = (genotype if assume_canonical
@@ -285,7 +304,12 @@ class PopulationExecutor:
             if index in seen:
                 continue
             seen.add(index)
-            keys = genotype_indicator_keys(index, proxy_key, macro_key)
+            candidates.append(
+                (canon, genotype_indicator_keys(index, proxy_key,
+                                                macro_key)))
+        self._preload(engine, [keys for _, keys in candidates])
+        missing: List[Tuple] = []  # (ops, per-indicator need mask)
+        for canon, keys in candidates:
             needs = (
                 keys["ntk"] not in engine.cache,
                 keys["linear_regions"] not in engine.cache,
@@ -317,14 +341,18 @@ class PopulationExecutor:
                        spec_lists: Sequence[Sequence[EdgeSpec]]) -> int:
         """Compute missing supernet-state indicator rows in the pool."""
         proxy_key = astuple(engine.proxy_config)
-        missing: List[Tuple] = []  # (state, per-indicator need mask)
+        candidates: List[Tuple] = []  # (state, key dict), unique
         seen = set()
         for specs in spec_lists:
             state = supernet_state_key(specs)
             if state in seen:
                 continue
             seen.add(state)
-            keys = supernet_indicator_keys(state, proxy_key)
+            candidates.append(
+                (state, supernet_indicator_keys(state, proxy_key)))
+        self._preload(engine, [keys for _, keys in candidates])
+        missing: List[Tuple] = []  # (state, per-indicator need mask)
+        for state, keys in candidates:
             needs = (
                 keys["supernet_ntk"] not in engine.cache,
                 keys["supernet_lr"] not in engine.cache,

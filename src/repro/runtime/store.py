@@ -7,13 +7,17 @@ device re-profiles its LUT.  :class:`RuntimeStore` is a directory-backed
 store that makes both survive:
 
 * **Indicator cache — store format 2, a sharded append-only segment
-  log.**  Each fingerprint (see :func:`cache_fingerprint`) owns one
-  directory::
+  log with per-shard compacted bases and key indexes.**  Each
+  fingerprint (see :func:`cache_fingerprint`) owns one directory::
 
       cache2__<digest>/
           meta.json                       # fingerprint + shard count
-          base.json                       # compacted rows (optional)
+          shard-03.base.jsonl             # compacted rows of shard 3
+          shard-03.idx.json               # key index sidecar of shard 3
           shard-03.seg-00000002.4711.jsonl  # one append per save
+          base.json                       # pre-index monolithic base
+                                          # (legacy; folded away by the
+                                          # next compaction)
 
   ``save_cache`` appends only the cache's **dirty rows** (those written
   since the last load/save — :meth:`~repro.engine.cache.IndicatorCache.
@@ -22,15 +26,46 @@ store that makes both survive:
   under the shard's own ``flock``.  Persistence cost is therefore O(rows
   this run computed), independent of how large the store already is — the
   property process fleets sharing one store directory need.  Loading
-  replays ``base.json`` then every segment in ``(shard, sequence, pid)``
+  replays monolithic ``base.json`` (oldest), then each shard's
+  ``.base.jsonl``, then every segment in ``(shard, sequence, pid)``
   order with **last-write-wins** per key; a **compaction** pass
   (:meth:`RuntimeStore.compact_cache`, the ``micronas store compact`` CLI,
-  or automatically once accumulated segments rival the base in bytes,
+  or automatically once accumulated segments rival the bases in bytes,
   past an :attr:`RuntimeStore.auto_compact_segments` file-count floor —
-  log-structured amortization) folds all segments back into ``base.json``
-  under the base + every shard lock; loads replay under the base lock
-  too, so readers and concurrent appenders racing a compaction lose
-  nothing.
+  log-structured amortization) folds everything into the per-shard
+  ``.base.jsonl`` files under the base + every shard lock; loads replay
+  under the base lock too, so readers and concurrent appenders racing a
+  compaction lose nothing.
+
+  **Read paths.**  :meth:`RuntimeStore.load_cache_into` takes
+  ``keys=`` + ``read_mode=``:
+
+  * ``"full"`` (default, and always used when ``keys`` is ``None``) —
+    replay the whole directory: O(store), the right call when a run
+    genuinely wants everything resident;
+  * ``"selective"`` — replay only the shards the requested keys hash
+    to: O(store ÷ shards × shards touched), a constant-factor win that
+    grows with the shard count;
+  * ``"index"`` — point lookups through each shard's ``.idx.json``
+    sidecar: O(population · log shard), independent of store size.  The
+    index maps key digests to ``[file, byte offset, length]`` of the
+    key's newest row, LSM-style so neither reads nor writes ever touch
+    the whole sidecar: line 1 is a JSON header (``row`` width,
+    ``sorted`` record count, ``files`` table, ``covers``), followed by
+    ``sorted`` digest-ordered **fixed-width records** that lookups
+    binary-search with seeks, followed by one appended JSON tail record
+    per flush (``{"e": {digest: slot}, "c": [segment, bytes]}``) —
+    compaction rebuilds the whole sidecar atomically with everything
+    folded into the sorted region; each flush *appends one tail line
+    under the shard flock*, keeping save cost O(delta).  Staleness is
+    detected by comparing the merged ``covers`` — the ``[name, bytes]``
+    of every shard file the index reflects (header covers plus one per
+    tail record) — against the directory: any mismatch (a writer
+    without index support, a torn segment or index tail, a hand-edited
+    file) falls back to replaying that shard, so indexed reads are
+    always bit-identical to replay.  A fresh index is authoritative: a
+    digest in neither the tail nor the sorted region is a miss, served
+    without touching segment data at all.
 
   Cache keys are plain nested tuples of strings and integers (the key
   contract in :mod:`repro.engine`), round-tripped through JSON with a
@@ -110,6 +145,36 @@ DEFAULT_AUTO_COMPACT_SEGMENTS = 64
 _SEGMENT_RE = re.compile(
     r"^shard-(?P<shard>\d+)\.seg-(?P<seq>\d+)\.(?P<pid>\d+)\.jsonl$"
 )
+
+_SHARD_BASE_RE = re.compile(r"^shard-(?P<shard>\d+)\.base\.jsonl$")
+
+#: Atomic-rename staging names embed the writer's pid
+#: (see :func:`_atomic_write_text`); ``gc`` parses it back out to spare
+#: a *live* writer's staging file regardless of age.
+_TMP_PID_RE = re.compile(r"\.(?P<pid>\d+)\.tmp$")
+
+#: Valid ``read_mode`` values for :meth:`RuntimeStore.load_cache_into`.
+READ_MODES = ("full", "selective", "index")
+
+#: Fixed byte width of one sorted index record:
+#: ``digest(16) + " " + file(6) + " " + offset(12) + " " + length(8) +
+#: "\n"`` — fixed width is what lets lookups binary-search the sorted
+#: region with seeks instead of parsing the whole file.
+_IDX_ROW_WIDTH = 46
+
+#: Upper bound on the index header line (a covers list of base +
+#: pending segments — compaction keeps it tiny; a header past this is
+#: treated as damage, i.e. stale).
+_IDX_HEADER_LIMIT = 1 << 20
+
+
+def _format_idx_row(digest: str, file_idx: int, offset: int,
+                    length: int) -> str:
+    return f"{digest} {file_idx:06d} {offset:012d} {length:08d}\n"
+
+
+class _IndexUnusable(Exception):
+    """Internal: the index lied or is damaged — fall back to replay."""
 
 
 class StoreError(ReproError):
@@ -217,12 +282,43 @@ def _fingerprint_digest(fingerprint: Dict) -> str:
     return hashlib.sha1(material.encode("utf-8")).hexdigest()[:12]
 
 
+def _key_material(encoded_key) -> bytes:
+    """The canonical bytes both the shard map and the index digest hash —
+    one definition, so a key can never index into a shard it does not
+    hash to."""
+    return json.dumps(encoded_key, sort_keys=True,
+                      default=str).encode("utf-8")
+
+
 def _shard_of(encoded_key, n_shards: int) -> int:
     """Stable shard assignment from the JSON-encoded key (process- and
     run-independent, unlike ``hash()`` under PYTHONHASHSEED)."""
-    material = json.dumps(encoded_key, sort_keys=True, default=str)
-    digest = hashlib.sha1(material.encode("utf-8")).hexdigest()[:8]
+    digest = hashlib.sha1(_key_material(encoded_key)).hexdigest()[:8]
     return int(digest, 16) % n_shards
+
+
+def _key_digest(encoded_key) -> str:
+    """Index digest of one JSON-encoded key (16 hex chars).  Collisions
+    are astronomically unlikely, and harmless anyway: indexed reads
+    verify the stored key against the requested one and fall back to
+    replay on any mismatch."""
+    return hashlib.sha1(_key_material(encoded_key)).hexdigest()[:16]
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe; ``EPERM``
+    means alive but owned by someone else)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - needs a foreign process
+        return True
+    except OSError:  # pragma: no cover - platform dependent
+        return False
+    return True
 
 
 class RuntimeStore:
@@ -251,6 +347,12 @@ class RuntimeStore:
                           else Telemetry.disabled())
         #: Why the last load/get returned nothing (diagnostics/reporting).
         self.last_rejection: Optional[str] = None
+        #: How the last :meth:`load_cache_into` call did its reads —
+        #: ``{"mode", "requested", "found", "index_hits",
+        #: "index_fallback_shards", "shards_touched"}`` (``None`` until
+        #: the first load; ``requested``/``shards_touched`` are ``None``
+        #: for whole-store loads).  Diagnostics + benchmark surface.
+        self.last_load_stats: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Indicator cache — paths and directory plumbing
@@ -270,6 +372,12 @@ class RuntimeStore:
 
     def _base_path(self, directory: Path) -> Path:
         return directory / "base.json"
+
+    def _shard_base_path(self, directory: Path, shard: int) -> Path:
+        return directory / f"shard-{shard:02d}.base.jsonl"
+
+    def _index_path(self, directory: Path, shard: int) -> Path:
+        return directory / f"shard-{shard:02d}.idx.json"
 
     def _meta_path(self, directory: Path) -> Path:
         return directory / "meta.json"
@@ -331,6 +439,21 @@ class RuntimeStore:
                           int(match.group("pid")), path))
         return [item[3] for item in sorted(found)]
 
+    def _shard_base_files(self, directory: Path,
+                          shard: Optional[int] = None) -> List[Path]:
+        """Per-shard compacted base files, in shard order (a key lives in
+        exactly one shard, so cross-shard order is irrelevant)."""
+        found = []
+        for path in directory.glob("shard-*.base.jsonl"):
+            match = _SHARD_BASE_RE.match(path.name)
+            if match is None:
+                continue
+            index = int(match.group("shard"))
+            if shard is not None and index != shard:
+                continue
+            found.append((index, path))
+        return [item[1] for item in sorted(found)]
+
     def _next_segment_path(self, directory: Path, shard: int) -> Path:
         """Next sequence number for this shard (call under its lock)."""
         last = 0
@@ -338,6 +461,73 @@ class RuntimeStore:
             last = max(last, int(_SEGMENT_RE.match(path.name).group("seq")))
         return directory / (f"shard-{shard:02d}.seg-{last + 1:08d}"
                             f".{os.getpid()}.jsonl")
+
+    def _shard_state(self, directory: Path, shard: int) -> List[List]:
+        """``[name, bytes]`` of every file holding this shard's rows, in
+        replay order (base first, then segments) — the coverage token the
+        index's staleness check compares against.  The monolithic
+        ``base.json`` is deliberately excluded: no index ever covers it,
+        so index-mode readers always merge it separately while it still
+        exists."""
+        state = []
+        for path in self._shard_base_files(directory, shard=shard):
+            with contextlib.suppress(OSError):
+                state.append([path.name, path.stat().st_size])
+        for path in self._segment_files(directory, shard=shard):
+            with contextlib.suppress(OSError):
+                state.append([path.name, path.stat().st_size])
+        return state
+
+    def _read_index_state(self, directory: Path,
+                          shard: int) -> Optional[Dict]:
+        """This shard's index sidecar decoded *without* parsing its
+        sorted region: the JSON header line, where the fixed-width
+        records start, and the appended tail records merged into one
+        dict (later records win).  The sorted region itself is only ever
+        touched by :meth:`_bisect_index` seeks, which is what keeps
+        lookups O(log shard) instead of O(shard).  ``None`` means
+        absent, unreadable, mis-shaped, or torn mid-append — every
+        ``None`` reads as "treat as stale"."""
+        path = self._index_path(directory, shard)
+        try:
+            with open(path, "rb") as handle:
+                first = handle.readline(_IDX_HEADER_LIMIT)
+                if not first.endswith(b"\n"):
+                    return None
+                try:
+                    header = json.loads(first.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    return None
+                if (not isinstance(header, dict)
+                        or header.get("row") != _IDX_ROW_WIDTH
+                        or not isinstance(header.get("sorted"), int)
+                        or isinstance(header.get("sorted"), bool)
+                        or header["sorted"] < 0
+                        or not isinstance(header.get("files"), list)
+                        or not isinstance(header.get("covers"), list)):
+                    return None
+                handle.seek(len(first) + header["sorted"] * _IDX_ROW_WIDTH)
+                tail_blob = handle.read()
+        except OSError:
+            return None
+        covers = [list(item) for item in header["covers"]]
+        tail: Dict[str, object] = {}
+        for line in tail_blob.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                return None  # torn tail from a crashed appender
+            if (not isinstance(record, dict)
+                    or not isinstance(record.get("e"), dict)
+                    or not isinstance(record.get("c"), list)):
+                return None
+            tail.update(record["e"])
+            covers.append(list(record["c"]))
+        return {"path": path, "header_len": len(first),
+                "sorted": header["sorted"], "files": header["files"],
+                "covers": covers, "tail": tail}
 
     # ------------------------------------------------------------------
     # Indicator cache — save (O(delta) append)
@@ -387,7 +577,7 @@ class RuntimeStore:
             return 0
         directory, n_shards = self._ensure_dir(fingerprint)
         self._migrate_legacy(directory, fingerprint)
-        by_shard: Dict[int, List[str]] = {}
+        by_shard: Dict[int, List[Tuple[str, str]]] = {}
         appended_keys = []
         for key, value in rows:
             encoded = _encode_key(key)
@@ -395,17 +585,65 @@ class RuntimeStore:
                 line = json.dumps([encoded, value])
             except (TypeError, ValueError):
                 continue
-            by_shard.setdefault(_shard_of(encoded, n_shards), []).append(line)
+            by_shard.setdefault(_shard_of(encoded, n_shards), []).append(
+                (_key_digest(encoded), line))
             appended_keys.append(key)
         for shard in sorted(by_shard):
             with _file_lock(self._shard_lock_target(directory, shard)):
-                _atomic_write_text(self._next_segment_path(directory, shard),
-                                   "\n".join(by_shard[shard]) + "\n")
+                # The shard state *before* this append is what a fresh
+                # index must already cover for the append to be able to
+                # extend it — captured under the flock, so no other
+                # writer can slip a segment in between.
+                pre_state = self._shard_state(directory, shard)
+                segment_path = self._next_segment_path(directory, shard)
+                _atomic_write_text(
+                    segment_path,
+                    "\n".join(line for _, line in by_shard[shard]) + "\n")
+                self._append_index(directory, shard, segment_path,
+                                   by_shard[shard], pre_state)
         if hasattr(cache, "mark_clean"):
             cache.mark_clean(appended_keys)
         if self._should_auto_compact(directory):
             self._compact_dir(directory, fingerprint)
         return len(appended_keys)
+
+    def _append_index(self, directory: Path, shard: int,
+                      segment_path: Path,
+                      rows: List[Tuple[str, str]],
+                      pre_state: List[List]) -> None:
+        """Extend this shard's index with the rows just appended (call
+        under the shard flock, ``pre_state`` captured before the segment
+        write), in O(delta): the new rows become one JSON tail record
+        *appended* after the sorted region — the sorted region and the
+        earlier tail are never rewritten.  A *stale* index — one whose
+        merged ``covers`` does not match the pre-append state — is left
+        stale for the next compaction to rebuild, never patched:
+        patching would claim coverage of shard files this writer never
+        read.  A brand-new shard (empty ``pre_state``) starts a fresh
+        empty-header index first.  Offsets count bytes; segment lines
+        are ASCII (``json.dumps`` default), so ``len(line)`` is
+        exact."""
+        index_path = self._index_path(directory, shard)
+        state = self._read_index_state(directory, shard)
+        if state is None or state["covers"] != pre_state:
+            if pre_state:
+                return  # uncovered pre-existing data: leave index stale
+            header = {"row": _IDX_ROW_WIDTH, "sorted": 0, "files": [],
+                      "covers": []}
+            _atomic_write_text(index_path, json.dumps(header) + "\n")
+        entries = {}
+        offset = 0
+        for digest, line in rows:
+            entries[digest] = [segment_path.name, offset, len(line)]
+            offset += len(line) + 1  # the "\n" after every line
+        try:
+            size = segment_path.stat().st_size
+        except OSError:  # pragma: no cover - we just wrote it
+            return
+        record = json.dumps({"e": entries,
+                             "c": [segment_path.name, size]})
+        with open(index_path, "a", encoding="utf-8") as handle:
+            handle.write(record + "\n")
 
     def _should_auto_compact(self, directory: Path) -> bool:
         """Compact when the segment *bytes* have grown to rival the base
@@ -423,9 +661,12 @@ class RuntimeStore:
             return False
         if len(segments) > threshold * 16:
             return True
-        try:
-            base_bytes = self._base_path(directory).stat().st_size
-        except OSError:
+        base_bytes = 0
+        for path in ([self._base_path(directory)]
+                     + self._shard_base_files(directory)):
+            with contextlib.suppress(OSError):
+                base_bytes += path.stat().st_size
+        if base_bytes == 0:
             return True  # no base yet: first fold is cheap by definition
         segment_bytes = 0
         for segment in segments:
@@ -503,30 +744,72 @@ class RuntimeStore:
     # Indicator cache — load (replay with last-write-wins)
     # ------------------------------------------------------------------
     def load_cache_into(self, cache: IndicatorCache, fingerprint: Dict,
-                        strict: bool = False) -> int:
+                        strict: bool = False,
+                        keys: Optional[Iterable] = None,
+                        read_mode: str = "full") -> int:
         """Merge persisted entries into ``cache``; returns how many landed.
 
-        Replays ``base.json`` then every segment in order (last write
-        wins per key), plus any not-yet-migrated format-1 file (oldest,
-        so format-2 rows override it).  A missing store, unreadable JSON
-        or a fingerprint mismatch loads nothing from the offending part
-        (``last_rejection`` says why); with ``strict=True`` a *present
-        but rejected* file raises :class:`StoreError` instead, so CI can
-        distinguish "cold" from "poisoned".  Entries already in the cache
-        keep their in-memory value; loaded rows are marked clean, so the
-        next :meth:`save_cache` does not re-append them.
+        With ``keys=None`` (the default) the whole store replays:
+        monolithic ``base.json``, per-shard ``.base.jsonl`` files, then
+        every segment in order (last write wins per key), plus any
+        not-yet-migrated format-1 file (oldest, so format-2 rows override
+        it).  With ``keys=`` an iterable of cache keys, only those keys
+        are merged, and ``read_mode`` picks the I/O strategy — ``"full"``
+        (replay everything, filter), ``"selective"`` (replay only the
+        shards the keys hash to) or ``"index"`` (point lookups through
+        the per-shard index sidecars, falling back to replaying any shard
+        whose index is stale or missing).  All three are bit-identical in
+        what they merge; they differ only in read cost (see the module
+        docstring).  ``last_load_stats`` records how the load went.
+
+        A missing store, unreadable JSON or a fingerprint mismatch loads
+        nothing from the offending part (``last_rejection`` says why);
+        with ``strict=True`` a *present but rejected* file raises
+        :class:`StoreError` instead, so CI can distinguish "cold" from
+        "poisoned".  Entries already in the cache keep their in-memory
+        value; loaded rows are marked clean, so the next
+        :meth:`save_cache` does not re-append them.
         """
+        if read_mode not in READ_MODES:
+            raise StoreError(f"unknown read_mode {read_mode!r}: expected "
+                             f"one of {READ_MODES}")
         tel = self.telemetry
         if not tel.enabled:
-            return self._load_cache_impl(cache, fingerprint, strict)
+            return self._load_any_impl(cache, fingerprint, strict, keys,
+                                       read_mode)
         with tel.span("store_load", CAT_STORE) as span:
-            loaded = self._load_cache_impl(cache, fingerprint, strict)
-            span.note(rows=loaded)
+            loaded = self._load_any_impl(cache, fingerprint, strict, keys,
+                                         read_mode)
+            stats = self.last_load_stats or {}
+            span.note(rows=loaded, mode=stats.get("mode", read_mode),
+                      index_hits=stats.get("index_hits", 0))
+            tel.count("store.index_hits", stats.get("index_hits", 0))
+            tel.count("store.index_fallbacks",
+                      stats.get("index_fallback_shards", 0))
             return loaded
 
+    def _load_any_impl(self, cache: IndicatorCache, fingerprint: Dict,
+                       strict: bool, keys: Optional[Iterable],
+                       read_mode: str) -> int:
+        if keys is None:
+            return self._load_cache_impl(cache, fingerprint, strict)
+        requested = list(dict.fromkeys(keys))  # dedupe, keep order
+        if read_mode == "full":
+            return self._load_cache_impl(cache, fingerprint, strict,
+                                         requested=requested)
+        return self._load_selected_impl(cache, fingerprint, strict,
+                                        requested, read_mode)
+
     def _load_cache_impl(self, cache: IndicatorCache, fingerprint: Dict,
-                         strict: bool) -> int:
+                         strict: bool,
+                         requested: Optional[List] = None) -> int:
         self.last_rejection = None
+        stats = {"mode": "full",
+                 "requested": (len(requested) if requested is not None
+                               else None),
+                 "found": 0, "index_hits": 0, "index_fallback_shards": 0,
+                 "shards_touched": None}
+        self.last_load_stats = stats
         directory = self.cache_dir(fingerprint)
         legacy_path = self.legacy_cache_path(fingerprint)
         entries: Dict[Tuple, object] = {}
@@ -556,6 +839,206 @@ class RuntimeStore:
         elif not legacy_path.exists():
             self.last_rejection = "no persisted cache"
             return 0
+        if requested is not None:
+            entries = {key: entries[key] for key in requested
+                       if key in entries}
+        stats["found"] = len(entries)
+        return self._finish_load(cache, entries, problems, strict)
+
+    def _load_selected_impl(self, cache: IndicatorCache, fingerprint: Dict,
+                            strict: bool, requested: List,
+                            read_mode: str) -> int:
+        """The ``keys=`` fast path: touch only the shards the requested
+        keys hash to (``selective``), or just their index slots
+        (``index``)."""
+        self.last_rejection = None
+        stats = {"mode": read_mode, "requested": len(requested),
+                 "found": 0, "index_hits": 0, "index_fallback_shards": 0,
+                 "shards_touched": 0}
+        self.last_load_stats = stats
+        directory = self.cache_dir(fingerprint)
+        legacy_path = self.legacy_cache_path(fingerprint)
+        entries: Dict[Tuple, object] = {}
+        problems: List[str] = []
+        if legacy_path.exists():
+            legacy_entries, problem = self._read_entries(
+                legacy_path, _legacy_fingerprint(fingerprint))
+            if problem is not None:
+                if legacy_path.exists():  # not a concurrent migration
+                    problems.append(problem)
+            else:
+                for key in requested:
+                    if key in legacy_entries:
+                        entries[key] = legacy_entries[key]
+        if not directory.exists():
+            if not legacy_path.exists():
+                self.last_rejection = "no persisted cache"
+                return 0
+        else:
+            meta = self._read_meta(directory)
+            if meta is None:
+                # Damaged meta: the key→shard map is unknowable, so
+                # degrade to a full replay filtered to the requested
+                # keys — still correct, just O(store) for this load.
+                stats["shards_touched"] = None
+                with _file_lock(self._base_path(directory), shared=True):
+                    replayed = self._replay(directory, fingerprint,
+                                            problems)
+                for key in requested:
+                    if key in replayed:
+                        entries[key] = replayed[key]
+            elif ("fingerprint" in meta
+                    and meta["fingerprint"] != fingerprint):
+                problems.append(
+                    "fingerprint mismatch: persisted cache was written "
+                    "under a different proxy/macro configuration or "
+                    "store format"
+                )
+            else:
+                n_shards = int(meta.get("shards", self.shards))
+                by_shard: Dict[int, List[Tuple]] = {}
+                for key in requested:
+                    encoded = _encode_key(key)
+                    by_shard.setdefault(_shard_of(encoded, n_shards),
+                                        []).append((key, encoded))
+                stats["shards_touched"] = len(by_shard)
+                with _file_lock(self._base_path(directory), shared=True):
+                    # The monolithic base.json (pre-index layout) is
+                    # outside every shard's coverage: merge it first
+                    # whenever present — shard files replay after it,
+                    # so their rows win, preserving last-write-wins.
+                    base_path = self._base_path(directory)
+                    if base_path.exists():
+                        base_entries, problem = self._read_entries(
+                            base_path, fingerprint)
+                        if problem is not None:
+                            problems.append(problem)
+                        else:
+                            for key in requested:
+                                if key in base_entries:
+                                    entries[key] = base_entries[key]
+                    for shard in sorted(by_shard):
+                        entries.update(self._load_shard_keys(
+                            directory, shard, by_shard[shard],
+                            read_mode, stats))
+        stats["found"] = len(entries)
+        return self._finish_load(cache, entries, problems, strict)
+
+    def _load_shard_keys(self, directory: Path, shard: int,
+                         pairs: List[Tuple], read_mode: str,
+                         stats: Dict) -> Dict[Tuple, object]:
+        """Rows for the requested ``(key, encoded)`` pairs of one shard
+        (call under the shared base lock).  ``index`` mode consults the
+        sidecar first; a stale/missing/lying index falls back to
+        replaying the whole shard, so the result never depends on index
+        health."""
+        if read_mode == "index":
+            rows = self._index_lookup(directory, shard, pairs, stats)
+            if rows is not None:
+                return rows
+            stats["index_fallback_shards"] += 1
+        replayed = self._replay_shard(directory, shard)
+        return {key: replayed[key] for key, _ in pairs if key in replayed}
+
+    def _index_lookup(self, directory: Path, shard: int,
+                      pairs: List[Tuple],
+                      stats: Dict) -> Optional[Dict[Tuple, object]]:
+        """Point lookups through one shard's index, or ``None`` when the
+        index cannot be trusted (absent, mis-shaped, ``covers`` out of
+        date, or a slice that fails to parse back to the requested key).
+        A trusted index is authoritative: a digest in neither the tail
+        records nor the sorted region is a miss, served without reading
+        any row data.  Cost is O(keys · log shard): tail probes are a
+        dict lookup, the sorted region is binary-searched with seeks —
+        it is never parsed wholesale, so warm-start latency stays flat
+        as the store grows."""
+        state = self._read_index_state(directory, shard)
+        if (state is None
+                or state["covers"] != self._shard_state(directory, shard)):
+            return None
+        rows: Dict[Tuple, object] = {}
+        hits = 0
+        handles = {}
+        try:
+            with open(state["path"], "rb") as index_handle:
+                for key, encoded in pairs:
+                    digest = _key_digest(encoded)
+                    slot = state["tail"].get(digest)
+                    if slot is None and state["sorted"]:
+                        slot = self._bisect_index(index_handle, state,
+                                                  digest)
+                    if slot is None:
+                        continue  # authoritative miss
+                    if not (isinstance(slot, list) and len(slot) == 3):
+                        return None
+                    name, offset, length = slot
+                    handle = handles.get(name)
+                    if handle is None:
+                        try:
+                            handle = open(directory / name, "rb")
+                        except (OSError, TypeError):
+                            return None
+                        handles[name] = handle
+                    try:
+                        handle.seek(offset)
+                        blob = handle.read(length)
+                    except (OSError, ValueError, TypeError):
+                        return None
+                    try:
+                        record = json.loads(blob.decode("utf-8"))
+                    except (ValueError, UnicodeDecodeError):
+                        return None
+                    if (not isinstance(record, list) or len(record) != 2
+                            or _decode_key(record[0]) != key):
+                        return None  # digest collision or corrupt slot
+                    rows[key] = record[1]
+                    hits += 1
+        except (OSError, _IndexUnusable):
+            return None
+        finally:
+            for handle in handles.values():
+                handle.close()
+        stats["index_hits"] += hits
+        return rows
+
+    def _bisect_index(self, handle, state: Dict,
+                      digest: str) -> Optional[List]:
+        """Binary-search the sorted fixed-width region for ``digest``
+        via seeks — O(log rows) reads of one record each, never a full
+        parse.  A record that does not decode as expected means the
+        sidecar is damaged: raises :class:`_IndexUnusable` so the
+        caller falls back to shard replay."""
+        lo, hi = 0, state["sorted"]
+        base = state["header_len"]
+        files = state["files"]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            handle.seek(base + mid * _IDX_ROW_WIDTH)
+            row = handle.read(_IDX_ROW_WIDTH)
+            if len(row) != _IDX_ROW_WIDTH:
+                raise _IndexUnusable(f"short index record at slot {mid}")
+            row_digest = row[:16].decode("ascii", "replace")
+            if row_digest == digest:
+                try:
+                    file_idx = int(row[17:23])
+                    offset = int(row[24:36])
+                    length = int(row[37:45])
+                except ValueError:
+                    raise _IndexUnusable(
+                        f"unparseable index record at slot {mid}")
+                if not 0 <= file_idx < len(files):
+                    raise _IndexUnusable(
+                        f"file ordinal {file_idx} out of range")
+                return [files[file_idx], offset, length]
+            if row_digest < digest:
+                lo = mid + 1
+            else:
+                hi = mid
+        return None
+
+    def _finish_load(self, cache: IndicatorCache,
+                     entries: Dict[Tuple, object], problems: List[str],
+                     strict: bool) -> int:
         if problems:
             self.last_rejection = "; ".join(problems)
             if strict:
@@ -569,15 +1052,36 @@ class RuntimeStore:
             cache.mark_clean(merged_keys)
         return len(merged_keys)
 
+    def _read_jsonl_rows(self, path: Path,
+                         entries: Dict[Tuple, object]) -> None:
+        """Merge one JSONL file's rows into ``entries`` (later lines
+        win), tolerating a torn tail or malformed lines — a writer crash
+        must not poison its shard."""
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return  # compacted away between glob and read
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a crashed writer
+            if isinstance(record, list) and len(record) == 2:
+                entries[_decode_key(record[0])] = record[1]
+
     def _replay(self, directory: Path, fingerprint: Dict,
                 problems: List[str]) -> Dict[Tuple, object]:
-        """Base + segments, later writes winning; unreadable parts are
+        """Bases + segments, later writes winning; unreadable parts are
         reported into ``problems`` and skipped (readable rows still
-        load).  Malformed individual segment lines are tolerated — a
-        writer crash must not poison its shard.  Callers racing a
-        compactor must hold the base lock (``load_cache_into`` does;
-        ``_compact_dir`` already holds it), or the base-swap-then-unlink
-        sequence could hide segment-only rows from them."""
+        load).  Replay order: monolithic ``base.json`` (oldest — the
+        pre-index layout), per-shard ``.base.jsonl`` files, then
+        segments.  Callers racing a compactor must hold the base lock
+        (``load_cache_into`` does; ``_compact_dir`` already holds it), or
+        the base-swap-then-unlink sequence could hide segment-only rows
+        from them."""
         meta = self._read_meta(directory)
         if (isinstance(meta, dict) and "fingerprint" in meta
                 and meta["fingerprint"] != fingerprint):
@@ -595,32 +1099,35 @@ class RuntimeStore:
                 problems.append(problem)
             else:
                 entries.update(base_entries)
+        for path in self._shard_base_files(directory):
+            self._read_jsonl_rows(path, entries)
         for segment in self._segment_files(directory):
-            try:
-                text = segment.read_text(encoding="utf-8")
-            except OSError:
-                continue  # compacted away between glob and read
-            for line in text.splitlines():
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    continue  # torn tail from a crashed writer
-                if isinstance(record, list) and len(record) == 2:
-                    entries[_decode_key(record[0])] = record[1]
+            self._read_jsonl_rows(segment, entries)
+        return entries
+
+    def _replay_shard(self, directory: Path,
+                      shard: int) -> Dict[Tuple, object]:
+        """One shard's base + segments, later writes winning (call under
+        the shared base lock).  The monolithic ``base.json`` is *not*
+        included — selective callers merge it separately, before shard
+        rows."""
+        entries: Dict[Tuple, object] = {}
+        for path in self._shard_base_files(directory, shard=shard):
+            self._read_jsonl_rows(path, entries)
+        for segment in self._segment_files(directory, shard=shard):
+            self._read_jsonl_rows(segment, entries)
         return entries
 
     # ------------------------------------------------------------------
     # Indicator cache — compaction and maintenance
     # ------------------------------------------------------------------
     def compact_cache(self, fingerprint: Dict) -> Dict:
-        """Fold this fingerprint's segments into ``base.json``; returns
-        ``{"segments_folded", "entries", "migrated"}``.  Idempotent: with
-        no segments pending the base is rewritten unchanged.  Also
-        migrates a lingering format-1 file and sweeps stale staging
-        files."""
+        """Fold this fingerprint's segments (and any monolithic
+        ``base.json``) into per-shard ``.base.jsonl`` files with freshly
+        rebuilt ``.idx.json`` sidecars; returns ``{"segments_folded",
+        "entries", "migrated"}``.  Idempotent: with no segments pending
+        the bases are rewritten unchanged.  Also migrates a lingering
+        format-1 file and sweeps stale staging files."""
         directory, _ = self._ensure_dir(fingerprint)
         migrated = self._migrate_legacy(directory, fingerprint)
         stats = self._compact_dir(directory, fingerprint)
@@ -628,22 +1135,26 @@ class RuntimeStore:
         return stats
 
     def _compact_dir(self, directory: Path, fingerprint: Dict) -> Dict:
-        """Segments → base under the base lock plus *every* shard lock
-        (base first, shards in index order — appenders only ever hold a
-        single shard lock, so the ordering cannot deadlock).  Holding the
-        shard locks across read-fold-unlink is what guarantees no append
-        lands between reading a segment and deleting it.  The lock span
-        covers the recorded shard count *and* every shard index actually
-        present in segment filenames, so a damaged/missing meta can never
-        leave a live appender's shard unlocked while its segments are
-        swept."""
+        """Segments → per-shard bases under the base lock plus *every*
+        shard lock (base first, shards in index order — appenders only
+        ever hold a single shard lock, so the ordering cannot deadlock).
+        Holding the shard locks across read-fold-unlink is what
+        guarantees no append lands between reading a segment and
+        deleting it.  The lock span covers the recorded shard count
+        *and* every shard index actually present in segment/base
+        filenames, so a damaged/missing meta can never leave a live
+        appender's shard unlocked while its segments are swept.  Each
+        surviving shard gets its index rebuilt atomically alongside its
+        base; the monolithic ``base.json`` (pre-index layout) is folded
+        in and removed."""
         tel = self.telemetry
         with tel.span("compaction", CAT_STORE) as span:
             meta = self._read_meta(directory)
             n_shards = (int(meta.get("shards", self.shards))
                         if isinstance(meta, dict) else self.shards)
-            for path in directory.glob("shard-*.seg-*.jsonl"):
-                match = _SEGMENT_RE.match(path.name)
+            for path in directory.glob("shard-*.*.jsonl"):
+                match = (_SEGMENT_RE.match(path.name)
+                         or _SHARD_BASE_RE.match(path.name))
                 if match is not None:
                     n_shards = max(n_shards, int(match.group("shard")) + 1)
             with contextlib.ExitStack() as stack:
@@ -655,14 +1166,65 @@ class RuntimeStore:
                 segments = self._segment_files(directory)
                 problems: List[str] = []
                 entries = self._replay(directory, fingerprint, problems)
-                self._write_base(directory, fingerprint, entries)
+                by_shard: Dict[int, List[Tuple[str, str]]] = {}
+                for key, value in sorted(entries.items(),
+                                         key=lambda kv: repr(kv[0])):
+                    encoded = _encode_key(key)
+                    try:
+                        line = json.dumps([encoded, value])
+                    except (TypeError, ValueError):
+                        continue
+                    by_shard.setdefault(_shard_of(encoded, n_shards),
+                                        []).append(
+                        (_key_digest(encoded), line))
+                for shard in range(n_shards):
+                    self._write_shard_base(directory, shard,
+                                           by_shard.get(shard, []))
                 for segment in segments:
                     with contextlib.suppress(OSError):
                         segment.unlink()
+                with contextlib.suppress(OSError):
+                    self._base_path(directory).unlink()
             self._sweep_sidecars(directory)
             span.note(segments_folded=len(segments), entries=len(entries))
             tel.count("store.compactions")
         return {"segments_folded": len(segments), "entries": len(entries)}
+
+    def _write_shard_base(self, directory: Path, shard: int,
+                          rows: List[Tuple[str, str]]) -> None:
+        """One shard's compacted base + rebuilt index (call under the
+        compaction locks).  An empty shard loses both files — absence is
+        the compact representation, and a fresh index over zero files
+        would be pointless."""
+        base_path = self._shard_base_path(directory, shard)
+        index_path = self._index_path(directory, shard)
+        if not rows:
+            with contextlib.suppress(OSError):
+                base_path.unlink()
+            with contextlib.suppress(OSError):
+                index_path.unlink()
+            return
+        text = "\n".join(line for _, line in rows) + "\n"
+        _atomic_write_text(base_path, text)
+        records = []
+        offset = 0
+        for digest, line in rows:
+            records.append((digest, offset, len(line)))
+            offset += len(line) + 1
+        records.sort()
+        body = [_format_idx_row(digest, 0, start, length)
+                for digest, start, length in records]
+        if any(len(row) != _IDX_ROW_WIDTH for row in body):
+            # A pathological offset/length overflowed the fixed width:
+            # no index beats a lying one (absence just means replay).
+            with contextlib.suppress(OSError):
+                index_path.unlink()
+            return
+        header = {"row": _IDX_ROW_WIDTH, "sorted": len(body),
+                  "files": [base_path.name],
+                  "covers": [[base_path.name, len(text)]]}
+        _atomic_write_text(index_path,
+                           json.dumps(header) + "\n" + "".join(body))
 
     def compact_all(self) -> List[Dict]:
         """Compact every indicator cache in the store; returns one stats
@@ -706,11 +1268,13 @@ class RuntimeStore:
 
         Crashed writers leave both behind forever (atomic-rename staging
         files are normally renamed away; lock sidecars are recreated per
-        use, so their mtime tracks last use).  Only files untouched for
-        ``max_age_seconds`` go — a live writer's staging file or held
-        lock is always fresher than any sane threshold — and a lock is
-        only unlinked while this process *holds* it (see
-        :meth:`_unlink_free_lock`).  Returns removal counts per kind.
+        use, so their mtime tracks last use).  Age alone is not proof of
+        death, so liveness is consulted too: a ``.tmp`` whose embedded
+        writer pid is still alive survives any age (a paused/slow writer
+        mid-rename must not have its staging file pulled out from under
+        it), and a lock is only unlinked while this process *holds* it
+        (see :meth:`_unlink_free_lock` — a live holder's flock makes the
+        acquire fail).  Returns removal counts per kind.
         """
         return self._sweep(self.root.rglob("*"), ("tmp", "lock"),
                            time.time() - max_age_seconds)
@@ -736,6 +1300,10 @@ class RuntimeStore:
                 if kind == "lock":
                     removed[kind] += self._unlink_free_lock(path, cutoff)
                 else:
+                    match = _TMP_PID_RE.search(path.name)
+                    if (match is not None
+                            and _pid_alive(int(match.group("pid")))):
+                        continue  # live writer mid-rename: not stale
                     path.unlink()
                     removed[kind] += 1
             except OSError:  # vanished mid-sweep
@@ -812,6 +1380,9 @@ class RuntimeStore:
                 fingerprint = None
             base = (self._read_base(directory, fingerprint)
                     if fingerprint else None)
+            base_rows: Dict[Tuple, object] = dict(base or {})
+            for path in self._shard_base_files(directory):
+                self._read_jsonl_rows(path, base_rows)
             segments = self._segment_files(directory)
             size = 0
             for path in directory.glob("*"):
@@ -832,7 +1403,7 @@ class RuntimeStore:
                 "format": 2,
                 "precision": (fingerprint or {}).get("precision"),
                 "shards": meta.get("shards"),
-                "base_rows": len(base) if base is not None else 0,
+                "base_rows": len(base_rows),
                 "segments": len(segments),
                 "quarantined": quarantined,
                 "bytes": size,
@@ -952,4 +1523,5 @@ __all__ = [
     "STORE_FORMAT",
     "DEFAULT_SHARDS",
     "DEFAULT_AUTO_COMPACT_SEGMENTS",
+    "READ_MODES",
 ]

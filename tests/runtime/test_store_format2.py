@@ -189,11 +189,36 @@ class TestCompaction:
             cache.put(key(i), float(i))
         store.save_cache(cache, fingerprint)
         store.compact_cache(fingerprint)
-        base = store.cache_dir(fingerprint) / "base.json"
-        first = base.read_bytes()
+
+        def layout():
+            directory = store.cache_dir(fingerprint)
+            return {path.name: path.read_bytes()
+                    for path in directory.glob("shard-*.base.jsonl")}
+
+        first = layout()
+        assert first  # compaction wrote per-shard bases
         stats = store.compact_cache(fingerprint)
         assert stats["segments_folded"] == 0
-        assert base.read_bytes() == first
+        assert layout() == first
+
+    def test_compaction_folds_monolithic_base_away(self, store,
+                                                   fingerprint):
+        # A pre-index directory (monolithic base.json) compacts into
+        # per-shard bases + indexes; the monolith does not linger.
+        write_format1_file(store, fingerprint, {key(1): 1.0})
+        cache = IndicatorCache()
+        cache.put(key(2), 2.0)
+        store.save_cache(cache, fingerprint)  # migration writes base.json
+        directory = store.cache_dir(fingerprint)
+        assert (directory / "base.json").exists()
+        store.compact_cache(fingerprint)
+        assert not (directory / "base.json").exists()
+        assert list(directory.glob("shard-*.base.jsonl"))
+        assert list(directory.glob("shard-*.idx.json"))
+        restored = IndicatorCache()
+        assert store.load_cache_into(restored, fingerprint, strict=True) == 2
+        assert restored.get(key(1)) == 1.0
+        assert restored.get(key(2)) == 2.0
 
     def test_auto_compaction_past_segment_threshold(self, tmp_path,
                                                     fingerprint):
@@ -349,11 +374,23 @@ class TestLutDeviceNameKeying:
         assert devices == ["jetson nano", "jetson-nano"]
 
 
+def dead_pid():
+    """A pid guaranteed to belong to no live process: a child we already
+    reaped (tests using literal pids like 4242 could collide with a real
+    process and make the liveness check spare a genuinely stale file)."""
+    context = multiprocessing.get_context()
+    child = context.Process(target=lambda: None)
+    child.start()
+    child.join()
+    return child.pid
+
+
 class TestGarbageCollection:
     def test_gc_sweeps_stale_tmp_and_lock_sidecars(self, store):
-        stale_tmp = store.root / "lut__x__abc.json.4242.tmp"
+        pid = dead_pid()
+        stale_tmp = store.root / f"lut__x__abc.json.{pid}.tmp"
         stale_lock = store.root / "lut__x__abc.json.lock"
-        fresh_tmp = store.root / "lut__y__def.json.4242.tmp"
+        fresh_tmp = store.root / f"lut__y__def.json.{pid}.tmp"
         for path in (stale_tmp, stale_lock, fresh_tmp):
             path.write_text("", encoding="utf-8")
         old = time.time() - 7200
@@ -364,6 +401,24 @@ class TestGarbageCollection:
         assert not stale_tmp.exists()
         assert not stale_lock.exists()
         assert fresh_tmp.exists()  # a live writer's staging file stays
+
+    def test_gc_spares_a_live_writers_sidecars(self, store):
+        """Regression: age alone must not condemn a `.tmp` — a paused or
+        slow writer (this very process) may still be mid-rename long
+        after any sane age cutoff."""
+        live_tmp = store.root / f"lut__x__abc.json.{os.getpid()}.tmp"
+        live_tmp.write_text("", encoding="utf-8")
+        old = time.time() - 7200
+        os.utime(live_tmp, (old, old))
+        assert store.gc(max_age_seconds=3600)["tmp"] == 0
+        assert live_tmp.exists()
+        # A pid-less orphan (foreign naming) still sweeps by age alone.
+        orphan = store.root / "lut__x__abc.json.tmp"
+        orphan.write_text("", encoding="utf-8")
+        os.utime(orphan, (old, old))
+        assert store.gc(max_age_seconds=3600)["tmp"] == 1
+        assert not orphan.exists()
+        assert live_tmp.exists()
 
     def test_gc_never_unlinks_a_held_lock(self, store):
         fcntl = pytest.importorskip("fcntl")
@@ -387,7 +442,8 @@ class TestGarbageCollection:
         cache = IndicatorCache()
         cache.put(key(1), 1.0)
         store.save_cache(cache, fingerprint)
-        orphan = store.cache_dir(fingerprint) / "base.json.999.tmp"
+        orphan = (store.cache_dir(fingerprint)
+                  / f"base.json.{dead_pid()}.tmp")
         orphan.write_text("", encoding="utf-8")
         old = time.time() - 7200
         os.utime(orphan, (old, old))
@@ -401,7 +457,8 @@ class TestGarbageCollection:
         cache = IndicatorCache()
         cache.put(key(1), 1.0)
         store.save_cache(cache, fingerprint)
-        orphan = store.cache_dir(fingerprint) / "base.json.999.tmp"
+        orphan = (store.cache_dir(fingerprint)
+                  / f"base.json.{dead_pid()}.tmp")
         orphan.write_text("", encoding="utf-8")
         old = time.time() - 7200
         os.utime(orphan, (old, old))
