@@ -49,6 +49,10 @@ SCHEMAS: Dict[str, List[str]] = {
         "cache",
     ],
     "BENCH_faults.json": ["bench_scale", "overhead", "faulted"],
+    "BENCH_fleet.json": [
+        "bench_scale", "n_chunks", "pad_seconds", "scaling",
+        "speedup_4x_vs_1", "fleet_bit_identical", "elastic",
+    ],
     "BENCH_parallel.json": [
         "bench_scale", "population_size", "unique_canonical", "n_workers",
         "cpu_count", "pool_mode", "serial_cold_seconds",

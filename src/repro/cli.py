@@ -150,6 +150,10 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         trace_path=args.trace,
         heartbeat=args.heartbeat,
+        fleet_bind=args.fleet_bind,
+        fleet_workers=args.fleet_workers,
+        fleet_lease_seconds=args.fleet_lease_seconds,
+        fleet_token=args.fleet_token,
     )
     try:
         report = RunHarness(config).run()
@@ -164,7 +168,8 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         ["algorithm", report.algorithm],
         ["architecture", report.arch_str],
         ["precision", config.precision],
-        ["workers (mode)", f"{config.n_workers} ({report.pool['mode']}"
+        ["workers (mode)", f"{report.pool.get('n_workers', config.n_workers)}"
+                           f" ({report.pool['mode']}"
                            f"{', async' if config.async_mode else ''})"],
         ["pool tasks / chunks", f"{report.pool['tasks']} / "
                                f"{report.pool['chunks']}"],
@@ -180,8 +185,11 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         rows.append(["faults recovered", ", ".join(faults) or "none"])
         if report.status != "completed":
             rows.append(["status", report.status])
+    if config.fleet_bind or config.fleet_workers:
+        rows.append(["fleet", f"{config.fleet_workers} local workers"
+                             f" ({report.pool['mode']} transport)"])
     if config.store_dir:
-        rows.append(["store read mode", config.store_read_mode])
+        rows.append(["store read mode", report.store["read_mode"]])
     rows.append(["cache warm-start",
                  f"{report.cache['warm_start_entries']} entries"])
     rows.append(["cache hits / misses", f"{report.cache['hits']} / "
@@ -201,6 +209,37 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     if args.report:
         report.save_json(args.report)
         print(f"run report written to {args.report}")
+    return 0
+
+
+def cmd_fleet_worker(args: argparse.Namespace) -> int:
+    """Join a fleet as one worker: lease, evaluate, report, repeat."""
+    from repro.errors import ReproError
+    from repro.runtime.fleet import run_worker
+
+    try:
+        stats = run_worker(args.connect, store_dir=args.store,
+                           token=args.token, poll_seconds=args.poll,
+                           read_mode=args.read_mode,
+                           max_chunks=args.max_chunks)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    except (ConnectionError, OSError, EOFError) as exc:
+        # The broker went away (driver finished or died): for an elastic
+        # worker that is a normal way to retire, not a stack trace.
+        print(f"fleet worker: broker at {args.connect} gone ({exc})")
+        return 0
+    rows = [
+        ["worker id", str(stats.worker_id)],
+        ["chunks evaluated", str(stats.chunks)],
+        ["rows returned", str(stats.rows)],
+        ["rows from store (warm)", str(stats.store_rows_loaded)],
+        ["rows flushed to store", str(stats.store_rows_flushed)],
+        ["worker errors reported", str(stats.errors)],
+        ["busy", f"{stats.busy_seconds:.2f} s"],
+        ["exit", "drained" if stats.drained else "left"],
+    ]
+    print(format_table(rows, title="fleet worker session"))
     return 0
 
 
@@ -562,6 +601,15 @@ parallel evaluation runtime examples:
   # (inspect with 'micronas store quarantine')
   micronas runtime --async --algorithm steady-state --workers 4 \\
       --chunk-timeout 30 --max-retries 3 --store ~/.cache/micronas
+
+  # distributed fleet: the driver binds a broker and forks 4 local
+  # workers; more workers (local or remote) join and leave freely with
+  # 'micronas fleet worker' and warm-start from the shared store
+  micronas runtime --async --algorithm steady-state \\
+      --fleet-bind 127.0.0.1:7707 --fleet-workers 4 --fleet-lease 30 \\
+      --store ~/.cache/micronas
+  micronas fleet worker --connect 127.0.0.1:7707 \\
+      --store ~/.cache/micronas
 """
 
 
@@ -622,14 +670,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="directory for the persistent indicator/LUT "
                                 "store (created if missing)")
     p_runtime.add_argument("--store-read-mode", dest="store_read_mode",
-                           choices=("full", "selective", "index"),
-                           default="full",
+                           choices=("auto", "full", "selective", "index"),
+                           default="auto",
                            help="how warm-start reads the store: full "
                                 "(eager whole-store replay), selective "
                                 "(replay only the shards each population's "
                                 "keys hash to) or index (per-shard index "
                                 "point lookups — O(population), for "
-                                "million-row stores)")
+                                "million-row stores); the default auto "
+                                "picks index for --async runs and full "
+                                "for synchronous ones (--store-read-mode "
+                                "full is the async opt-out)")
     p_runtime.add_argument("--max-cache-rows", dest="max_cache_rows",
                            type=int, default=None,
                            help="LRU bound on in-memory cache rows "
@@ -683,7 +734,72 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print a one-line progress heartbeat to "
                                 "stderr every SECS seconds (evals/s, "
                                 "in-flight, idle %%, retries, store rows)")
+    p_runtime.add_argument("--fleet-bind", dest="fleet_bind", default=None,
+                           metavar="HOST:PORT",
+                           help="async runs: bind a fleet broker here and "
+                                "evaluate chunks on fleet workers instead "
+                                "of the fork pool (port 0 picks a free "
+                                "port; workers join with 'micronas fleet "
+                                "worker --connect').  Trusted networks "
+                                "only: the wire format is pickle")
+    p_runtime.add_argument("--fleet-workers", dest="fleet_workers",
+                           type=int, default=0,
+                           help="async runs: fork this many local fleet "
+                                "workers against the broker at start "
+                                "(implies a broker on 127.0.0.1 when "
+                                "--fleet-bind is not given)")
+    p_runtime.add_argument("--fleet-lease", dest="fleet_lease_seconds",
+                           type=float, default=None, metavar="SECS",
+                           help="fleet runs: per-chunk lease deadline — an "
+                                "expired lease is re-leased once, then "
+                                "counts as a transient timeout (default: "
+                                "--chunk-timeout)")
+    p_runtime.add_argument("--fleet-token", dest="fleet_token", default="",
+                           help="shared fleet token workers must present "
+                                "(identity check against cross-talk, not "
+                                "authentication)")
     p_runtime.set_defaults(fn=cmd_runtime)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="join a distributed evaluation fleet as a worker",
+        description="Fleet worker client: connect to a broker started by "
+                    "'micronas runtime --async --fleet-bind HOST:PORT', "
+                    "lease evaluation chunks, compute them, and report "
+                    "back — warm-starting from (and flushing results "
+                    "into) the shared --store directory when given. "
+                    "Workers may join and leave at any time; the broker "
+                    "requeues chunks a lost worker held.",
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_cmd", required=True)
+    p_fleet_worker = fleet_sub.add_parser(
+        "worker", help="run one worker loop against a fleet broker")
+    p_fleet_worker.add_argument("--connect", required=True,
+                                metavar="HOST:PORT",
+                                help="the broker's address (printed by the "
+                                     "driver / chosen via --fleet-bind)")
+    p_fleet_worker.add_argument("--store", default=None,
+                                help="shared store directory: rows already "
+                                     "persisted are read instead of "
+                                     "recomputed, and freshly computed "
+                                     "rows are flushed back immediately")
+    p_fleet_worker.add_argument("--token", default="",
+                                help="shared fleet token (must match the "
+                                     "broker's --fleet-token)")
+    p_fleet_worker.add_argument("--read-mode", dest="read_mode",
+                                choices=("full", "selective", "index"),
+                                default="index",
+                                help="store read mode for warm starts "
+                                     "(default: index point lookups)")
+    p_fleet_worker.add_argument("--poll", type=float, default=0.2,
+                                metavar="SECS",
+                                help="sleep between lease attempts while "
+                                     "the broker has no work (default 0.2)")
+    p_fleet_worker.add_argument("--max-chunks", dest="max_chunks",
+                                type=int, default=None,
+                                help="leave gracefully after this many "
+                                     "chunks (default: stay until drain)")
+    p_fleet_worker.set_defaults(fn=cmd_fleet_worker)
 
     p_trace = sub.add_parser(
         "trace",

@@ -54,13 +54,24 @@ engine ever importing it:
    :class:`RunReport`; disabled by default with <2% armed overhead and
    zero effect on computed rows.
 
+7. **Distributed fleet** (:mod:`repro.runtime.fleet`) — a TCP socket
+   broker (:class:`FleetBroker`) leasing picklable chunk payloads to an
+   elastic set of worker processes (``micronas fleet worker``), with
+   per-lease deadlines, exactly-once re-lease of expired chunks, and
+   requeue of chunks a disconnected worker held.  The driver-side
+   :class:`FleetPool` implements the ``FuturePool`` submit/gather
+   contract, so the async executor, fault taxonomy, quarantine ledger,
+   telemetry and graceful drain compose unchanged; workers warm-start
+   from — and flush freshly computed rows into — the shared store, so
+   late joiners inherit everything already computed.
+
 The composition seam is deliberately thin: ``Engine.evaluate_population``
 and every search loop accept an optional ``executor=`` object they only
 duck-type (``warm_population`` / ``warm_supernets`` for barrier-style
-warming, ``submit_population`` / ``gather`` for event-driven loops), and
-the engine/estimator accept a duck-typed ``lut_store``.  Future scaling
-work (remote workers via the injectable chunk-worker seam, store
-sharding) plugs into the same hooks.
+warming, ``submit_population`` / ``gather`` for event-driven loops), the
+engine/estimator accept a duck-typed ``lut_store``, and the async
+executor accepts any ``pool=`` honouring the ``FuturePool`` contract —
+which is exactly how the fleet transport plugs in.
 """
 
 from repro.runtime.pool import PoolStats, PopulationExecutor
@@ -78,6 +89,14 @@ from repro.runtime.faults import (
     QuarantineLedger,
     TransientWorkerError,
     classify_failure,
+)
+from repro.runtime.fleet import (
+    FleetBroker,
+    FleetPool,
+    FleetWorkerLostError,
+    FleetWorkerStats,
+    run_worker,
+    spawn_local_worker,
 )
 from repro.runtime.store import RuntimeStore, cache_fingerprint
 from repro.runtime.harness import (
@@ -111,6 +130,12 @@ __all__ = [
     "QuarantineLedger",
     "TransientWorkerError",
     "classify_failure",
+    "FleetBroker",
+    "FleetPool",
+    "FleetWorkerLostError",
+    "FleetWorkerStats",
+    "run_worker",
+    "spawn_local_worker",
     "RuntimeStore",
     "cache_fingerprint",
     "RuntimeConfig",

@@ -684,6 +684,7 @@ class AsyncPopulationExecutor:
                  quarantine_ledger=None,
                  telemetry: Optional[Telemetry] = None,
                  cache_loader: Optional[Callable] = None,
+                 pool=None,
                  ) -> None:
         if chunk_size < 1:
             raise SearchError("chunk_size must be >= 1")
@@ -699,14 +700,21 @@ class AsyncPopulationExecutor:
         self.cache_loader = cache_loader
         self.telemetry = (telemetry if telemetry is not None
                           else Telemetry.disabled())
-        self.pool = FuturePool(
-            n_workers=n_workers, mode=mode,
-            chunk_timeout=(fault_policy.chunk_timeout
-                           if fault_policy else None),
-            max_respawns=(fault_policy.max_respawns
-                          if fault_policy else 3),
-            telemetry=self.telemetry,
-        )
+        if pool is not None:
+            # Transport injection: anything honouring the FuturePool
+            # submit/gather contract (e.g. the fleet's socket-broker
+            # FleetPool) slots in here; scheduling, dedupe, fault policy
+            # and drain logic below never look past the contract.
+            self.pool = pool
+        else:
+            self.pool = FuturePool(
+                n_workers=n_workers, mode=mode,
+                chunk_timeout=(fault_policy.chunk_timeout
+                               if fault_policy else None),
+                max_respawns=(fault_policy.max_respawns
+                              if fault_policy else 3),
+                telemetry=self.telemetry,
+            )
         self.n_workers = self.pool.n_workers
         self.chunk_size = chunk_size
         self.genotype_worker = genotype_worker
@@ -871,8 +879,9 @@ class AsyncPopulationExecutor:
             with tel.span("dispatch", CAT_DISPATCH, chunk=chunk_id,
                           kind=kind, items=len(chunk)):
                 self.pool.submit(
-                    tel.wrap_worker(worker, chunk=chunk_id,
-                                    local=self.pool.mode != "fork"),
+                    tel.wrap_worker(
+                        worker, chunk=chunk_id,
+                        local=self.pool.mode in ("serial", "thread")),
                     build_payload(chunk), tag=context)
             shipped += 1
         self.stats.dispatches += 1
@@ -888,8 +897,9 @@ class AsyncPopulationExecutor:
                       kind=context.kind, items=len(context.items),
                       resubmit=True):
             self.pool.submit(
-                tel.wrap_worker(context.worker, chunk=context.chunk_id,
-                                local=self.pool.mode != "fork"),
+                tel.wrap_worker(
+                    context.worker, chunk=context.chunk_id,
+                    local=self.pool.mode in ("serial", "thread")),
                 context.build_payload(context.items), tag=context)
 
     # ------------------------------------------------------------------

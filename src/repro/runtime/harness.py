@@ -55,8 +55,12 @@ class RuntimeConfig:
     #: it), "selective" (replay only the shards each population's keys
     #: hash to, at submit time) or "index" (point lookups through the
     #: per-shard index sidecars — O(population), the million-row-store
-    #: mode).  See :mod:`repro.runtime.store`.
-    store_read_mode: str = "full"
+    #: mode).  The default "auto" resolves to "index" for async runs
+    #: (submit-time preloads only ever want each population's keys, and
+    #: fleet workers warm-start the same way) and "full" for synchronous
+    #: runs (which still replay eagerly); pass "full" explicitly to opt
+    #: an async run out.  See :mod:`repro.runtime.store`.
+    store_read_mode: str = "auto"
     #: LRU bound on in-memory cache rows (None = unbounded).  Dirty rows
     #: are pinned until flushed; see :mod:`repro.engine.cache`.
     max_cache_rows: Optional[int] = None
@@ -78,6 +82,20 @@ class RuntimeConfig:
     graceful_shutdown: bool = True  # SIGINT/SIGTERM drain (async runs)
     trace_path: Optional[str] = None  # write a Chrome trace JSON here
     heartbeat: Optional[float] = None  # progress line every N seconds
+    #: Bind address for a fleet broker ("HOST:PORT"; port 0 picks one).
+    #: Setting this (or ``fleet_workers``) swaps the async transport for
+    #: the socket-broker :class:`~repro.runtime.fleet.FleetPool` —
+    #: external workers join with ``micronas fleet worker --connect``.
+    fleet_bind: Optional[str] = None
+    #: Local worker processes to fork against the broker at start (the
+    #: single-host fan-out path; remote workers may still join on top).
+    fleet_workers: int = 0
+    #: Per-chunk lease deadline for fleet runs (defaults to
+    #: ``chunk_timeout``; None = leases never expire).
+    fleet_lease_seconds: Optional[float] = None
+    #: Shared fleet token (an identity check against cross-talk between
+    #: fleets on one network — not authentication; see the fleet module).
+    fleet_token: str = ""
 
     def proxy_config(self) -> ProxyConfig:
         from repro.eval.benchconfig import reduced_proxy_config
@@ -316,11 +334,19 @@ class RunHarness:
         from repro.autograd.precision import resolve_policy
 
         resolve_policy(config.precision)
-        if config.store_read_mode not in READ_MODES:
+        if config.store_read_mode not in READ_MODES + ("auto",):
             raise SearchError(
                 f"unknown store_read_mode {config.store_read_mode!r}; "
-                f"valid: {READ_MODES}"
+                f"valid: {('auto',) + READ_MODES}"
             )
+        if (config.fleet_bind or config.fleet_workers) \
+                and not config.async_mode:
+            raise SearchError(
+                "fleet transport rides the async executor: set "
+                "async_mode=True (CLI: micronas runtime --async)"
+            )
+        if config.fleet_workers < 0:
+            raise SearchError("fleet_workers must be >= 0")
         if config.max_cache_rows is not None and config.max_cache_rows < 1:
             raise SearchError("max_cache_rows must be >= 1 (or None)")
         self.config = config
@@ -344,6 +370,11 @@ class RunHarness:
                       if config.store_dir else None)
         self.fingerprint = cache_fingerprint(self.proxy_config,
                                              self.macro_config)
+        #: The resolved read mode ("auto" picks "index" for async runs,
+        #: "full" for synchronous ones — see :class:`RuntimeConfig`).
+        self.store_read_mode = (
+            config.store_read_mode if config.store_read_mode != "auto"
+            else ("index" if config.async_mode else "full"))
         # Rows warm-started from the store (eagerly below for "full";
         # accumulated per submit-time preload for selective/index reads).
         self.warm_entries = 0
@@ -352,13 +383,29 @@ class RunHarness:
         # population actually asks for — O(population), not O(store).
         cache_loader = (
             self._load_store_keys
-            if self.store is not None and config.store_read_mode != "full"
+            if self.store is not None and self.store_read_mode != "full"
             else None
         )
         if config.async_mode:
             from repro.runtime.async_pool import AsyncPopulationExecutor
             from repro.runtime.faults import FaultPolicy
 
+            pool = None
+            if config.fleet_bind or config.fleet_workers:
+                from repro.runtime.fleet import FleetPool, parse_address
+
+                host, port = (parse_address(config.fleet_bind)
+                              if config.fleet_bind else ("127.0.0.1", 0))
+                pool = FleetPool(
+                    host=host, port=port,
+                    n_workers=max(config.fleet_workers, 1),
+                    lease_seconds=(config.fleet_lease_seconds
+                                   if config.fleet_lease_seconds
+                                   is not None
+                                   else config.chunk_timeout),
+                    token=config.fleet_token,
+                    telemetry=self.telemetry,
+                )
             self.executor = AsyncPopulationExecutor(
                 n_workers=config.n_workers, chunk_size=config.chunk_size,
                 fault_policy=FaultPolicy(
@@ -374,7 +421,16 @@ class RunHarness:
                 ),
                 telemetry=self.telemetry,
                 cache_loader=cache_loader,
+                pool=pool,
             )
+            if pool is not None and config.fleet_workers:
+                # Local fan-out: forked workers share the store for
+                # warm starts and flush their rows under its flocks.
+                pool.spawn_local_workers(
+                    config.fleet_workers, store_dir=config.store_dir,
+                    read_mode=(self.store_read_mode
+                               if self.store_read_mode != "full"
+                               else "index"))
         else:
             self.executor = PopulationExecutor(n_workers=config.n_workers,
                                                chunk_size=config.chunk_size,
@@ -390,7 +446,7 @@ class RunHarness:
             telemetry=self.telemetry,
             cache=IndicatorCache(max_rows=config.max_cache_rows),
         )
-        if self.store is not None and config.store_read_mode == "full":
+        if self.store is not None and self.store_read_mode == "full":
             self.warm_entries = self.store.load_cache_into(
                 self.engine.cache, self.fingerprint)
         #: Rows appended to the store by mid-run flushes (async only).
@@ -416,7 +472,7 @@ class RunHarness:
         requested keys from the store via the configured read mode."""
         loaded = self.store.load_cache_into(
             self.engine.cache, self.fingerprint, keys=keys,
-            read_mode=self.config.store_read_mode)
+            read_mode=self.store_read_mode)
         self.warm_entries += loaded
         return loaded
 
@@ -559,7 +615,7 @@ class RunHarness:
             pool=self.executor.stats.to_dict(),
             store={
                 "dir": self.config.store_dir,
-                "read_mode": self.config.store_read_mode,
+                "read_mode": self.store_read_mode,
                 "cache_loaded": self.warm_entries,
                 "cache_saved": saved_entries,
                 "luts": (self.store.lut_keys()

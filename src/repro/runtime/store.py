@@ -142,6 +142,23 @@ DEFAULT_SHARDS = 8
 #: amortized instead of rewriting the whole store every ``shards`` saves.
 DEFAULT_AUTO_COMPACT_SEGMENTS = 64
 
+#: Index-tail record bound for auto-compaction: every index-mode lookup
+#: linearly merges the tail records appended since the last compaction
+#: (the O(appends) part of an otherwise O(log shard) read), so once any
+#: shard's tail grows past this many records a save triggers compaction
+#: — which rebuilds the sidecars with everything in the sorted region
+#: and the tails empty again.  ``None`` disables the tail trigger.
+DEFAULT_AUTO_COMPACT_INDEX_TAIL = 128
+
+#: Bits per row in the compaction-built per-shard bloom filter (two
+#: probes per digest; ~2.7% theoretical false-positive rate at this
+#: sizing, and a false positive just costs the bisect the filter would
+#: have skipped).
+_BLOOM_BITS_PER_ROW = 8
+
+#: Bloom floor so tiny shards still get a useful filter.
+_BLOOM_MIN_BITS = 64
+
 _SEGMENT_RE = re.compile(
     r"^shard-(?P<shard>\d+)\.seg-(?P<seq>\d+)\.(?P<pid>\d+)\.jsonl$"
 )
@@ -330,12 +347,19 @@ class RuntimeStore:
     :meth:`save_cache` *considers* folding a directory's segments into
     its base — the fold actually triggers on the byte-amortized rule in
     :meth:`_should_auto_compact` (``None`` disables auto-compaction —
-    e.g. for benchmarks isolating append cost).
+    e.g. for benchmarks isolating append cost — including the
+    index-tail trigger below).  ``auto_compact_index_tail`` bounds how
+    many tail records any one shard's index may accumulate before a
+    save compacts regardless of segment bytes: tail records are the
+    O(appends-since-compaction) part of every index-mode lookup, so the
+    bound keeps warm-start reads flat under every-gather flushing.
     """
 
     def __init__(self, root, shards: int = DEFAULT_SHARDS,
                  auto_compact_segments: Optional[int]
                  = DEFAULT_AUTO_COMPACT_SEGMENTS,
+                 auto_compact_index_tail: Optional[int]
+                 = DEFAULT_AUTO_COMPACT_INDEX_TAIL,
                  telemetry: Optional[Telemetry] = None) -> None:
         if shards < 1:
             raise StoreError("shards must be >= 1")
@@ -343,15 +367,17 @@ class RuntimeStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.shards = shards
         self.auto_compact_segments = auto_compact_segments
+        self.auto_compact_index_tail = auto_compact_index_tail
         self.telemetry = (telemetry if telemetry is not None
                           else Telemetry.disabled())
         #: Why the last load/get returned nothing (diagnostics/reporting).
         self.last_rejection: Optional[str] = None
         #: How the last :meth:`load_cache_into` call did its reads —
         #: ``{"mode", "requested", "found", "index_hits",
-        #: "index_fallback_shards", "shards_touched"}`` (``None`` until
-        #: the first load; ``requested``/``shards_touched`` are ``None``
-        #: for whole-store loads).  Diagnostics + benchmark surface.
+        #: "index_fallback_shards", "index_filtered",
+        #: "shards_touched"}`` (``None`` until the first load;
+        #: ``requested``/``shards_touched`` are ``None`` for whole-store
+        #: loads).  Diagnostics + benchmark surface.
         self.last_load_stats: Optional[Dict] = None
 
     # ------------------------------------------------------------------
@@ -512,6 +538,7 @@ class RuntimeStore:
             return None
         covers = [list(item) for item in header["covers"]]
         tail: Dict[str, object] = {}
+        tail_records = 0
         for line in tail_blob.split(b"\n"):
             if not line.strip():
                 continue
@@ -525,9 +552,30 @@ class RuntimeStore:
                 return None
             tail.update(record["e"])
             covers.append(list(record["c"]))
+            tail_records += 1
+        # Fence and bloom are pure lookup accelerators over the sorted
+        # region: validation is lenient — anything mis-shaped reads as
+        # "no filter" (None), never as a stale index.
+        fence = header.get("fence")
+        if not (isinstance(fence, list) and len(fence) == 2
+                and all(isinstance(edge, str) for edge in fence)):
+            fence = None
+        bloom = header.get("bloom")
+        if isinstance(bloom, list) and len(bloom) == 2 \
+                and isinstance(bloom[0], int) and not isinstance(
+                    bloom[0], bool) and bloom[0] > 0 \
+                and isinstance(bloom[1], str):
+            try:
+                bloom = (bloom[0], int(bloom[1], 16))
+            except ValueError:
+                bloom = None
+        else:
+            bloom = None
         return {"path": path, "header_len": len(first),
                 "sorted": header["sorted"], "files": header["files"],
-                "covers": covers, "tail": tail}
+                "covers": covers, "tail": tail,
+                "tail_records": tail_records,
+                "fence": fence, "bloom": bloom}
 
     # ------------------------------------------------------------------
     # Indicator cache — save (O(delta) append)
@@ -588,6 +636,7 @@ class RuntimeStore:
             by_shard.setdefault(_shard_of(encoded, n_shards), []).append(
                 (_key_digest(encoded), line))
             appended_keys.append(key)
+        max_tail_records = 0
         for shard in sorted(by_shard):
             with _file_lock(self._shard_lock_target(directory, shard)):
                 # The shard state *before* this append is what a fresh
@@ -599,18 +648,20 @@ class RuntimeStore:
                 _atomic_write_text(
                     segment_path,
                     "\n".join(line for _, line in by_shard[shard]) + "\n")
-                self._append_index(directory, shard, segment_path,
-                                   by_shard[shard], pre_state)
+                max_tail_records = max(max_tail_records, self._append_index(
+                    directory, shard, segment_path, by_shard[shard],
+                    pre_state))
         if hasattr(cache, "mark_clean"):
             cache.mark_clean(appended_keys)
-        if self._should_auto_compact(directory):
+        if self._should_auto_compact(directory,
+                                     index_tail_records=max_tail_records):
             self._compact_dir(directory, fingerprint)
         return len(appended_keys)
 
     def _append_index(self, directory: Path, shard: int,
                       segment_path: Path,
                       rows: List[Tuple[str, str]],
-                      pre_state: List[List]) -> None:
+                      pre_state: List[List]) -> int:
         """Extend this shard's index with the rows just appended (call
         under the shard flock, ``pre_state`` captured before the segment
         write), in O(delta): the new rows become one JSON tail record
@@ -621,16 +672,22 @@ class RuntimeStore:
         patching would claim coverage of shard files this writer never
         read.  A brand-new shard (empty ``pre_state``) starts a fresh
         empty-header index first.  Offsets count bytes; segment lines
-        are ASCII (``json.dumps`` default), so ``len(line)`` is
-        exact."""
+        are ASCII (``json.dumps`` default), so ``len(line)`` is exact.
+        Returns the shard's tail record count after the append (0 when
+        the index was left stale) — the compaction-scheduling signal:
+        every lookup merges the tail linearly, so a long tail means the
+        index is degrading toward O(appends) reads."""
         index_path = self._index_path(directory, shard)
         state = self._read_index_state(directory, shard)
+        tail_records = 0
         if state is None or state["covers"] != pre_state:
             if pre_state:
-                return  # uncovered pre-existing data: leave index stale
+                return 0  # uncovered pre-existing data: leave stale
             header = {"row": _IDX_ROW_WIDTH, "sorted": 0, "files": [],
                       "covers": []}
             _atomic_write_text(index_path, json.dumps(header) + "\n")
+        else:
+            tail_records = state["tail_records"]
         entries = {}
         offset = 0
         for digest, line in rows:
@@ -639,23 +696,34 @@ class RuntimeStore:
         try:
             size = segment_path.stat().st_size
         except OSError:  # pragma: no cover - we just wrote it
-            return
+            return 0
         record = json.dumps({"e": entries,
                              "c": [segment_path.name, size]})
         with open(index_path, "a", encoding="utf-8") as handle:
             handle.write(record + "\n")
+        return tail_records + 1
 
-    def _should_auto_compact(self, directory: Path) -> bool:
+    def _should_auto_compact(self, directory: Path,
+                             index_tail_records: int = 0) -> bool:
         """Compact when the segment *bytes* have grown to rival the base
         (a rewrite then costs at most ~2× what appending those rows
         cost — classic log-structured amortization, keeping save cost
         O(delta) amortized even with every-gather flushing), or when the
-        file count alone gets excessive (glob/replay overhead).  A bare
-        file-count trigger would fire every ``shards`` saves and rewrite
-        the whole store on the hot path."""
+        file count alone gets excessive (glob/replay overhead), or when
+        some shard's index tail has grown past
+        :attr:`auto_compact_index_tail` records (every index-mode
+        lookup merges the tail linearly, so an unbounded tail would
+        quietly turn O(log shard) reads into O(appends) reads — the
+        caller reports the longest tail it touched, so the check adds
+        no extra shard scans).  A bare file-count trigger would fire
+        every ``shards`` saves and rewrite the whole store on the hot
+        path."""
         threshold = self.auto_compact_segments
         if threshold is None:
-            return False
+            return False  # auto-compaction disabled entirely
+        if (self.auto_compact_index_tail is not None
+                and index_tail_records > self.auto_compact_index_tail):
+            return True
         segments = self._segment_files(directory)
         if len(segments) <= threshold:
             return False
@@ -786,6 +854,8 @@ class RuntimeStore:
             tel.count("store.index_hits", stats.get("index_hits", 0))
             tel.count("store.index_fallbacks",
                       stats.get("index_fallback_shards", 0))
+            tel.count("store.index_filtered",
+                      stats.get("index_filtered", 0))
             return loaded
 
     def _load_any_impl(self, cache: IndicatorCache, fingerprint: Dict,
@@ -808,7 +878,7 @@ class RuntimeStore:
                  "requested": (len(requested) if requested is not None
                                else None),
                  "found": 0, "index_hits": 0, "index_fallback_shards": 0,
-                 "shards_touched": None}
+                 "index_filtered": 0, "shards_touched": None}
         self.last_load_stats = stats
         directory = self.cache_dir(fingerprint)
         legacy_path = self.legacy_cache_path(fingerprint)
@@ -854,7 +924,7 @@ class RuntimeStore:
         self.last_rejection = None
         stats = {"mode": read_mode, "requested": len(requested),
                  "found": 0, "index_hits": 0, "index_fallback_shards": 0,
-                 "shards_touched": 0}
+                 "index_filtered": 0, "shards_touched": 0}
         self.last_load_stats = stats
         directory = self.cache_dir(fingerprint)
         legacy_path = self.legacy_cache_path(fingerprint)
@@ -951,7 +1021,10 @@ class RuntimeStore:
         any row data.  Cost is O(keys · log shard): tail probes are a
         dict lookup, the sorted region is binary-searched with seeks —
         it is never parsed wholesale, so warm-start latency stays flat
-        as the store grows."""
+        as the store grows.  When the header carries a compaction-built
+        fence/bloom filter, misses it can prove (digest outside the
+        sorted region's range, or bloom bits unset) skip the bisect
+        entirely — counted in ``stats["index_filtered"]``."""
         state = self._read_index_state(directory, shard)
         if (state is None
                 or state["covers"] != self._shard_state(directory, shard)):
@@ -965,6 +1038,12 @@ class RuntimeStore:
                     digest = _key_digest(encoded)
                     slot = state["tail"].get(digest)
                     if slot is None and state["sorted"]:
+                        if self._index_filtered(state, digest):
+                            # The filter proves the sorted region does
+                            # not hold this digest: authoritative miss
+                            # with zero seeks.
+                            stats["index_filtered"] += 1
+                            continue
                         slot = self._bisect_index(index_handle, state,
                                                   digest)
                     if slot is None:
@@ -1000,6 +1079,25 @@ class RuntimeStore:
                 handle.close()
         stats["index_hits"] += hits
         return rows
+
+    @staticmethod
+    def _index_filtered(state: Dict, digest: str) -> bool:
+        """Can the fence/bloom prove ``digest`` is not in the sorted
+        region?  False negatives are impossible by construction (the
+        filters are built from exactly the sorted digests at compaction)
+        — so ``True`` is always safe to serve as a miss; ``False`` just
+        means "bisect to find out"."""
+        fence = state.get("fence")
+        if fence is not None and not fence[0] <= digest <= fence[1]:
+            return True
+        bloom = state.get("bloom")
+        if bloom is not None:
+            m_bits, bits = bloom
+            if not (bits >> (int(digest[:8], 16) % m_bits)) & 1:
+                return True
+            if not (bits >> (int(digest[8:16], 16) % m_bits)) & 1:
+                return True
+        return False
 
     def _bisect_index(self, handle, state: Dict,
                       digest: str) -> Optional[List]:
@@ -1220,9 +1318,25 @@ class RuntimeStore:
             with contextlib.suppress(OSError):
                 index_path.unlink()
             return
+        # Fence + bloom over the sorted region: index-mode misses that
+        # fall outside the digest range, or whose bloom bits are unset,
+        # skip the bisect entirely (miss-heavy cold populations against
+        # huge shards pay O(1) per miss instead of O(log shard) seeks).
+        # Tail appends are not covered — readers probe the tail dict
+        # before consulting the filter, so correctness never depends on
+        # it.  Filters only exist compaction-fresh; an append-created
+        # index has no sorted region to guard anyway.
+        digests = [digest for digest, _, _ in records]
+        m_bits = max(_BLOOM_MIN_BITS, _BLOOM_BITS_PER_ROW * len(digests))
+        bits = 0
+        for digest in digests:
+            bits |= 1 << (int(digest[:8], 16) % m_bits)
+            bits |= 1 << (int(digest[8:16], 16) % m_bits)
         header = {"row": _IDX_ROW_WIDTH, "sorted": len(body),
                   "files": [base_path.name],
-                  "covers": [[base_path.name, len(text)]]}
+                  "covers": [[base_path.name, len(text)]],
+                  "fence": [digests[0], digests[-1]],
+                  "bloom": [m_bits, format(bits, "x")]}
         _atomic_write_text(index_path,
                            json.dumps(header) + "\n" + "".join(body))
 

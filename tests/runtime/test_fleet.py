@@ -1,0 +1,548 @@
+"""Distributed evaluation fleet: broker, leases, elastic membership.
+
+The contracts under test, bottom-up:
+
+* **Wire protocol** — length-prefixed pickled op dicts survive a
+  roundtrip; bad handshakes are rejected.
+* **Lease semantics** — an expired lease is re-leased exactly once,
+  then the chunk completes with a *transient* ``ChunkTimeoutError``; a
+  worker disconnect requeues its chunk within the per-task budget and
+  completes it with a *worker-lost* ``FleetWorkerLostError`` past it;
+  straggler results for chunks that completed elsewhere are dropped.
+* **FuturePool contract** — ``FleetPool`` slots into
+  ``AsyncPopulationExecutor`` unchanged, and results are bit-identical
+  to serial no matter how many workers serve the chunks.
+* **Elastic membership** (the headline): a worker SIGKILLed mid-lease
+  plus another joining mid-run lose zero rows — surviving results stay
+  bit-identical to a fault-free serial run minus quarantined
+  candidates, and everything computed is persisted in the shared store.
+* **Store-mediated warm starts** — a worker with a ``--store`` serves
+  already-persisted rows from the store (index reads) instead of
+  recomputing them, and flushes only the freshly computed delta back.
+"""
+
+import os
+import signal
+import socket
+import time
+from dataclasses import astuple
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine
+from repro.engine.cache import IndicatorCache
+from repro.errors import SearchError
+from repro.runtime.async_pool import AsyncPopulationExecutor
+from repro.runtime.faults import (
+    ChunkTimeoutError,
+    FaultPlan,
+    FaultPolicy,
+    classify_failure,
+)
+from repro.runtime.fleet import (
+    FleetBroker,
+    FleetPool,
+    FleetWorkerLostError,
+    _recv_msg,
+    _send_msg,
+    parse_address,
+    run_worker,
+)
+from repro.runtime.pool import (
+    _evaluate_genotype_chunk,
+    _fork_available,
+    genotype_indicator_keys,
+)
+from repro.runtime.store import RuntimeStore, cache_fingerprint
+from repro.searchspace.canonical import canonicalize
+from repro.searchspace.network import MacroConfig
+from repro.searchspace.space import NasBench201Space
+
+pytestmark = pytest.mark.fleet
+
+needs_fork = pytest.mark.skipif(not _fork_available(),
+                                reason="needs fork start method")
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+class Client:
+    """A hand-driven fleet worker connection (protocol-level tests)."""
+
+    def __init__(self, broker, token=""):
+        self.sock = socket.create_connection((broker.host, broker.port),
+                                             timeout=5.0)
+        self.sock.settimeout(5.0)
+        self.token = token
+        self.worker_id = None
+
+    def send(self, **message):
+        _send_msg(self.sock, message)
+
+    def recv(self):
+        return _recv_msg(self.sock)
+
+    def register(self):
+        self.send(op="register", token=self.token, pid=os.getpid())
+        reply = self.recv()
+        if reply.get("op") == "welcome":
+            self.worker_id = reply["worker_id"]
+        return reply
+
+    def lease(self):
+        self.send(op="lease", worker_id=self.worker_id)
+        return self.recv()
+
+    def result(self, task_id, value):
+        self.send(op="result", worker_id=self.worker_id,
+                  task_id=task_id, value=value)
+        return self.recv()
+
+    def error(self, task_id, error):
+        self.send(op="error", worker_id=self.worker_id,
+                  task_id=task_id, error=error)
+        return self.recv()
+
+    def close(self):
+        self.sock.close()
+
+
+def drain_completed(broker, n, timeout=5.0):
+    """Collect ``n`` completed tasks (sweeping leases while waiting)."""
+    done = []
+    deadline = time.monotonic() + timeout
+    while len(done) < n and time.monotonic() < deadline:
+        done.extend(broker.wait_completed())
+    return done
+
+
+def wait_until(predicate, timeout=10.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def echo_chunk(payload):
+    """Module-level (picklable) toy chunk worker."""
+    return ([(item, {"v": item * 2}) for item in payload], 0.001)
+
+
+def failing_chunk(payload):
+    raise ValueError(f"bad payload {payload!r}")
+
+
+def slow_genotype_chunk(payload):
+    """The real genotype chunk worker, slowed enough that a SIGKILL can
+    reliably land mid-lease."""
+    rows, seconds = _evaluate_genotype_chunk(payload)
+    time.sleep(0.3)
+    return rows, seconds
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:7707") == ("127.0.0.1", 7707)
+        assert parse_address("broker.local:0") == ("broker.local", 0)
+        for bad in ("nocolon", ":123", "host:notaport", "host:"):
+            with pytest.raises(SearchError):
+                parse_address(bad)
+
+    def test_message_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            message = {"op": "result", "task_id": 3,
+                       "value": ([(1, {"ntk": 2.5})], 0.25)}
+            _send_msg(a, message)
+            assert _recv_msg(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_register_and_idle(self):
+        with FleetBroker() as broker:
+            client = Client(broker)
+            assert client.register()["op"] == "welcome"
+            assert broker.num_workers == 1
+            assert client.lease()["op"] == "idle"  # no work queued
+            client.close()
+
+    def test_bad_token_rejected(self):
+        with FleetBroker(token="secret") as broker:
+            client = Client(broker, token="wrong")
+            assert client.register()["op"] == "reject"
+            client.close()
+            assert wait_until(lambda: broker.rejected == 1, timeout=2.0)
+            assert broker.num_workers == 0
+
+    def test_graceful_leave_not_counted_lost(self):
+        with FleetBroker() as broker:
+            client = Client(broker)
+            client.register()
+            client.send(op="leave", worker_id=client.worker_id)
+            assert client.recv()["op"] == "ok"
+            client.close()
+            assert wait_until(lambda: broker.num_workers == 0)
+            assert broker.workers_lost == 0
+
+
+# ----------------------------------------------------------------------
+# Lease semantics
+# ----------------------------------------------------------------------
+class TestLeases:
+    def test_lease_result_roundtrip(self):
+        with FleetBroker() as broker:
+            task_id = broker.submit(echo_chunk, [1, 2], tag="t0")
+            client = Client(broker)
+            client.register()
+            reply = client.lease()
+            assert reply["op"] == "task" and reply["task_id"] == task_id
+            # The shipped callable really is the submitted worker.
+            value = reply["worker"](reply["payload"])
+            assert client.result(task_id, value)["op"] == "ok"
+            (done,) = drain_completed(broker, 1)
+            assert done.error is None
+            assert done.value == ([(1, {"v": 2}), (2, {"v": 4})], 0.001)
+            assert done.tag == "t0"
+            client.close()
+
+    def test_expired_lease_releases_exactly_once(self):
+        with FleetBroker(lease_seconds=0.15) as broker:
+            task_id = broker.submit(echo_chunk, [1])
+            client = Client(broker)
+            client.register()
+            assert client.lease()["op"] == "task"
+            # First expiry: requeued, not failed.
+            time.sleep(0.2)
+            assert broker.wait_completed() == []
+            assert broker.lease_expiries == 1
+            reply = client.lease()  # the same chunk comes back around
+            assert reply["op"] == "task" and reply["task_id"] == task_id
+            # Second expiry: completes as a transient timeout.
+            time.sleep(0.2)
+            (done,) = drain_completed(broker, 1)
+            assert isinstance(done.error, ChunkTimeoutError)
+            assert classify_failure(done.error) == "transient"
+            assert broker.expired_tasks == 1
+            client.close()
+
+    def test_disconnect_requeues_then_worker_lost(self):
+        with FleetBroker(max_task_disconnects=1) as broker:
+            broker.submit(echo_chunk, [1])
+            first = Client(broker)
+            first.register()
+            assert first.lease()["op"] == "task"
+            first.close()  # SIGKILL looks exactly like this to the broker
+            assert wait_until(lambda: broker.requeues == 1)
+            assert broker.workers_lost == 1
+            second = Client(broker)
+            second.register()
+            assert second.lease()["op"] == "task"  # requeued chunk
+            second.close()  # budget (1) now spent
+            done = drain_completed(broker, 1)
+            assert len(done) == 1
+            assert isinstance(done[0].error, FleetWorkerLostError)
+            assert classify_failure(done[0].error) == "worker-lost"
+            assert broker.lost_tasks == 1
+
+    def test_straggler_result_dropped_first_wins(self):
+        with FleetBroker(lease_seconds=0.15) as broker:
+            task_id = broker.submit(echo_chunk, [5])
+            slow = Client(broker)
+            slow.register()
+            assert slow.lease()["op"] == "task"
+            time.sleep(0.2)
+            broker.wait_completed()  # sweep: requeue to a second worker
+            fast = Client(broker)
+            fast.register()
+            assert fast.lease()["task_id"] == task_id
+            # The original (slow) worker finishes after all: first
+            # result wins — determinism makes the copies identical.
+            assert slow.result(task_id, "first")["op"] == "ok"
+            (done,) = drain_completed(broker, 1)
+            assert done.value == "first"
+            assert fast.result(task_id, "second")["op"] == "ok"
+            assert wait_until(lambda: broker.stragglers == 1)
+            slow.close()
+            fast.close()
+
+    def test_drain_serves_queue_before_retiring_workers(self):
+        with FleetBroker() as broker:
+            broker.submit(echo_chunk, [1])
+            broker.drain()
+            client = Client(broker)
+            client.register()
+            reply = client.lease()
+            assert reply["op"] == "task"  # queued work still served
+            client.result(reply["task_id"], "done")
+            assert client.lease()["op"] == "drain"  # then retire
+            client.close()
+            assert wait_until(lambda: broker.num_workers == 0)
+            assert broker.workers_lost == 0  # drain exit is graceful
+
+
+# ----------------------------------------------------------------------
+# FleetPool: the FuturePool contract over real worker processes
+# ----------------------------------------------------------------------
+@needs_fork
+class TestFleetPool:
+    def test_submit_gather_with_local_workers(self):
+        with FleetPool(n_workers=2, lease_seconds=30.0) as pool:
+            pool.spawn_local_workers(2)
+            ids = [pool.submit(echo_chunk, [k], tag=f"t{k}")
+                   for k in range(5)]
+            assert pool.num_pending == 5
+            results = pool.gather(2)
+            assert len(results) >= 2
+            results += pool.gather_all()
+            assert pool.num_pending == 0
+            assert sorted(r.task_id for r in results) == ids
+            for result in results:
+                assert result.error is None
+                (item,) = result.value[0]
+                assert item == (int(result.tag[1:]),
+                                {"v": int(result.tag[1:]) * 2})
+
+    def test_worker_exception_travels_back(self):
+        with FleetPool(n_workers=1, lease_seconds=30.0) as pool:
+            pool.spawn_local_workers(1)
+            pool.submit(failing_chunk, [9])
+            (result,) = pool.gather(1)
+            assert isinstance(result.error, ValueError)
+            assert classify_failure(result.error) == "poison"
+
+    def test_close_idempotent_and_reaps_workers(self):
+        pool = FleetPool(n_workers=1)
+        procs = pool.spawn_local_workers(1)
+        pool.close()
+        pool.close()
+        assert wait_until(lambda: not procs[0].is_alive(), timeout=5.0)
+
+    def test_executor_over_fleet_bit_identical(self, tiny_proxy_config):
+        population = NasBench201Space().sample(8, rng=11)
+        serial = Engine(proxy_config=tiny_proxy_config) \
+            .evaluate_population(population)
+        engine = Engine(proxy_config=tiny_proxy_config)
+        pool = FleetPool(n_workers=2, lease_seconds=60.0)
+        executor = AsyncPopulationExecutor(chunk_size=2, pool=pool)
+        pool.spawn_local_workers(2)
+        try:
+            fleet = engine.evaluate_population(population,
+                                               executor=executor)
+        finally:
+            executor.close()
+        assert fleet.unique_canonical == serial.unique_canonical
+        for name in serial.columns:
+            np.testing.assert_array_equal(serial.columns[name],
+                                          fleet.columns[name])
+
+
+# ----------------------------------------------------------------------
+# Elastic membership: the headline property
+# ----------------------------------------------------------------------
+@needs_fork
+class TestElasticMembership:
+    def test_sigkill_mid_lease_and_join_mid_run(self, tmp_path,
+                                                tiny_proxy_config):
+        """One worker is SIGKILLed *mid-lease*, a replacement joins
+        mid-run, and one scripted poison candidate exercises the
+        quarantine path over the fleet: surviving rows must be
+        bit-identical to a fault-free serial run minus the quarantined
+        candidate, with zero lost rows in the shared store."""
+        population = NasBench201Space().sample(10, rng=5)
+        serial_engine = Engine(proxy_config=tiny_proxy_config)
+        serial_engine.evaluate_population(population)
+        serial_rows = dict(serial_engine.cache.items())
+
+        poison_identity = canonicalize(population[0]).to_index()
+        plan = FaultPlan(state_path=str(tmp_path / "faults"),
+                         script={poison_identity: ("poison",)})
+        store_dir = str(tmp_path / "store")
+        engine = Engine(proxy_config=tiny_proxy_config)
+        pool = FleetPool(n_workers=2, lease_seconds=60.0)
+        executor = AsyncPopulationExecutor(
+            chunk_size=2,
+            genotype_worker=plan.wrap(slow_genotype_chunk),
+            fault_policy=FaultPolicy(chunk_timeout=60.0, quarantine=True,
+                                     backoff_base=0.01),
+            pool=pool,
+        )
+        victim = pool.spawn_local_workers(1, store_dir=store_dir)[0]
+        executor.submit_population(engine, population)
+
+        def victim_freshly_leased():
+            with pool.broker._lock:
+                return any(task.state == "leased"
+                           and task.leased_wall is not None
+                           and time.time() - task.leased_wall < 0.15
+                           for task in pool.broker._tasks.values())
+
+        assert wait_until(victim_freshly_leased, timeout=30.0), \
+            "victim never held a fresh lease"
+        os.kill(victim.pid, signal.SIGKILL)
+        joiner = pool.spawn_local_workers(1, store_dir=store_dir)[0]
+        try:
+            while executor.num_pending:
+                executor.gather(1)
+        finally:
+            executor.close()
+        assert not victim.is_alive()
+        counters = pool.broker.counters()
+        assert counters["workers_lost"] >= 1
+        assert counters["requeues"] >= 1  # the mid-lease chunk recovered
+        assert executor.quarantined_genotypes == {poison_identity}
+
+        # Surviving rows: serial minus the quarantined candidate's.
+        quarantined_keys = set(genotype_indicator_keys(
+            poison_identity,
+            astuple(serial_engine.proxy_config),
+            astuple(serial_engine.macro_config),
+        ).values())
+        survivors = dict(engine.cache.items())
+        for key, value in serial_rows.items():
+            if key in quarantined_keys:
+                assert key not in survivors
+            else:
+                assert survivors[key] == value  # bit-identical
+        # Zero lost persisted rows: every surviving row a worker
+        # computed is in the shared store, bit-identical.
+        probe = IndicatorCache()
+        store = RuntimeStore(store_dir)
+        fingerprint = cache_fingerprint(serial_engine.proxy_config,
+                                        serial_engine.macro_config)
+        loaded = store.load_cache_into(probe, fingerprint)
+        assert loaded > 0
+        persisted = dict(probe.items())
+        for key, value in survivors.items():
+            assert persisted[key] == value
+        joiner.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# Store-mediated warm starts
+# ----------------------------------------------------------------------
+@pytest.mark.store
+class TestWarmStart:
+    def test_worker_reads_store_and_flushes_only_delta(
+            self, tmp_path, tiny_proxy_config):
+        macro = MacroConfig.full()
+        fingerprint = cache_fingerprint(tiny_proxy_config, macro)
+        store = RuntimeStore(tmp_path / "store")
+        genotypes = [canonicalize(g)
+                     for g in NasBench201Space().sample(4, rng=3)]
+        items = tuple((g.ops, (True, True, True)) for g in genotypes)
+
+        # Persist the first two candidates' rows, as a sibling run would.
+        warm_rows, _ = _evaluate_genotype_chunk(
+            (items[:2], tiny_proxy_config, macro))
+        proxy_key = astuple(tiny_proxy_config)
+        macro_key = astuple(macro)
+        seed_cache = IndicatorCache()
+        for index, row in warm_rows:
+            keys = genotype_indicator_keys(index, proxy_key, macro_key)
+            for name, value in row.items():
+                seed_cache.put(keys[name], value)
+        assert store.save_cache(seed_cache, fingerprint) == 6
+
+        with FleetBroker() as broker:
+            broker.submit(_evaluate_genotype_chunk,
+                          (items, tiny_proxy_config, macro))
+            stats = run_worker(broker.address,
+                               store_dir=str(tmp_path / "store"),
+                               poll_seconds=0.01, max_chunks=1)
+            (done,) = drain_completed(broker, 1)
+        assert done.error is None
+        # 2 candidates × 3 indicators warm-started from the store; only
+        # the other 2 candidates were computed and flushed back.
+        assert stats.store_rows_loaded == 6
+        assert stats.store_rows_flushed == 6
+        rows = {index: row for index, row in done.value[0]}
+        direct, _ = _evaluate_genotype_chunk(
+            (items, tiny_proxy_config, macro))
+        for index, row in direct:
+            for name, value in row.items():
+                assert rows[index][name] == value  # bit-identical
+        # The store now holds all four candidates.
+        probe = IndicatorCache()
+        assert store.load_cache_into(probe, fingerprint) == 12
+
+    def test_storeless_worker_still_computes(self, tiny_proxy_config):
+        macro = MacroConfig.full()
+        genotypes = [canonicalize(g)
+                     for g in NasBench201Space().sample(2, rng=9)]
+        items = tuple((g.ops, (True, False, True)) for g in genotypes)
+        with FleetBroker() as broker:
+            broker.submit(_evaluate_genotype_chunk,
+                          (items, tiny_proxy_config, macro))
+            stats = run_worker(broker.address, poll_seconds=0.01,
+                               max_chunks=1)
+            (done,) = drain_completed(broker, 1)
+        assert done.error is None
+        assert stats.store_rows_loaded == 0
+        direct, _ = _evaluate_genotype_chunk(
+            (items, tiny_proxy_config, macro))
+        assert done.value[0] == direct
+
+
+# ----------------------------------------------------------------------
+# Harness + CLI wiring
+# ----------------------------------------------------------------------
+@needs_fork
+class TestHarnessIntegration:
+    def test_fleet_run_bit_identical_and_warm(self, tmp_path):
+        from repro.runtime import RunHarness, RuntimeConfig
+
+        store = str(tmp_path / "store")
+        serial = RunHarness(RuntimeConfig(algorithm="random", samples=8,
+                                          seed=3)).run()
+        fleet_config = RuntimeConfig(algorithm="random", samples=8,
+                                     seed=3, async_mode=True,
+                                     fleet_workers=2, store_dir=store,
+                                     chunk_size=4, chunk_timeout=120.0)
+        fleet = RunHarness(fleet_config).run()
+        assert fleet.pool["mode"] == "fleet"
+        assert fleet.arch_index == serial.arch_index
+        assert fleet.indicators == serial.indicators
+        assert fleet.store["read_mode"] == "index"  # satellite: auto
+        # A rerun warm-starts entirely from what the workers flushed.
+        warm = RunHarness(fleet_config).run()
+        assert warm.arch_index == serial.arch_index
+        assert warm.cache["misses"] == 0
+
+    def test_fleet_requires_async(self):
+        from repro.runtime import RunHarness, RuntimeConfig
+
+        with pytest.raises(SearchError, match="async"):
+            RunHarness(RuntimeConfig(fleet_workers=2))
+
+
+class TestCli:
+    def test_runtime_fleet_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["runtime", "--async", "--fleet-bind", "127.0.0.1:0",
+             "--fleet-workers", "3", "--fleet-lease", "20",
+             "--fleet-token", "t"])
+        assert args.fleet_bind == "127.0.0.1:0"
+        assert args.fleet_workers == 3
+        assert args.fleet_lease_seconds == 20.0
+        assert args.fleet_token == "t"
+        assert args.store_read_mode == "auto"
+
+    def test_fleet_worker_subcommand(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["fleet", "worker", "--connect", "localhost:7707",
+             "--store", "/tmp/s", "--max-chunks", "2"])
+        assert args.fn.__name__ == "cmd_fleet_worker"
+        assert args.connect == "localhost:7707"
+        assert args.read_mode == "index"

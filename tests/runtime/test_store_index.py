@@ -314,6 +314,136 @@ class TestConcurrentReaders:
             assert rows == want, mode
 
 
+class TestIndexTailCompaction:
+    """Satellite: the index-aware auto-compaction trigger — a growing
+    unsorted index tail (bisect can't serve it; every lookup scans it)
+    re-compacts the shard even when segment count/bytes look healthy."""
+
+    def test_tail_growth_triggers_compaction(self, tmp_path, fingerprint):
+        store = RuntimeStore(tmp_path / "store", shards=1,
+                             auto_compact_segments=10_000,
+                             auto_compact_index_tail=4)
+        for i in range(6):
+            fill(store, fingerprint, i, 1)
+        directory = store.cache_dir(fingerprint)
+        # Tail crossed the bound mid-way, so the shard was rebuilt:
+        # strictly fewer live segments than flushes, and the index tail
+        # is short again.
+        segments = list(directory.glob("shard-*.seg-*.jsonl"))
+        assert len(segments) < 6
+        state = store._read_index_state(directory, 0)
+        assert state is not None
+        assert state["tail_records"] <= 4
+        # Rows all survive, through every read mode.
+        for mode in ("full", "selective", "index"):
+            loaded, rows = load(store, fingerprint,
+                                [key(i) for i in range(6)], mode)
+            assert loaded == 6, mode
+            assert rows == {key(i): float(i) * 1.5 for i in range(6)}
+
+    def test_disabled_auto_compaction_disables_tail_trigger(
+            self, tmp_path, fingerprint):
+        """``auto_compact_segments=None`` means *no* auto-compaction —
+        the index-tail trigger must respect it (benchmarks rely on
+        this to measure uncompacted layouts)."""
+        store = RuntimeStore(tmp_path / "store", shards=1,
+                             auto_compact_segments=None,
+                             auto_compact_index_tail=1)
+        for i in range(5):
+            fill(store, fingerprint, i, 1)
+        directory = store.cache_dir(fingerprint)
+        assert len(list(directory.glob("shard-*.seg-*.jsonl"))) == 5
+
+    def test_tail_bound_none_keeps_legacy_triggers_only(
+            self, tmp_path, fingerprint):
+        store = RuntimeStore(tmp_path / "store", shards=1,
+                             auto_compact_segments=10_000,
+                             auto_compact_index_tail=None)
+        for i in range(8):
+            fill(store, fingerprint, i, 1)
+        directory = store.cache_dir(fingerprint)
+        assert len(list(directory.glob("shard-*.seg-*.jsonl"))) == 8
+
+
+class TestIndexFilters:
+    """Satellite: the compaction-built per-shard fence + bloom filter —
+    index-mode misses skip the bisect entirely, and the skips are
+    counted in ``last_load_stats['index_filtered']``."""
+
+    def test_misses_are_filtered_without_bisect(self, store, fingerprint):
+        fill(store, fingerprint, 0, 32)
+        store.compact_cache(fingerprint)
+        missing = [key(i) for i in range(1000, 1050)]
+        loaded, rows = load(store, fingerprint, missing, "index")
+        assert loaded == 0 and rows == {}
+        stats = store.last_load_stats
+        # Nearly every miss is answered by fence/bloom (two hash
+        # probes) instead of a binary search of the sorted region; the
+        # occasional bloom false positive just falls through to the
+        # bisect, which still answers "absent" correctly.
+        assert stats["index_filtered"] >= int(0.8 * len(missing))
+        assert stats["index_fallback_shards"] == 0
+
+    def test_present_keys_never_filtered(self, store, fingerprint):
+        fill(store, fingerprint, 0, 32)
+        store.compact_cache(fingerprint)
+        population = [key(i) for i in range(32)]
+        loaded, rows = load(store, fingerprint, population, "index")
+        assert loaded == 32
+        assert store.last_load_stats["index_filtered"] == 0
+        assert rows == {key(i): float(i) * 1.5 for i in range(32)}
+
+    def test_filters_only_guard_the_sorted_region(self, store,
+                                                  fingerprint):
+        """Rows appended after compaction live in the index tail; the
+        filters know nothing about them and must not reject them."""
+        fill(store, fingerprint, 0, 16)
+        store.compact_cache(fingerprint)
+        fill(store, fingerprint, 500, 4)  # tail rows, outside the fence
+        population = [key(i) for i in (3, 500, 501, 502, 503)]
+        loaded, rows = load(store, fingerprint, population, "index")
+        assert loaded == 5
+        assert rows[key(500)] == 750.0
+
+    def test_malformed_filters_degrade_to_bisect(self, store,
+                                                 fingerprint):
+        """A corrupt fence/bloom header is treated as *absent* — lookups
+        fall back to the bisect, never to a wrong answer or a stale
+        index."""
+        fill(store, fingerprint, 0, 16)
+        store.compact_cache(fingerprint)
+        directory = store.cache_dir(fingerprint)
+        for path in directory.glob("shard-*.idx.json"):
+            lines = path.read_text(encoding="utf-8").splitlines(True)
+            header = json.loads(lines[0])
+            header["fence"] = "garbage"
+            header["bloom"] = [0, "nothex!"]
+            lines[0] = json.dumps(header) + "\n"
+            # Keep the header's byte length irrelevant: rewrite whole
+            # sidecar (this is a test-only surgery, not an append).
+            path.write_text("".join(lines), encoding="utf-8")
+        population = [key(i) for i in range(16)] + [key(999)]
+        loaded, rows = load(store, fingerprint, population, "index")
+        assert loaded == 16
+        assert rows == {key(i): float(i) * 1.5 for i in range(16)}
+        assert store.last_load_stats["index_filtered"] == 0
+
+    def test_filtered_misses_counted_in_telemetry(self, tmp_path,
+                                                  fingerprint):
+        from repro.runtime.telemetry import Telemetry
+
+        telemetry = Telemetry.armed()
+        store = RuntimeStore(tmp_path / "store", shards=4,
+                             auto_compact_segments=None,
+                             telemetry=telemetry)
+        fill(store, fingerprint, 0, 16)
+        store.compact_cache(fingerprint)
+        load(store, fingerprint, [key(i) for i in range(900, 910)],
+             "index")
+        snapshot = telemetry.metrics_snapshot()
+        assert snapshot["counters"]["store.index_filtered"] == 10
+
+
 class TestHarnessReadModes:
     def test_harness_warm_starts_through_every_read_mode(self, tmp_path):
         from repro.runtime import RunHarness, RuntimeConfig
