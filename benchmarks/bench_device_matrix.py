@@ -1,0 +1,177 @@
+"""Device-matrix scenario study: shared trainless pass, per-cell pricing.
+
+The cost-model registry promises three measurable properties:
+
+* **Exactly-once trainless evaluation** — one population pass serves
+  every (device, objective-set) cell; the store row count proves the
+  sharing (``rows_computed == 3 x unique_canonical`` cold, ``0`` warm).
+* **Cross-device LUT warm reuse** — a warm-started matrix re-prices
+  every board from persisted latency LUTs without re-profiling.
+* **Rank stability across deploy precisions** — int8 vs float32 latency
+  orderings agree strongly (Spearman), so a float32 search transfers to
+  an int8 deployment, while energy re-ranks *across* boards.
+
+It also re-asserts the refactor's headline guarantee: with the default
+latency-only float64 weights, the generalized objective reproduces the
+legacy four-indicator rank combination bit-for-bit.
+
+Results land in ``BENCH_scenarios.json`` at the repo root.  Run directly
+(``python benchmarks/bench_device_matrix.py``) or via pytest
+(``pytest benchmarks/bench_device_matrix.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.engine.core import Engine
+from repro.eval.benchconfig import bench_scale, reduced_proxy_config
+from repro.eval.correlation import spearman_rho
+from repro.hardware.device import get_device
+from repro.proxies.ranking import combine_ranks
+from repro.runtime import RuntimeConfig, run_matrix
+from repro.search.objective import (
+    _DIRECTIONS,
+    _INF_SENTINEL,
+    HybridObjective,
+    ObjectiveWeights,
+)
+from repro.searchspace.network import MacroConfig
+from repro.searchspace.space import NasBench201Space
+from repro.utils.timing import format_duration
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+
+DEVICES = ("nucleo-f746zg", "nucleo-l432kc")
+OBJECTIVE_SETS = ("latency", "energy,peak-mem")
+
+
+def _population_size() -> int:
+    return 64 if bench_scale() == "paper" else 24
+
+
+def _matrix_config(store_dir: str) -> RuntimeConfig:
+    return RuntimeConfig(samples=_population_size(), seed=11, fast=True,
+                         store_dir=store_dir, devices=DEVICES,
+                         objectives=OBJECTIVE_SETS)
+
+
+def _precision_rank_stability(samples: int) -> Dict:
+    """Spearman of int8 vs float32 latency rankings, per device."""
+    population = NasBench201Space().sample(samples, rng=5)
+    config = MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
+                         input_channels=3, image_size=8)
+    out: Dict[str, float] = {}
+    for name in DEVICES:
+        engine = Engine(proxy_config=reduced_proxy_config(seed=11),
+                        macro_config=config, device=get_device(name))
+        f32 = [engine.cost(g, "latency") for g in population]
+        i8 = [engine.cost(g, "int8-latency") for g in population]
+        out[name] = float(spearman_rho(f32, i8))
+    return out
+
+
+def _default_bit_identity(samples: int) -> bool:
+    """Default latency-only weights == the legacy four-field combine."""
+    population = NasBench201Space().sample(samples, rng=13)
+    objective = HybridObjective(
+        proxy_config=reduced_proxy_config(seed=11),
+        weights=ObjectiveWeights(latency=0.5, flops=0.25),
+    )
+    scores = objective.score_genotypes(population)
+    rows = objective.evaluate_population(population).rows()
+    columns = {}
+    for name in ("ntk", "linear_regions", "flops", "latency"):
+        raw = np.array([row[name] for row in rows], dtype=float)
+        raw[~np.isfinite(raw)] = _INF_SENTINEL
+        columns[name] = raw
+    legacy = combine_ranks(
+        columns, _DIRECTIONS,
+        {"ntk": 1.0, "linear_regions": 1.0, "flops": 0.25, "latency": 0.5})
+    return bool(scores.tolist() == legacy.tolist())
+
+
+def run_device_matrix_bench() -> Dict:
+    store_dir = tempfile.mkdtemp(prefix="bench_matrix_store_")
+    try:
+        cold = run_matrix(_matrix_config(store_dir))
+        warm = run_matrix(_matrix_config(store_dir))
+        lut_keys = list(warm.store["luts"])
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    samples = _population_size()
+    stability = _precision_rank_stability(samples)
+    result = {
+        "bench_scale": bench_scale(),
+        "devices": list(DEVICES),
+        "objective_sets": [s.split(",") for s in OBJECTIVE_SETS],
+        "cells": len(cold.cells),
+        "samples": samples,
+        "unique_canonical": cold.unique_canonical,
+        "rows_computed_cold": cold.trainless_evals["rows_computed"],
+        "rows_computed_warm": warm.trainless_evals["rows_computed"],
+        "trainless_exactly_once": bool(
+            cold.trainless_evals["rows_computed"]
+            == 3 * cold.unique_canonical
+            and warm.trainless_evals["rows_computed"] == 0),
+        "store_rows_persisted": cold.store["cache_saved"],
+        "lut_warm_reuse": {
+            "luts_persisted": len(lut_keys),
+            "devices_covered": sorted(
+                {str(key.get("device")) for key in lut_keys}),
+            "reused_without_profiling": bool(
+                warm.trainless_evals["rows_computed"] == 0
+                and len(lut_keys) >= len(DEVICES)),
+        },
+        "int8_vs_float32_spearman": stability,
+        "default_bit_identical": _default_bit_identity(samples),
+        "cold_wall_seconds": cold.wall_seconds,
+        "warm_wall_seconds": warm.wall_seconds,
+    }
+    OUTPUT_PATH.write_text(json.dumps(result, indent=2) + "\n",
+                           encoding="utf-8")
+    return result
+
+
+def test_device_matrix_scenarios(benchmark):
+    result = benchmark.pedantic(run_device_matrix_bench, rounds=1,
+                                iterations=1)
+    _report(result)
+    assert result["trainless_exactly_once"]
+    assert result["lut_warm_reuse"]["reused_without_profiling"]
+    assert result["default_bit_identical"]
+    for rho in result["int8_vs_float32_spearman"].values():
+        assert rho >= 0.95
+
+
+def _report(result: Dict) -> None:
+    print()
+    print(f"matrix: {len(result['devices'])} devices x "
+          f"{len(result['objective_sets'])} objective sets "
+          f"= {result['cells']} cells, {result['samples']} archs "
+          f"({result['unique_canonical']} unique)")
+    print(f"trainless rows: {result['rows_computed_cold']} cold, "
+          f"{result['rows_computed_warm']} warm "
+          f"(exactly-once: {result['trainless_exactly_once']})")
+    print(f"store: {result['store_rows_persisted']} rows persisted, "
+          f"{result['lut_warm_reuse']['luts_persisted']} LUTs reused "
+          f"across {result['lut_warm_reuse']['devices_covered']}")
+    for device, rho in result["int8_vs_float32_spearman"].items():
+        print(f"int8 vs float32 latency rank ({device}): "
+              f"Spearman {rho:.4f}")
+    print(f"default weights bit-identical: "
+          f"{result['default_bit_identical']}")
+    print(f"wall: cold {format_duration(result['cold_wall_seconds'])}, "
+          f"warm {format_duration(result['warm_wall_seconds'])}")
+    print(f"written : {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    _report(run_device_matrix_bench())

@@ -65,6 +65,12 @@ SCHEMAS: Dict[str, List[str]] = {
     "BENCH_precision.json": [
         "bench_scale", "kernel", "population", "rank_agreement",
     ],
+    "BENCH_scenarios.json": [
+        "bench_scale", "devices", "objective_sets", "cells", "samples",
+        "unique_canonical", "rows_computed_cold", "rows_computed_warm",
+        "trainless_exactly_once", "store_rows_persisted", "lut_warm_reuse",
+        "int8_vs_float32_spearman", "default_bit_identical",
+    ],
     "BENCH_store.json": [
         "store_sizes", "delta_rows", "points", "format2_flatness_ratio",
         "speedup_at_largest",

@@ -154,7 +154,13 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         fleet_workers=args.fleet_workers,
         fleet_lease_seconds=args.fleet_lease_seconds,
         fleet_token=args.fleet_token,
+        objectives=tuple(args.objective or ()),
+        devices=tuple(
+            d.strip() for d in (args.device_matrix or "").split(",")
+            if d.strip()),
     )
+    if config.devices:
+        return _run_device_matrix(config, args)
     try:
         report = RunHarness(config).run()
     except ReproError as exc:
@@ -209,6 +215,61 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     if args.report:
         report.save_json(args.report)
         print(f"run report written to {args.report}")
+    return 0
+
+
+def _run_device_matrix(config, args: argparse.Namespace) -> int:
+    """Device-matrix mode: one Pareto front per (device, objective-set)."""
+    from repro.errors import ReproError
+    from repro.runtime import RunHarness
+
+    try:
+        report = RunHarness(config).run_matrix()
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    evals = report.trainless_evals
+    rows = [
+        ["run id", report.run_id],
+        ["devices", ", ".join(config.devices)],
+        ["objective sets",
+         "; ".join("+".join(cell) for cell in config.objective_sets())
+         or "latency"],
+        ["samples (unique canonical)",
+         f"{report.samples} ({report.unique_canonical})"],
+        ["trainless rows computed / hit",
+         f"{evals['rows_computed']} / {evals['rows_hit']}"],
+        ["cache hits / misses", f"{report.cache['hits']} / "
+                                f"{report.cache['misses']}"],
+        ["store", config.store_dir or "(none: in-memory only)"],
+    ]
+    if config.store_dir:
+        rows.append(["cache persisted",
+                     f"{report.store['cache_saved']} entries"])
+        rows.append(["LUTs in store (all runs)",
+                     str(len(report.store["luts"]))])
+    rows.append(["wall time", f"{report.wall_seconds:.2f} s"])
+    print(format_table(rows, title="device-matrix run"))
+    cell_rows = []
+    for cell in report.cells:
+        knee = cell.knee or {}
+        cell_rows.append([
+            cell.device,
+            "+".join(cell.objectives),
+            str(len(cell.front)),
+            str(cell.num_fronts),
+            str(knee.get("arch_index", "-")),
+            " ".join(f"{axis}={knee[axis]:.4g}" for axis in cell.objectives
+                     if axis in knee),
+        ])
+    print(format_table(
+        cell_rows,
+        headers=["device", "objectives", "front", "fronts", "knee arch",
+                 "knee costs"],
+        title="Pareto front per (device, objective-set) cell",
+    ))
+    if args.report:
+        report.save_json(args.report)
+        print(f"matrix report written to {args.report}")
     return 0
 
 
@@ -610,6 +671,14 @@ parallel evaluation runtime examples:
       --store ~/.cache/micronas
   micronas fleet worker --connect 127.0.0.1:7707 \\
       --store ~/.cache/micronas
+
+  # device matrix: trainless indicators once, one Pareto front per
+  # (device, objective-set) cell; cost axes (energy, peak-mem,
+  # int8-latency, ...) are priced per board via the shared LUT store
+  micronas runtime --samples 128 \\
+      --objective latency --objective energy,peak-mem \\
+      --device-matrix nucleo-f746zg,nucleo-l432kc \\
+      --store ~/.cache/micronas
 """
 
 
@@ -758,6 +827,22 @@ def build_parser() -> argparse.ArgumentParser:
                            help="shared fleet token workers must present "
                                 "(identity check against cross-talk, not "
                                 "authentication)")
+    p_runtime.add_argument("--objective", action="append", default=None,
+                           metavar="AXES",
+                           help="one objective set: comma-joined registered "
+                                "cost axes (latency, flops, energy, "
+                                "peak-mem, int8-latency).  Repeat the flag "
+                                "for multiple sets; with --device-matrix "
+                                "each set becomes a matrix column, without "
+                                "it the axes fold into the hybrid "
+                                "objective's weights")
+    p_runtime.add_argument("--device-matrix", dest="device_matrix",
+                           default=None, metavar="DEV1,DEV2",
+                           help="device-matrix mode: evaluate trainless "
+                                "indicators once, then emit one Pareto "
+                                "front per (device, objective-set) cell — "
+                                "cost axes are priced per device via the "
+                                "shared cache/store LUT seam")
     p_runtime.set_defaults(fn=cmd_runtime)
 
     p_fleet = sub.add_parser(

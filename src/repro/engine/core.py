@@ -95,6 +95,7 @@ class Engine:
         self._estimators: Dict[Tuple, object] = {}
         if latency_estimator is not None:
             self._estimators[astuple(latency_estimator.config)] = latency_estimator
+        self._cost_models: Dict[str, object] = {}
         self._proxy_key = astuple(self.proxy_config)
 
     # ------------------------------------------------------------------
@@ -105,6 +106,16 @@ class Engine:
         """Lazily profiled estimator for the engine's deployment config."""
         if self._latency_estimator is None:
             self._latency_estimator = self._estimator_for(self.macro_config)
+        return self._latency_estimator
+
+    @property
+    def built_latency_estimator(self):
+        """The estimator if one already exists, else None.
+
+        The public seam for composing layers (constraint checkers,
+        search loops) that want to *reuse* an existing estimator without
+        triggering device profiling.
+        """
         return self._latency_estimator
 
     def device(self):
@@ -245,6 +256,69 @@ class Engine:
 
         return self._lookup(key, compute, "latency")
 
+    # ------------------------------------------------------------------
+    # Pluggable cost models (registered hardware axes)
+    # ------------------------------------------------------------------
+    def cost_model(self, name: str):
+        """The registered :class:`~repro.search.costs.CostModel` for one
+        axis, built once per engine against this engine's device, macro
+        configuration, cache and LUT store.
+
+        ``latency``/``flops`` resolve to adapters over the engine's own
+        estimator/counter, so their rows are shared with the legacy
+        indicator columns bit-for-bit.
+        """
+        if name not in self._cost_models:
+            from repro.search.costs import build_cost_model
+
+            self._cost_models[name] = build_cost_model(
+                name,
+                device=self.device(),
+                macro_config=self.macro_config,
+                cache=self.cache,
+                lut_store=self.lut_store,
+                latency_estimator=(self.latency_estimator
+                                   if name in ("latency", "energy")
+                                   else None),
+            )
+        return self._cost_models[name]
+
+    def cost(self, genotype: Genotype, model) -> float:
+        """Cached value of one cost axis for the canonical form.
+
+        ``model`` is a :class:`~repro.search.costs.CostModel` or a
+        registered axis name.  Same caching contract as the indicator
+        accessors: keyed by the model's fingerprint, so values never
+        alias across devices, kernel precisions or macro configurations.
+        """
+        if isinstance(model, str):
+            model = self.cost_model(model)
+        return self._cost_canonical(canonicalize(genotype), model)
+
+    def _cost_canonical(self, canon: Genotype, model) -> float:
+        key = model.cache_key(canon.to_index())
+        tag = f"cost[{model.name}]"
+        if model.cache is self.cache:
+            # The model memoizes under the identical key in the same
+            # cache (estimator-backed axes); a second engine-side lookup
+            # would double-count misses — same pattern as latency_ms.
+            hit = key in self.cache
+            with Timer() as timer:
+                value = float(model.estimate(canon))
+            if hit:
+                self.ledger.add(f"{tag}_cache_hit", count=1)
+            else:
+                self.ledger.add(f"{tag}_eval", timer.elapsed)
+            return value
+
+        def compute() -> float:
+            with Timer() as timer:
+                value = float(model.estimate(canon))
+            self.ledger.add(f"{tag}_eval", timer.elapsed)
+            return value
+
+        return self._lookup(key, compute, tag)
+
     def _lookup(self, key, compute, tag: str):
         before = self.cache.hits
         value = self.cache.lookup(key, compute)
@@ -340,6 +414,7 @@ class Engine:
         genotypes: Sequence[Genotype],
         with_latency: bool = False,
         executor=None,
+        cost_models: Optional[Sequence] = None,
     ) -> IndicatorTable:
         """Indicator table for a population, deduplicated canonically.
 
@@ -358,16 +433,23 @@ class Engine:
         Because assembly always happens here, in request order against the
         shared cache, the resulting table is identical no matter how (or
         whether) an executor warmed it.
+
+        ``cost_models`` optionally appends one column per registered
+        :class:`~repro.search.costs.CostModel` (by ``model.name``), each
+        computed once per unique canonical form via :meth:`cost` — these
+        are driver-side, LUT-mediated axes, so executors stay oblivious
+        to them.  Omitted (the default), the table is bit-identical to
+        the pre-registry four-column layout.
         """
         genotypes = list(genotypes)
         tel = self.telemetry
         if tel is None or not tel.enabled:
             return self._evaluate_population_impl(genotypes, with_latency,
-                                                  executor)
+                                                  executor, cost_models)
         with tel.span("evaluate_population", "engine",
                       candidates=len(genotypes)) as span:
             table = self._evaluate_population_impl(genotypes, with_latency,
-                                                   executor)
+                                                   executor, cost_models)
             span.note(unique=table.unique_canonical,
                       cache_hits=table.cache_hits,
                       cache_misses=table.cache_misses)
@@ -381,6 +463,7 @@ class Engine:
         genotypes: Sequence[Genotype],
         with_latency: bool = False,
         executor=None,
+        cost_models: Optional[Sequence] = None,
     ) -> IndicatorTable:
         genotypes = list(genotypes)
         # One canonicalization pass serves the executor hook, the stacked
@@ -393,6 +476,7 @@ class Engine:
         # Whatever κ values are still missing get one stacked eigensolve.
         self._warm_ntk_canonical(canons)
         unique_rows: Dict[int, Dict[str, float]] = {}
+        unique_canons: Dict[int, Genotype] = {}
         canon_indices: List[int] = []
         for genotype, canon in zip(genotypes, canons):
             index = canon.to_index()
@@ -400,11 +484,18 @@ class Engine:
             if index not in unique_rows:
                 unique_rows[index] = self.evaluate(genotype,
                                                    with_latency=with_latency)
+                unique_canons[index] = canon
+        for model in cost_models or ():
+            for index, canon in unique_canons.items():
+                unique_rows[index][model.name] = self._cost_canonical(canon,
+                                                                      model)
         hits1, misses1 = self.cache.counters()
+        column_names = list(INDICATOR_NAMES)
+        column_names += [model.name for model in cost_models or ()]
         columns = {
             name: np.array([unique_rows[idx][name] for idx in canon_indices],
                            dtype=float)
-            for name in INDICATOR_NAMES
+            for name in column_names
         }
         return IndicatorTable(
             genotypes=genotypes,

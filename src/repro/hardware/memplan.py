@@ -262,6 +262,11 @@ class MemoryPlan:
 
     def validate(self) -> None:
         """Raise if any two live-at-once buffers share bytes."""
+        missing = [b.name for b in self.lifetimes
+                   if b.name not in self.offsets]
+        if missing:
+            raise HardwareModelError(
+                f"buffers never placed in the arena: {missing}")
         placed = [(b, self.offsets[b.name]) for b in self.lifetimes]
         for i, (a, off_a) in enumerate(placed):
             if off_a < 0 or off_a + a.size_bytes > self.arena_bytes:

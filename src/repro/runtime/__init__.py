@@ -101,10 +101,13 @@ from repro.runtime.fleet import (
 from repro.runtime.store import RuntimeStore, cache_fingerprint
 from repro.runtime.harness import (
     ALGORITHMS,
+    DeviceMatrixReport,
+    MatrixCell,
     RunHarness,
     RunReport,
     RuntimeConfig,
     register_algorithm,
+    run_matrix,
 )
 from repro.runtime.telemetry import (
     Heartbeat,
@@ -141,8 +144,11 @@ __all__ = [
     "RuntimeConfig",
     "RunHarness",
     "RunReport",
+    "MatrixCell",
+    "DeviceMatrixReport",
     "ALGORITHMS",
     "register_algorithm",
+    "run_matrix",
     "Heartbeat",
     "MetricsRegistry",
     "Telemetry",

@@ -24,7 +24,7 @@ import signal
 import threading
 from dataclasses import asdict, dataclass, field
 from datetime import datetime, timezone
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SearchError
 from repro.proxies.base import ProxyConfig
@@ -96,6 +96,30 @@ class RuntimeConfig:
     #: Shared fleet token (an identity check against cross-talk between
     #: fleets on one network — not authentication; see the fleet module).
     fleet_token: str = ""
+    #: Objective sets for the scenario matrix: each entry is a
+    #: comma-joined list of registered cost axes (``"latency"``,
+    #: ``"energy,peak-mem"``, ...).  With :attr:`devices` set, the run
+    #: emits one Pareto front per (device, objective-set) cell; without,
+    #: the named axes fold into the hybrid objective's cost weights.
+    objectives: Tuple[str, ...] = ()
+    #: Device-matrix boards.  Non-empty switches :meth:`RunHarness.run_matrix`
+    #: on: trainless indicators are evaluated once (shared cache/store),
+    #: then every (device, objective-set) cell prices its own cost axes.
+    devices: Tuple[str, ...] = ()
+
+    def objective_sets(self) -> Tuple[Tuple[str, ...], ...]:
+        """Parsed :attr:`objectives` — one tuple of axis names per set."""
+        sets = []
+        for entry in self.objectives:
+            axes = tuple(a.strip() for a in entry.split(",") if a.strip())
+            if axes:
+                sets.append(axes)
+        return tuple(sets)
+
+    def cost_axes(self) -> Tuple[str, ...]:
+        """Sorted union of every axis named across the objective sets."""
+        union = {axis for axes in self.objective_sets() for axis in axes}
+        return tuple(sorted(union))
 
     def proxy_config(self) -> ProxyConfig:
         from repro.eval.benchconfig import reduced_proxy_config
@@ -138,6 +162,66 @@ class RunReport:
     #: Metrics snapshot (counters/gauges/histograms) when telemetry was
     #: armed for the run; ``None`` otherwise.
     telemetry: Optional[Dict] = None
+
+    def to_dict(self) -> Dict:
+        payload = asdict(self)
+        payload["config"] = asdict(self.config)
+        return payload
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, default=str)
+
+
+@dataclass
+class MatrixCell:
+    """One (device, objective-set) cell of a device-matrix run."""
+
+    device: str
+    objectives: Tuple[str, ...]
+    #: First Pareto front, sorted by the first cost axis; each row maps
+    #: ``arch_str``/``arch_index``/``quality_rank``/``crowding`` plus one
+    #: entry per cost axis.
+    front: List[Dict[str, object]]
+    #: The balanced pick (minimal normalised L2 distance to utopia).
+    knee: Optional[Dict[str, object]]
+    num_fronts: int
+
+
+@dataclass
+class DeviceMatrixReport:
+    """Structured record of one device-matrix run (JSON-serialisable).
+
+    The headline invariant: ``unique_canonical`` trainless evaluations
+    serve *every* cell — devices and objective sets only re-price cheap,
+    LUT-mediated cost axes against the shared cache.
+    """
+
+    config: RuntimeConfig
+    cells: List[MatrixCell]
+    samples: int
+    unique_canonical: int
+    #: Trainless evaluation accounting.  ``rows_computed`` is the cache
+    #: miss delta of the single population pass — the number of indicator
+    #: rows genuinely computed (driver- or worker-side) before any cell
+    #: was priced, proving the exactly-once sharing across cells;
+    #: ``ntk``/``linear_regions`` are the driver-side ledger counts (zero
+    #: when an executor computed the rows in workers).
+    trainless_evals: Dict[str, int]
+    cache: Dict[str, float]
+    store: Dict[str, object]
+    wall_seconds: float
+    status: str = "completed"
+    run_id: str = ""
+    started_at: str = ""
+    finished_at: str = ""
+
+    def cell(self, device: str, objectives: Tuple[str, ...]) -> MatrixCell:
+        """Look up one cell by its (device, objective-set) coordinates."""
+        for cell in self.cells:
+            if cell.device == device and tuple(cell.objectives) == tuple(objectives):
+                return cell
+        raise SearchError(f"no matrix cell ({device!r}, {objectives!r})")
 
     def to_dict(self) -> Dict:
         payload = asdict(self)
@@ -329,6 +413,20 @@ class RunHarness:
             raise SearchError(
                 f"unknown device {config.device!r}; known: {sorted(devices)}"
             )
+        for name in config.devices:
+            if name not in devices:
+                raise SearchError(
+                    f"unknown matrix device {name!r}; known: "
+                    f"{sorted(devices)}")
+        if config.objectives or config.devices:
+            from repro.search.costs import registered_cost_models
+
+            registered = registered_cost_models()
+            for axis in config.cost_axes():
+                if axis not in registered:
+                    raise SearchError(
+                        f"unknown cost axis {axis!r}; registered: "
+                        f"{list(registered)}")
         # Fail fast on unknown precision names (the proxies would only
         # raise at first evaluation, deep inside the run).
         from repro.autograd.precision import resolve_policy
@@ -368,8 +466,16 @@ class RunHarness:
         self.store = (RuntimeStore(config.store_dir,
                                    telemetry=self.telemetry)
                       if config.store_dir else None)
+        # Extra cost axes fold into the store fingerprint so rows never
+        # alias across objective sets; the built-in latency/flops axes
+        # are part of the legacy indicator schema already, so plain runs
+        # (and latency-only objective sets) keep the legacy fingerprint
+        # bit-compatible.
+        extra_axes = tuple(a for a in config.cost_axes()
+                           if a not in ("latency", "flops"))
         self.fingerprint = cache_fingerprint(self.proxy_config,
-                                             self.macro_config)
+                                             self.macro_config,
+                                             cost_axes=extra_axes)
         #: The resolved read mode ("auto" picks "index" for async runs,
         #: "full" for synchronous ones — see :class:`RuntimeConfig`).
         self.store_read_mode = (
@@ -509,12 +615,29 @@ class RunHarness:
 
     # ------------------------------------------------------------------
     def objective(self):
-        """A hybrid objective wired to this harness's engine and pool."""
+        """A hybrid objective wired to this harness's engine and pool.
+
+        ``RuntimeConfig.objectives`` axes fold in at weight 1.0 unless an
+        explicit weight already covers them (``latency``/``flops`` via
+        their dedicated knobs, extra axes at unit weight) — so a config
+        naming ``energy,peak-mem`` scores those axes even outside
+        device-matrix mode.
+        """
         from repro.search.objective import HybridObjective, ObjectiveWeights
 
+        axes = self.config.cost_axes()
+        latency_weight = self.config.latency_weight
+        if not latency_weight and "latency" in axes:
+            latency_weight = 1.0
+        flops_weight = self.config.flops_weight
+        if not flops_weight and "flops" in axes:
+            flops_weight = 1.0
+        extra = {axis: 1.0 for axis in axes
+                 if axis not in ("latency", "flops")}
         return HybridObjective(
-            weights=ObjectiveWeights(latency=self.config.latency_weight,
-                                     flops=self.config.flops_weight),
+            weights=ObjectiveWeights(latency=latency_weight,
+                                     flops=flops_weight,
+                                     costs=extra),
             engine=self.engine,
             executor=self.executor,
         )
@@ -632,17 +755,171 @@ class RunHarness:
                        if self.telemetry.enabled else None),
         )
 
+    # ------------------------------------------------------------------
+    # Device-matrix mode
+    # ------------------------------------------------------------------
+    def run_matrix(self) -> DeviceMatrixReport:
+        """Evaluate one candidate sample across every (device,
+        objective-set) cell; return one Pareto front per cell.
+
+        Trainless indicators (κ_NTK, linear regions) are computed exactly
+        once per unique canonical form — through the same executor hook a
+        plain run uses, so pool/async/fleet transports compose unchanged
+        and workers stay oblivious to cost axes.  Each device then prices
+        its cost axes against the shared cache via the registered
+        :class:`~repro.search.costs.CostModel` adapters (LUT-mediated,
+        driver-side), and each objective set sorts its own front.
+        """
+        import numpy as np
+
+        from repro.hardware.device import get_device
+        from repro.search.objective import HybridObjective, ObjectiveWeights
+        from repro.search.pareto import crowding_distance, non_dominated_sort
+        from repro.searchspace.space import NasBench201Space
+
+        config = self.config
+        if not config.devices:
+            raise SearchError(
+                "device-matrix mode needs RuntimeConfig(devices=[...]) "
+                "(CLI: micronas runtime --device-matrix DEV1,DEV2)")
+        objective_sets = config.objective_sets() or (("latency",),)
+        started_at = _utc_now()
+        stats_before = self.engine.cache.stats
+        # Quality is the trainless part only — hardware enters as cost
+        # axes, so cells stay comparable across devices.
+        trainless = HybridObjective(weights=ObjectiveWeights(),
+                                    engine=self.engine,
+                                    executor=self.executor)
+        try:
+            with Timer() as timer:
+                genotypes = NasBench201Space().sample(config.samples,
+                                                      rng=config.seed)
+                table = trainless.evaluate_population(genotypes)
+                quality = trainless.combined_ranks(table.rows())
+                cells: List[MatrixCell] = []
+                for device_name in config.devices:
+                    engine = self.engine.for_device(get_device(device_name))
+                    # Price each axis once per device; objective sets
+                    # sharing an axis reuse the same column.
+                    columns: Dict[str, np.ndarray] = {}
+                    for axes in objective_sets:
+                        for axis in axes:
+                            if axis in columns:
+                                continue
+                            if axis == "flops":
+                                columns[axis] = table.column("flops")
+                                continue
+                            model = engine.cost_model(axis)
+                            columns[axis] = np.array(
+                                [engine.cost(g, model) for g in genotypes],
+                                dtype=float)
+                    for axes in objective_sets:
+                        cells.append(self._matrix_cell(
+                            device_name, axes, genotypes, quality, columns,
+                            non_dominated_sort, crowding_distance))
+        finally:
+            self.close()
+            finished_at = _utc_now()
+        stats_after = self.engine.cache.stats
+        saved_entries = self.flushed_entries
+        if self.store is not None and config.save_store:
+            saved_entries += self.store.save_cache(self.engine.cache,
+                                                   self.fingerprint)
+        counts = self.engine.ledger.counts
+        return DeviceMatrixReport(
+            config=config,
+            cells=cells,
+            samples=config.samples,
+            unique_canonical=table.unique_canonical,
+            trainless_evals={
+                "ntk": counts.get("ntk_eval", 0),
+                "linear_regions": counts.get("lr_eval", 0),
+                "rows_computed": table.cache_misses,
+                "rows_hit": table.cache_hits,
+            },
+            cache={
+                "warm_start_entries": self.warm_entries,
+                "hits": stats_after.hits - stats_before.hits,
+                "misses": stats_after.misses - stats_before.misses,
+                "entries": stats_after.entries,
+                "hit_rate": stats_after.hit_rate,
+            },
+            store={
+                "dir": config.store_dir,
+                "read_mode": self.store_read_mode,
+                "cache_loaded": self.warm_entries,
+                "cache_saved": saved_entries,
+                "luts": (self.store.lut_keys()
+                         if self.store is not None else []),
+            },
+            wall_seconds=timer.elapsed,
+            run_id=self.run_id,
+            started_at=started_at,
+            finished_at=finished_at,
+        )
+
+    @staticmethod
+    def _matrix_cell(device_name, axes, genotypes, quality, columns,
+                     non_dominated_sort, crowding_distance) -> MatrixCell:
+        """Sort one (device, objective-set) cell's Pareto front."""
+        import numpy as np
+
+        vectors = np.column_stack(
+            [np.asarray(quality, dtype=float)]
+            + [columns[axis] for axis in axes])
+        fronts = non_dominated_sort(vectors)
+        first = fronts[0]
+        crowd = crowding_distance(vectors[first])
+        rows: List[Dict[str, object]] = []
+        for idx, crowding in zip(first, crowd):
+            row: Dict[str, object] = {
+                "arch_str": genotypes[idx].to_arch_str(),
+                "arch_index": genotypes[idx].to_index(),
+                "quality_rank": float(quality[idx]),
+                "crowding": float(crowding),
+            }
+            for axis in axes:
+                row[axis] = float(columns[axis][idx])
+            rows.append(row)
+        rows.sort(key=lambda r: r[axes[0]])
+        # Knee: min-max normalise quality + every axis over the front,
+        # pick the row closest (L2) to the utopian corner.
+        knee = None
+        if rows:
+            matrix = np.array(
+                [[row["quality_rank"]] + [row[a] for a in axes]
+                 for row in rows], dtype=float)
+            lo, hi = matrix.min(axis=0), matrix.max(axis=0)
+            spread = np.where(hi > lo, hi - lo, 1.0)
+            normed = (matrix - lo) / spread
+            knee = rows[int(np.argmin(np.sqrt((normed ** 2).sum(axis=1))))]
+        return MatrixCell(
+            device=device_name,
+            objectives=tuple(axes),
+            front=rows,
+            knee=knee,
+            num_fronts=len(fronts),
+        )
+
 
 def run(config: RuntimeConfig) -> RunReport:
     """One-call convenience: build the harness and run it."""
     return RunHarness(config).run()
 
 
+def run_matrix(config: RuntimeConfig) -> DeviceMatrixReport:
+    """One-call convenience for device-matrix mode."""
+    return RunHarness(config).run_matrix()
+
+
 __all__ = [
     "RuntimeConfig",
     "RunHarness",
     "RunReport",
+    "MatrixCell",
+    "DeviceMatrixReport",
     "ALGORITHMS",
     "register_algorithm",
     "run",
+    "run_matrix",
 ]

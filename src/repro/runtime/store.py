@@ -110,7 +110,7 @@ import re
 import time
 from dataclasses import astuple
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 try:  # POSIX advisory locks; absent on some platforms (e.g. Windows)
     import fcntl
@@ -199,7 +199,8 @@ class StoreError(ReproError):
 
 
 def cache_fingerprint(proxy_config: ProxyConfig,
-                      macro_config: MacroConfig) -> Dict:
+                      macro_config: MacroConfig,
+                      cost_axes: Sequence[str] = ()) -> Dict:
     """Identity of everything a cached indicator value depends on.
 
     Cache *keys* already embed per-entry configuration, so entries can
@@ -214,14 +215,23 @@ def cache_fingerprint(proxy_config: ProxyConfig,
     coexist in one store directory; latency LUTs are keyed by the
     deployment *kernel* precision (``float32``/``int8``) exactly as
     before — the two axes are independent and never mix.
+
+    ``cost_axes`` names any *extra* registered cost models the run
+    scores (beyond the built-in indicator schema) so rows never alias
+    across objective sets.  Empty (the default) adds no key, keeping
+    legacy fingerprints — and every store written before the cost
+    registry existed — bit-compatible.
     """
-    return {
+    fingerprint = {
         "format": STORE_FORMAT,
         "indicators": list(INDICATOR_NAMES),
         "precision": proxy_config.precision,
         "proxy": _encode_key(astuple(proxy_config)),
         "macro": _encode_key(astuple(macro_config)),
     }
+    if cost_axes:
+        fingerprint["costs"] = sorted(cost_axes)
+    return fingerprint
 
 
 def _legacy_fingerprint(fingerprint: Dict) -> Dict:

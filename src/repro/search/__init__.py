@@ -25,6 +25,17 @@ re-derived inline by each algorithm.
 """
 
 from repro.search.objective import HybridObjective, ObjectiveWeights
+from repro.search.costs import (
+    CostModel,
+    DEPLOY_PRECISIONS,
+    DeployPrecision,
+    FLOAT32_DEPLOY,
+    INT8_DEPLOY,
+    build_cost_model,
+    register_cost_model,
+    registered_cost_models,
+    resolve_deploy_precision,
+)
 from repro.search.constraints import HardwareConstraints
 from repro.search.result import SearchResult
 from repro.search.pruning import MicroNASSearch
@@ -56,6 +67,15 @@ from repro.search.macro import (
 __all__ = [
     "HybridObjective",
     "ObjectiveWeights",
+    "CostModel",
+    "DeployPrecision",
+    "DEPLOY_PRECISIONS",
+    "FLOAT32_DEPLOY",
+    "INT8_DEPLOY",
+    "build_cost_model",
+    "register_cost_model",
+    "registered_cost_models",
+    "resolve_deploy_precision",
     "HardwareConstraints",
     "SearchResult",
     "MicroNASSearch",

@@ -222,7 +222,7 @@ class SteadyStateEvolutionarySearch:
             ConstraintChecker(
                 constraints,
                 macro_config=objective.macro_config,
-                latency_estimator=objective._latency_estimator,
+                latency_estimator=objective.built_latency_estimator,
             )
             if constraints is not None and constraints.constrains_anything
             else None
@@ -457,7 +457,7 @@ class TrainlessEvolutionarySearch:
             ConstraintChecker(
                 constraints,
                 macro_config=objective.macro_config,
-                latency_estimator=objective._latency_estimator,
+                latency_estimator=objective.built_latency_estimator,
             )
             if constraints is not None and constraints.constrains_anything
             else None

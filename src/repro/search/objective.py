@@ -14,12 +14,18 @@ Indicator values come from the batched evaluation engine
 across repeats, search cycles and algorithms, with vectorized proxy
 kernels underneath.  The objective layer owns only weighting, rank
 combination and the supernet *expectation* terms.
+
+Beyond the paper's four, :attr:`ObjectiveWeights.costs` weights any
+registered :class:`~repro.search.costs.CostModel` axis (``energy``,
+``peak-mem``, ``int8-latency``, ...) into the same rank sum — every
+cost axis ranks lower-is-better and rides the engine cache under its
+model fingerprint.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -42,19 +48,51 @@ from repro.utils.timing import CostLedger
 _INF_SENTINEL = 1e30
 
 
+#: The four built-in indicator fields (fixed dataclass slots below).
+_BUILTIN_AXES = ("ntk", "linear_regions", "flops", "latency")
+
+
 @dataclass(frozen=True)
 class ObjectiveWeights:
-    """Relative importance of each indicator in the combined rank."""
+    """Relative importance of each indicator in the combined rank.
+
+    The paper's four indicators stay as fixed fields; ``costs`` opens
+    the rank combination to any registered
+    :class:`~repro.search.costs.CostModel` axis (``energy``,
+    ``peak-mem``, ``int8-latency``, ...).  It accepts a mapping or pairs
+    and is normalized to a sorted tuple so weights stay hashable and
+    two objectives over the same axes compare equal.
+    """
 
     ntk: float = 1.0
     linear_regions: float = 1.0
     flops: float = 0.0
     latency: float = 0.0
+    costs: Union[Mapping[str, float], Tuple[Tuple[str, float], ...]] = \
+        field(default=())
+
+    def __post_init__(self) -> None:
+        pairs = (self.costs.items() if isinstance(self.costs, Mapping)
+                 else self.costs)
+        canonical = tuple(sorted((str(name), float(weight))
+                                 for name, weight in pairs))
+        names = [name for name, _ in canonical]
+        for name in names:
+            if name in _BUILTIN_AXES:
+                raise SearchError(
+                    f"cost axis {name!r} shadows a built-in indicator; "
+                    f"set the {name!r} field instead")
+        if len(set(names)) != len(names):
+            raise SearchError(f"duplicate cost axes in {names}")
+        object.__setattr__(self, "costs", canonical)
 
     def scaled_hardware(self, factor: float) -> "ObjectiveWeights":
-        """Multiply both hardware weights (constraint adaptation step)."""
-        return replace(self, flops=self.flops * factor,
-                       latency=self.latency * factor)
+        """Multiply every hardware weight (constraint adaptation step):
+        flops, latency, and each extra cost axis."""
+        return replace(
+            self, flops=self.flops * factor, latency=self.latency * factor,
+            costs=tuple((name, weight * factor)
+                        for name, weight in self.costs))
 
     @property
     def uses_flops(self) -> bool:
@@ -63,6 +101,15 @@ class ObjectiveWeights:
     @property
     def uses_latency(self) -> bool:
         return self.latency > 0.0
+
+    @property
+    def cost_weights(self) -> Dict[str, float]:
+        """Extra cost axes with positive weight, name -> weight."""
+        return {name: weight for name, weight in self.costs if weight > 0.0}
+
+    @property
+    def uses_costs(self) -> bool:
+        return bool(self.cost_weights)
 
 
 #: Rank directions: True = higher raw value is better.
@@ -118,9 +165,19 @@ class HybridObjective:
         return self.engine.latency_estimator
 
     @property
-    def _latency_estimator(self) -> Optional[LatencyEstimator]:
-        """The estimator if already built, else None (no profiling cost)."""
-        return self.engine._latency_estimator
+    def built_latency_estimator(self) -> Optional[LatencyEstimator]:
+        """The estimator if already built, else None (no profiling cost).
+
+        The public seam for composing layers — constraint checkers and
+        search loops reuse an existing estimator through this instead of
+        reaching into engine internals.
+        """
+        return self.engine.built_latency_estimator
+
+    def cost_models(self) -> List:
+        """The registered models behind the weights' extra cost axes."""
+        return [self.engine.cost_model(name)
+                for name in self.weights.cost_weights]
 
     def with_weights(self, weights: ObjectiveWeights) -> "HybridObjective":
         """Same engine (estimators, cache, ledger), different weights."""
@@ -131,9 +188,13 @@ class HybridObjective:
     # Genotype-level indicators (engine-cached, canonicalization-aware)
     # ------------------------------------------------------------------
     def genotype_indicators(self, genotype: Genotype) -> Dict[str, float]:
-        """All four raw indicator values for a concrete architecture."""
-        return self.engine.evaluate(genotype,
-                                    with_latency=self.weights.uses_latency)
+        """Raw indicator values for a concrete architecture (the four
+        built-ins, plus one entry per weighted extra cost axis)."""
+        row = self.engine.evaluate(genotype,
+                                   with_latency=self.weights.uses_latency)
+        for model in self.cost_models():
+            row[model.name] = self.engine.cost(genotype, model)
+        return row
 
     def evaluate_population(
         self, genotypes: Sequence[Genotype],
@@ -148,6 +209,7 @@ class HybridObjective:
             genotypes,
             with_latency=self.weights.uses_latency,
             executor=executor if executor is not None else self.executor,
+            cost_models=self.cost_models() or None,
         )
 
     # ------------------------------------------------------------------
@@ -155,6 +217,12 @@ class HybridObjective:
     # ------------------------------------------------------------------
     def supernet_indicators(self, edge_specs: Sequence[EdgeSpec]) -> Dict[str, float]:
         """Indicator values for a supernet state (alive-op sets)."""
+        if self.weights.uses_costs:
+            raise SearchError(
+                "extra cost axes are genotype-level models; the supernet "
+                "(pruning) path supports only the built-in indicators — "
+                f"drop cost weights {sorted(self.weights.cost_weights)} "
+                "or use a genotype-level algorithm")
         out: Dict[str, float] = {
             "ntk": self.engine.supernet_ntk(edge_specs),
             "linear_regions": self.engine.supernet_linear_regions(edge_specs),
@@ -244,12 +312,17 @@ class HybridObjective:
         if self.weights.uses_latency:
             names.append("latency")
             weights["latency"] = self.weights.latency
+        directions = dict(_DIRECTIONS)
+        for name, weight in self.weights.cost_weights.items():
+            names.append(name)
+            weights[name] = weight
+            directions[name] = False  # every cost axis: lower is better
         columns = {}
         for name in names:
             raw = np.array([row[name] for row in indicator_rows], dtype=float)
             raw[~np.isfinite(raw)] = _INF_SENTINEL
             columns[name] = raw
-        return combine_ranks(columns, _DIRECTIONS, weights)
+        return combine_ranks(columns, directions, weights)
 
     def score_genotypes(self, genotypes: Sequence[Genotype]) -> np.ndarray:
         """Combined rank score for a batch of architectures.

@@ -10,7 +10,11 @@ cheap enough to score a sample directly) over
 * **trainless quality** — the rank-combined NTK + linear-region score
   (lower is better, exactly the hybrid objective's trainless part),
 * **estimated MCU latency** (lower is better),
-* optionally **FLOPs**.
+* optionally **FLOPs**,
+* or any registered :class:`~repro.search.costs.CostModel` axis
+  (``energy``, ``peak-mem``, ``int8-latency``, ...) via ``objectives=``
+  — the front generalises to N-dimensional cost vectors while the
+  default quality/latency pair keeps the 2-D behaviour bit-for-bit.
 
 The deliverable is the first front plus a knee point, which a user can
 hand to the secondary stage (:mod:`repro.search.macro`) per deployment.
@@ -146,11 +150,29 @@ class ParetoPoint:
     latency_ms: float
     flops: float
     crowding: float = field(default=0.0, compare=False)
+    #: Extra cost-axis values (name, value), canonically sorted — only
+    #: populated when the search ran with non-default ``objectives``.
+    costs: Tuple[Tuple[str, float], ...] = ()
 
     def objectives(self, use_flops: bool) -> Tuple[float, ...]:
         if use_flops:
             return (self.quality_rank, self.latency_ms, self.flops)
         return (self.quality_rank, self.latency_ms)
+
+    def cost(self, axis: str) -> float:
+        """The value of one named cost axis on this point."""
+        if axis == "latency":
+            return self.latency_ms
+        if axis == "flops":
+            return self.flops
+        for name, value in self.costs:
+            if name == axis:
+                return value
+        raise SearchError(f"point carries no cost axis {axis!r}")
+
+    def vector(self, axes: Sequence[str]) -> Tuple[float, ...]:
+        """(quality, *costs) objective vector over the named axes."""
+        return (self.quality_rank,) + tuple(self.cost(a) for a in axes)
 
 
 @dataclass
@@ -161,17 +183,17 @@ class ParetoResult:
     population_size: int
     wall_seconds: float
     num_fronts: int
+    #: Cost axes the front was sorted over (quality is always implicit).
+    axes: Tuple[str, ...] = ("latency",)
 
     def knee_point(self) -> ParetoPoint:
         """The balanced pick: minimal normalised distance to the ideal.
 
-        Both objectives are min-max normalised over the front; the knee is
-        the point closest (L2) to the utopian corner (0, 0).
+        Every objective is min-max normalised over the front; the knee is
+        the point closest (L2) to the utopian corner (0, ..., 0).
         """
         if not self.front:
             raise SearchError("empty Pareto front")
-        quality = np.array([p.quality_rank for p in self.front])
-        latency = np.array([p.latency_ms for p in self.front])
 
         def normalise(values: np.ndarray) -> np.ndarray:
             spread = values.max() - values.min()
@@ -179,7 +201,14 @@ class ParetoResult:
                 return np.zeros_like(values)
             return (values - values.min()) / spread
 
-        distance = np.hypot(normalise(quality), normalise(latency))
+        quality = normalise(np.array([p.quality_rank for p in self.front]))
+        columns = [normalise(np.array([p.cost(axis) for p in self.front]))
+                   for axis in self.axes]
+        if len(columns) == 1:
+            distance = np.hypot(quality, columns[0])
+        else:
+            distance = np.sqrt(quality ** 2
+                               + sum(column ** 2 for column in columns))
         return self.front[int(np.argmin(distance))]
 
     def fastest(self) -> ParetoPoint:
@@ -194,6 +223,10 @@ class ParetoZeroShotSearch:
 
     ``include_flops=True`` adds FLOPs as a third objective (useful when
     the deployment board is undecided and latency is board-specific).
+    ``objectives`` names the cost axes explicitly — any mix of the
+    built-ins and registered :class:`~repro.search.costs.CostModel` axes
+    (e.g. ``("energy", "peak-mem")``); the default stays
+    ``("latency",)``, preserving the original 2-D behaviour exactly.
     """
 
     algorithm_name = "pareto-zeroshot"
@@ -205,6 +238,7 @@ class ParetoZeroShotSearch:
         seed: int = 0,
         include_flops: bool = False,
         space: Optional[NasBench201Space] = None,
+        objectives: Optional[Sequence[str]] = None,
     ) -> None:
         if num_samples < 2:
             raise SearchError("need at least two samples")
@@ -213,6 +247,12 @@ class ParetoZeroShotSearch:
         self.seed = seed
         self.include_flops = include_flops
         self.space = space or NasBench201Space()
+        axes = list(objectives) if objectives else ["latency"]
+        if include_flops and "flops" not in axes:
+            axes.append("flops")
+        if len(set(axes)) != len(axes):
+            raise SearchError(f"duplicate objective axes in {axes}")
+        self.axes: Tuple[str, ...] = tuple(axes)
 
     # ------------------------------------------------------------------
     def _score_population(
@@ -231,16 +271,30 @@ class ParetoZeroShotSearch:
         trainless = self.objective.with_weights(ObjectiveWeights())
         quality = trainless.combined_ranks(rows)
         points = []
-        estimator = self.objective.latency_estimator
+        extra_axes = [a for a in self.axes if a not in ("latency", "flops")]
+        engine = self.objective.engine
+        models = {axis: engine.cost_model(axis) for axis in extra_axes}
+        estimator = (self.objective.latency_estimator
+                     if "latency" in self.axes else None)
         for genotype, row, q in zip(genotypes, rows, quality):
-            latency = row["latency"]
-            if latency == 0.0:  # objective was built without a latency term
-                latency = estimator.estimate_ms(genotype)
+            # A row carries a real latency only when the objective's
+            # weights requested one; otherwise the engine reports a 0.0
+            # placeholder.  Key on *that* — a genuine 0.0 ms estimate
+            # from a latency-weighted objective must be kept, not
+            # silently re-estimated.
+            latency = (row["latency"] if self.objective.weights.uses_latency
+                       else None)
+            if latency is None:
+                latency = (estimator.estimate_ms(genotype)
+                           if estimator is not None else 0.0)
             points.append(ParetoPoint(
                 genotype=genotype,
                 quality_rank=float(q),
                 latency_ms=float(latency),
                 flops=float(row["flops"]),
+                costs=tuple(sorted(
+                    (axis, float(engine.cost(genotype, model)))
+                    for axis, model in models.items())),
             ))
         return points
 
@@ -249,9 +303,7 @@ class ParetoZeroShotSearch:
         genotypes = self.space.sample(self.num_samples, rng=self.seed)
         with Timer() as timer:
             points = self._score_population(genotypes)
-            vectors = np.array(
-                [p.objectives(self.include_flops) for p in points]
-            )
+            vectors = np.array([p.vector(self.axes) for p in points])
             fronts = non_dominated_sort(vectors)
             first = fronts[0]
             crowd = crowding_distance(vectors[first])
@@ -262,13 +314,15 @@ class ParetoZeroShotSearch:
                     latency_ms=points[idx].latency_ms,
                     flops=points[idx].flops,
                     crowding=float(c),
+                    costs=points[idx].costs,
                 )
                 for idx, c in zip(first, crowd)
             ]
-        front.sort(key=lambda p: p.latency_ms)
+        front.sort(key=lambda p: p.cost(self.axes[0]))
         return ParetoResult(
             front=front,
             population_size=self.num_samples,
             wall_seconds=timer.elapsed,
             num_fronts=len(fronts),
+            axes=self.axes,
         )

@@ -147,7 +147,7 @@ class MicroNASSearch:
             checker = ConstraintChecker(
                 constraints,
                 macro_config=self.objective.macro_config,
-                latency_estimator=self.objective._latency_estimator,
+                latency_estimator=self.objective.built_latency_estimator,
             )
         weights = self.objective.weights
         if constraints.max_latency_ms is not None and not weights.uses_latency:

@@ -56,7 +56,7 @@ class ZeroShotRandomSearch:
                 checker = ConstraintChecker(
                     constraints,
                     macro_config=self.objective.macro_config,
-                    latency_estimator=self.objective._latency_estimator,
+                    latency_estimator=self.objective.built_latency_estimator,
                 )
             if checker is not None:
                 feasible = [g for g in samples if checker.satisfied(g)]

@@ -18,6 +18,8 @@ from repro.hardware.energy import (
 from repro.hardware.latency import LatencyEstimator
 from repro.searchspace.network import MacroConfig
 
+pytestmark = pytest.mark.hw
+
 TINY = MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
                    input_channels=3, image_size=8)
 
@@ -88,6 +90,57 @@ class TestEnergyEstimator:
     def test_invalid_battery(self):
         with pytest.raises(HardwareModelError):
             EnergyEstimator(NUCLEO_F746ZG, battery_mwh=0.0)
+
+
+class _FixedLatency:
+    """Stub estimator: a constant latency, so the power math is closed-form."""
+
+    def __init__(self, latency_ms: float) -> None:
+        self.latency_ms = latency_ms
+
+    def estimate_ms(self, genotype) -> float:
+        return self.latency_ms
+
+
+class TestPowerProfileMath:
+    """Closed-form checks of the first-order power model (the surface the
+    ``energy`` cost model builds on)."""
+
+    PROFILE = PowerProfile(active_mw=100.0, sleep_mw=1.0, wake_uj=500.0)
+
+    def _estimator(self, latency_ms: float) -> EnergyEstimator:
+        return EnergyEstimator(NUCLEO_F746ZG,
+                               estimator=_FixedLatency(latency_ms),
+                               profile=self.PROFILE, battery_mwh=2400.0)
+
+    def test_energy_closed_form(self, light_genotype):
+        # E = P_active * t + E_wake: 100 mW * 0.25 s + 0.5 mJ = 25.5 mJ.
+        est = self._estimator(250.0)
+        assert est.energy_per_inference_mj(light_genotype) == \
+            pytest.approx(25.5)
+
+    def test_average_power_closed_form(self, light_genotype):
+        # At 1 Hz with a 250 ms inference: (25.5 mJ + 1 mW * 0.75 s) / 1 s.
+        est = self._estimator(250.0)
+        assert est.average_power_mw(light_genotype, duty_cycle_hz=1.0) == \
+            pytest.approx(26.25)
+
+    def test_average_power_approaches_sleep_floor(self, light_genotype):
+        # As the duty cycle slows, average power decays toward P_sleep.
+        est = self._estimator(250.0)
+        avg = est.average_power_mw(light_genotype, duty_cycle_hz=1e-4)
+        assert self.PROFILE.sleep_mw < avg < self.PROFILE.sleep_mw * 1.01
+
+    def test_battery_days_closed_form(self, light_genotype):
+        # 2400 mWh at 26.25 mW average: ~91.43 h = ~3.81 days.
+        est = self._estimator(250.0)
+        assert est.battery_days(light_genotype, duty_cycle_hz=1.0) == \
+            pytest.approx(2400.0 / 26.25 / 24.0)
+
+    def test_zero_latency_pays_wake_only(self, light_genotype):
+        est = self._estimator(0.0)
+        assert est.energy_per_inference_mj(light_genotype) == \
+            pytest.approx(self.PROFILE.wake_uj / 1e3)
 
 
 class TestCrossDeviceEnergy:

@@ -18,6 +18,8 @@ from repro.searchspace.genotype import Genotype
 from repro.searchspace.network import MacroConfig
 from repro.searchspace.ops import CANDIDATE_OPS
 
+pytestmark = pytest.mark.hw
+
 TINY = MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
                    input_channels=3, image_size=8)
 
@@ -156,6 +158,58 @@ class TestLowerBound:
         assert liveness_lower_bound(buffers) == 20
         plan = plan_memory(buffers, "greedy_by_size")
         assert plan.arena_bytes == 20  # perfect reuse
+
+
+class TestLowerBoundVsValidate:
+    """``liveness_lower_bound`` and ``MemoryPlan.validate`` pin the same
+    invariant from two sides: no valid plan can beat the bound, and any
+    plan that *appears* to beat it must fail validation."""
+
+    def test_bound_is_max_concurrent_live_bytes(self):
+        # Timesteps 2-3 hold a+b+c live simultaneously: 10+20+40 = 70.
+        buffers = [
+            BufferLifetime("a", 10, 0, 3),
+            BufferLifetime("b", 20, 1, 4),
+            BufferLifetime("c", 40, 2, 3),
+            BufferLifetime("d", 15, 5, 6),
+        ]
+        assert liveness_lower_bound(buffers) == 70
+
+    def test_perfect_packing_meets_bound_and_validates(self):
+        # Two disjoint-in-time pairs: the bound (30) is achievable, and
+        # greedy packing reaches it with a valid plan.
+        buffers = [
+            BufferLifetime("a", 10, 0, 1),
+            BufferLifetime("b", 20, 0, 1),
+            BufferLifetime("c", 10, 2, 3),
+            BufferLifetime("d", 20, 2, 3),
+        ]
+        bound = liveness_lower_bound(buffers)
+        plan = plan_memory(buffers, "greedy_by_size")
+        plan.validate()
+        assert plan.arena_bytes == bound == 30
+
+    def test_sub_bound_arena_fails_validation(self):
+        # Force an arena below the liveness bound by aliasing two live
+        # buffers: validate must catch the overlap the bound forbids.
+        buffers = [
+            BufferLifetime("a", 10, 0, 2),
+            BufferLifetime("b", 10, 1, 3),
+        ]
+        plan = plan_memory(buffers, "no_reuse")
+        plan.validate()
+        assert plan.arena_bytes >= liveness_lower_bound(buffers) == 20
+        plan.offsets["b"] = plan.offsets["a"]  # "arena" now 10 < bound
+        with pytest.raises(HardwareModelError):
+            plan.validate()
+
+    def test_validate_requires_every_buffer_placed(self):
+        buffers = [BufferLifetime("a", 10, 0, 1),
+                   BufferLifetime("b", 20, 1, 2)]
+        plan = plan_memory(buffers, "first_fit")
+        del plan.offsets["b"]
+        with pytest.raises(HardwareModelError):
+            plan.validate()
 
 
 class TestArenaReport:

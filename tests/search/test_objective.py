@@ -33,7 +33,8 @@ class TestWeights:
 
     def test_with_weights_shares_estimator_and_ledger(self, objective):
         clone = objective.with_weights(ObjectiveWeights())
-        assert clone._latency_estimator is objective._latency_estimator
+        assert clone.built_latency_estimator is objective.built_latency_estimator
+        assert clone.built_latency_estimator is not None
         assert clone.ledger is objective.ledger
 
 

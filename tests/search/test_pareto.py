@@ -173,3 +173,101 @@ class TestParetoSearch:
         for a in result.front:
             for b in result.front:
                 assert not dominates(a.objectives(True), b.objectives(True))
+
+
+class _ZeroLatencyEstimator:
+    """Estimator reporting a genuine 0.0 ms for everything, with a call
+    counter: the sentinel regression below keys on *calls*, not values."""
+
+    precision = "float32"
+
+    def __init__(self, config):
+        from repro.engine.cache import IndicatorCache
+        from repro.hardware.device import NUCLEO_F746ZG
+
+        self.config = config
+        self.device = NUCLEO_F746ZG
+        self.cache = IndicatorCache()
+        self.profiler = None
+        self.calls = 0
+
+    def estimate_ms(self, genotype):
+        self.calls += 1
+        return 0.0
+
+
+class TestZeroLatencyRegression:
+    """A genuine 0.0 ms estimate from a latency-weighted objective must be
+    kept as-is — the old ``latency == 0.0`` sentinel silently re-estimated
+    such rows on every scoring pass."""
+
+    def test_zero_latency_rows_not_reestimated(self):
+        estimator = _ZeroLatencyEstimator(
+            MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
+                        input_channels=3, image_size=8))
+        objective = HybridObjective(
+            proxy_config=FAST_PROXY,
+            weights=ObjectiveWeights(latency=0.5),
+            latency_estimator=estimator,
+        )
+        search = ParetoZeroShotSearch(objective, num_samples=8, seed=3)
+        from repro.searchspace import NasBench201Space
+
+        genotypes = NasBench201Space().sample(8, rng=3)
+        points = search._score_population(genotypes)
+        assert all(p.latency_ms == 0.0 for p in points)
+        calls_after_rows = estimator.calls
+        assert calls_after_rows > 0
+        # Scoring again resolves every row from the cache: the fixed code
+        # must not fall back to the estimator just because latency is 0.0.
+        search._score_population(genotypes)
+        assert estimator.calls == calls_after_rows
+
+    def test_zero_latency_front_still_builds(self):
+        estimator = _ZeroLatencyEstimator(
+            MacroConfig(init_channels=4, cells_per_stage=1, num_classes=10,
+                        input_channels=3, image_size=8))
+        objective = HybridObjective(
+            proxy_config=FAST_PROXY,
+            weights=ObjectiveWeights(latency=0.5),
+            latency_estimator=estimator,
+        )
+        result = ParetoZeroShotSearch(objective, num_samples=8,
+                                      seed=3).search()
+        assert result.front
+        assert all(p.latency_ms == 0.0 for p in result.front)
+
+
+class TestExtraCostAxes:
+    def test_energy_axis_front(self, shared_latency_estimator):
+        objective = HybridObjective(
+            proxy_config=FAST_PROXY,
+            weights=ObjectiveWeights(latency=0.5),
+            latency_estimator=shared_latency_estimator,
+        )
+        result = ParetoZeroShotSearch(
+            objective, num_samples=10, seed=5,
+            objectives=("latency", "energy")).search()
+        assert result.axes == ("latency", "energy")
+        assert result.front
+        for point in result.front:
+            assert point.cost("energy") > 0.0
+            assert point.cost("latency") == point.latency_ms
+        ordering = [p.cost("latency") for p in result.front]
+        assert ordering == sorted(ordering)
+
+    def test_missing_axis_rejected(self):
+        point = ParetoPoint(genotype=Genotype(("skip_connect",) * 6),
+                            quality_rank=1.0, latency_ms=2.0, flops=3.0)
+        with pytest.raises(SearchError, match="no cost axis"):
+            point.cost("peak-mem")
+
+    def test_duplicate_axes_rejected(self, shared_latency_estimator):
+        objective = HybridObjective(
+            proxy_config=FAST_PROXY,
+            weights=ObjectiveWeights(latency=0.5),
+            latency_estimator=shared_latency_estimator,
+        )
+        with pytest.raises(SearchError):
+            ParetoZeroShotSearch(objective, num_samples=8,
+                                 objectives=("latency", "latency"))
